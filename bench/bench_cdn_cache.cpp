@@ -1,0 +1,88 @@
+// §1 motivation reproduction: storage footprint (M x N muxed vs M + N
+// demuxed tracks) and CDN cache effectiveness for a viewer population.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "httpsim/workload.h"
+#include "media/content.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace demuxabr;
+
+void print_once() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  const Content content = make_drama_content();
+  const StorageReport storage = compare_storage(content);
+  std::printf("=== §1 motivation: storage and CDN caching ===\n");
+  std::printf("storage: demuxed %.1f MB (%zu objects) vs muxed %.1f MB (%zu objects), "
+              "ratio %.2fx\n",
+              static_cast<double>(storage.demuxed_bytes) / 1e6, storage.demuxed_objects,
+              static_cast<double>(storage.muxed_bytes) / 1e6, storage.muxed_objects,
+              storage.muxed_to_demuxed_ratio());
+  WorkloadConfig config;
+  config.num_users = 200;
+  for (double fraction : {0.0, 0.5, 0.25}) {
+    config.cache_fraction = fraction;
+    const auto results = run_cdn_comparison(content, config);
+    const std::string cache_label =
+        fraction == 0.0
+            ? "unbounded"
+            : std::to_string(static_cast<int>(fraction * 100)) + "% of demuxed catalog";
+    std::printf("cache=%s:\n", cache_label.c_str());
+    for (const WorkloadResult& result : results) {
+      std::printf("  %-7s hit=%.3f byte-hit=%.3f origin-egress=%.1f MB\n",
+                  storage_mode_name(result.mode), result.cdn.hit_ratio(),
+                  result.cdn.byte_hit_ratio(),
+                  static_cast<double>(result.cdn.bytes_from_origin) / 1e6);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_Cdn_Workload(benchmark::State& state) {
+  print_once();
+  const Content content = make_drama_content();
+  const auto mode = state.range(0) == 0 ? StorageMode::kDemuxed : StorageMode::kMuxed;
+  WorkloadConfig config;
+  config.num_users = static_cast<int>(state.range(1));
+  double hit_ratio = 0.0;
+  double origin_mb = 0.0;
+  for (auto _ : state) {
+    const WorkloadResult result = run_cdn_workload(content, mode, config);
+    hit_ratio = result.cdn.hit_ratio();
+    origin_mb = static_cast<double>(result.cdn.bytes_from_origin) / 1e6;
+    benchmark::DoNotOptimize(result.cdn.requests);
+  }
+  state.counters["hit_ratio"] = hit_ratio;
+  state.counters["origin_egress_mb"] = origin_mb;
+  state.counters["users"] = static_cast<double>(config.num_users);
+  state.SetLabel(storage_mode_name(mode));
+}
+BENCHMARK(BM_Cdn_Workload)
+    ->Args({0, 50})->Args({1, 50})
+    ->Args({0, 200})->Args({1, 200})
+    ->Args({0, 1000})->Args({1, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdn_LruCacheOps(benchmark::State& state) {
+  const Content content = make_drama_content();
+  const ObjectCatalog catalog = build_demuxed_catalog(content);
+  CdnNode cdn(&catalog, catalog.total_bytes() / 2);
+  Rng rng(5);
+  const BitrateLadder& ladder = content.ladder();
+  for (auto _ : state) {
+    const auto& track =
+        ladder.video()[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    const int chunk = static_cast<int>(rng.uniform_int(0, content.num_chunks() - 1));
+    benchmark::DoNotOptimize(cdn.fetch(chunk_object_key(track.id, chunk)).bytes);
+  }
+}
+BENCHMARK(BM_Cdn_LruCacheOps);
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Microbenchmarks of the framework's hot paths: manifest serialize/parse,
+// estimator updates, BOLA decisions, and end-to-end session throughput
+// (simulated seconds per wall second).
+#include <benchmark/benchmark.h>
+
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "manifest/builder.h"
+#include "players/bola.h"
+#include "players/estimators.h"
+#include "sim/session.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+
+void BM_Micro_SerializeMpd(benchmark::State& state) {
+  const Content content = make_drama_content();
+  const MpdDocument mpd = build_dash_mpd(content);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_mpd(mpd).size());
+  }
+}
+BENCHMARK(BM_Micro_SerializeMpd);
+
+void BM_Micro_ParseMpd(benchmark::State& state) {
+  const Content content = make_drama_content();
+  const std::string xml_text = serialize_mpd(build_dash_mpd(content));
+  for (auto _ : state) {
+    auto parsed = parse_mpd(xml_text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml_text.size()));
+}
+BENCHMARK(BM_Micro_ParseMpd);
+
+void BM_Micro_ParseHlsMaster(benchmark::State& state) {
+  const Content content = make_drama_content();
+  const std::string text = serialize_master(build_hall_master(content));
+  for (auto _ : state) {
+    auto parsed = parse_master(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Micro_ParseHlsMaster);
+
+void BM_Micro_ParseHlsMedia(benchmark::State& state) {
+  const Content content = make_drama_content();
+  HlsMediaOptions options;
+  options.include_bitrate_tag = true;
+  const std::string text = serialize_media(build_hls_media(content, "V5", options));
+  for (auto _ : state) {
+    auto parsed = parse_media(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Micro_ParseHlsMedia);
+
+void BM_Micro_ShakaEstimatorUpdate(benchmark::State& state) {
+  ShakaBandwidthEstimator estimator;
+  ProgressSample sample;
+  sample.bytes = 20000;
+  double t = 0.0;
+  for (auto _ : state) {
+    sample.t0 = t;
+    sample.t1 = t + 0.125;
+    t += 0.125;
+    estimator.on_progress(sample);
+    benchmark::DoNotOptimize(estimator.estimate_kbps());
+  }
+}
+BENCHMARK(BM_Micro_ShakaEstimatorUpdate);
+
+void BM_Micro_ExoMeterUpdate(benchmark::State& state) {
+  ExoBandwidthMeter meter;
+  for (auto _ : state) {
+    meter.on_transfer_end(300000, 3.0);
+    benchmark::DoNotOptimize(meter.estimate_kbps());
+  }
+}
+BENCHMARK(BM_Micro_ExoMeterUpdate);
+
+void BM_Micro_BolaChoose(benchmark::State& state) {
+  Bola bola({111, 246, 473, 914, 1852, 3746}, 20.0);
+  double buffer = 0.0;
+  for (auto _ : state) {
+    buffer = buffer >= 22.0 ? 0.0 : buffer + 0.37;
+    benchmark::DoNotOptimize(bola.choose(buffer));
+  }
+}
+BENCHMARK(BM_Micro_BolaChoose);
+
+void BM_Micro_FullSession(benchmark::State& state) {
+  const ex::ExperimentSetup setup =
+      ex::bestpractice_dash(ex::varying_600_trace(), "micro");
+  double simulated_s = 0.0;
+  for (auto _ : state) {
+    CoordinatedPlayer player;
+    const SessionLog log = ex::run(setup, player);
+    simulated_s = log.end_time_s;
+    benchmark::DoNotOptimize(log.downloads.size());
+  }
+  state.counters["sim_seconds_per_run"] = simulated_s;
+}
+BENCHMARK(BM_Micro_FullSession)->Unit(benchmark::kMillisecond);
+
+void BM_Micro_SessionScalesWithDuration(benchmark::State& state) {
+  const double minutes = static_cast<double>(state.range(0));
+  Content content = ContentBuilder(youtube_drama_ladder())
+                        .duration_s(minutes * 60.0)
+                        .chunk_duration_s(4.0)
+                        .build();
+  const auto mpd = parse_mpd(serialize_mpd(build_dash_mpd(content)));
+  const ManifestView view = view_from_mpd(*mpd);
+  for (auto _ : state) {
+    CoordinatedPlayer player;
+    const Network network = Network::shared(BandwidthTrace::constant(1500.0));
+    const SessionLog log = run_session(content, view, network, player);
+    benchmark::DoNotOptimize(log.end_time_s);
+  }
+  state.counters["content_minutes"] = minutes;
+}
+BENCHMARK(BM_Micro_SessionScalesWithDuration)->Arg(1)->Arg(5)->Arg(15)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

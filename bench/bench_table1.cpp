@@ -1,0 +1,58 @@
+// Table 1 reproduction: the YouTube drama show's track ladder.
+//
+// Regenerates the synthetic content and reports, per track, the measured
+// average/peak bitrate against the paper's declared values (they must agree —
+// that is the content-substitution contract of DESIGN.md). The benchmark
+// itself measures content generation cost at several chunk durations.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "experiments/tables.h"
+#include "media/content.h"
+
+namespace {
+
+using namespace demuxabr;
+
+void print_table_once() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  const Content content = make_drama_content();
+  std::printf("=== Table 1: video and audio of a YouTube drama show ===\n%s\n",
+              experiments::render_table1(content).c_str());
+}
+
+void BM_Table1_GenerateContent(benchmark::State& state) {
+  print_table_once();
+  const double chunk_duration_s = static_cast<double>(state.range(0)) / 10.0;
+  double worst_avg_error = 0.0;
+  for (auto _ : state) {
+    const Content content = make_drama_content(chunk_duration_s);
+    benchmark::DoNotOptimize(content.total_bytes());
+    // Track the worst relative deviation of measured vs. declared average.
+    for (const TrackInfo& track : content.ladder().video()) {
+      const ChunkStats stats = content.track_stats(track.id);
+      worst_avg_error = std::max(
+          worst_avg_error, std::abs(stats.avg_kbps - track.avg_kbps) / track.avg_kbps);
+    }
+  }
+  state.counters["chunk_s"] = chunk_duration_s;
+  state.counters["worst_avg_error_pct"] = worst_avg_error * 100.0;
+}
+BENCHMARK(BM_Table1_GenerateContent)->Arg(10)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_Table1_MeasureTrackStats(benchmark::State& state) {
+  const Content content = make_drama_content();
+  for (auto _ : state) {
+    for (const TrackInfo& track : content.ladder().video()) {
+      benchmark::DoNotOptimize(content.track_stats(track.id).peak_kbps);
+    }
+  }
+}
+BENCHMARK(BM_Table1_MeasureTrackStats);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Tables 2 and 3 reproduction: aggregate bitrates of the audio/video
+// combinations used by HLS manifests H_all (all 18) and H_sub (curated 6).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "experiments/tables.h"
+#include "manifest/builder.h"
+#include "media/combination.h"
+#include "media/content.h"
+
+namespace {
+
+using namespace demuxabr;
+
+void print_tables_once() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  const BitrateLadder ladder = youtube_drama_ladder();
+  std::printf("%s\n", experiments::render_combination_table(
+                          "=== Table 2: all combinations (manifest H_all) ===",
+                          all_combinations(ladder))
+                          .c_str());
+  std::printf("%s\n", experiments::render_combination_table(
+                          "=== Table 3: curated subset (manifest H_sub) ===",
+                          curated_subset(ladder))
+                          .c_str());
+}
+
+void BM_Table2_EnumerateAllCombinations(benchmark::State& state) {
+  print_tables_once();
+  const BitrateLadder ladder = youtube_drama_ladder();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_combinations(ladder).size());
+  }
+  state.counters["combos"] = static_cast<double>(all_combinations(ladder).size());
+}
+BENCHMARK(BM_Table2_EnumerateAllCombinations);
+
+void BM_Table3_CuratedSubset(benchmark::State& state) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curated_subset(ladder).size());
+  }
+  state.counters["combos"] = static_cast<double>(curated_subset(ladder).size());
+}
+BENCHMARK(BM_Table3_CuratedSubset);
+
+void BM_Table2_BuildAndParseHallMaster(benchmark::State& state) {
+  const Content content = make_drama_content();
+  for (auto _ : state) {
+    const std::string text = serialize_master(build_hall_master(content));
+    auto parsed = parse_master(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_Table2_BuildAndParseHallMaster);
+
+void BM_Table3_BuildAndParseHsubMaster(benchmark::State& state) {
+  const Content content = make_drama_content();
+  for (auto _ : state) {
+    const std::string text = serialize_master(build_hsub_master(content));
+    auto parsed = parse_master(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_Table3_BuildAndParseHsubMaster);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Regenerate the raw data series behind every figure in the paper as CSV
+// files (one directory per figure), ready for plotting:
+//   figure_output/fig2a/selection.csv        selected avg bitrates over time
+//   figure_output/fig3/buffers.csv           audio/video buffer levels
+//   figure_output/fig4b/estimate.csv         bandwidth-estimate evolution
+//   ... etc.
+// Usage: figure_data [output_dir]   (default: ./figure_output)
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "players/dashjs.h"
+#include "players/exoplayer.h"
+#include "players/shaka.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+namespace fs = std::filesystem;
+
+/// Write one figure's series bundle.
+void dump(const fs::path& dir, const ex::ExperimentSetup& setup, const SessionLog& log) {
+  fs::create_directories(dir);
+  auto save = [&](const std::string& name, const std::string& text) {
+    const Status status = write_file((dir / name).string(), text);
+    if (!status.ok()) std::fprintf(stderr, "warn: %s\n", status.error().c_str());
+  };
+
+  // Selected-track bitrate timelines (Figs 2, 3a, 4b, 5a).
+  save("selected_video_kbps.csv", log.selected_video_kbps.to_csv("video_kbps"));
+  save("selected_audio_kbps.csv", log.selected_audio_kbps.to_csv("audio_kbps"));
+  // Buffer levels (Figs 3b, 5b).
+  save("video_buffer_s.csv", log.video_buffer_s.resample(0, log.end_time_s, 1.0)
+                                 .to_csv("video_buffer_s"));
+  save("audio_buffer_s.csv", log.audio_buffer_s.resample(0, log.end_time_s, 1.0)
+                                 .to_csv("audio_buffer_s"));
+  // Bandwidth estimate (Fig 4).
+  save("estimate_kbps.csv", log.bandwidth_estimate_kbps.resample(0, log.end_time_s, 1.0)
+                                .to_csv("estimate_kbps"));
+  // Per-chunk selections and stall intervals.
+  save("selection.csv", selection_csv(log));
+  CsvWriter stalls({"start_s", "end_s", "duration_s"});
+  for (const StallEvent& stall : log.stalls) {
+    stalls.cell(stall.start_t).cell(stall.end_t).cell(stall.duration_s()).end_row();
+  }
+  save("stalls.csv", stalls.to_string());
+  // The bandwidth trace itself, for the figure's secondary axis.
+  save("trace.csv", setup.trace.to_csv());
+
+  std::printf("%-8s -> %s (%zu downloads, %zu stalls)\n", setup.id.c_str(),
+              dir.string().c_str(), log.downloads.size(), log.stalls.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? argv[1] : "figure_output";
+
+  {
+    auto setup = ex::fig2a_exo_dash_audio_b();
+    ExoPlayerModel player;
+    dump(root / "fig2a", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig2b_exo_dash_audio_c();
+    ExoPlayerModel player;
+    dump(root / "fig2b", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig3_exo_hls_a3_first();
+    ExoPlayerModel player;
+    dump(root / "fig3", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig3x_exo_hls_a1_first_5mbps();
+    ExoPlayerModel player;
+    dump(root / "fig3x", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig4a_shaka_hall_1mbps();
+    ShakaPlayerModel player;
+    dump(root / "fig4a", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig4b_shaka_hall_varying();
+    ShakaPlayerModel player;
+    dump(root / "fig4b", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig5_dashjs_700();
+    DashJsPlayerModel player;
+    dump(root / "fig5", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::bestpractice_dash(ex::varying_600_trace(), "bp");
+    CoordinatedPlayer player;
+    dump(root / "bp_varying600", setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::bestpractice_dash(ex::shaka_varying_600_trace(), "bp-mpc");
+    CoordinatedConfig config;
+    config.algorithm = AbrAlgorithm::kMpc;
+    CoordinatedPlayer player(config);
+    dump(root / "bp_mpc_bursty", setup, ex::run(setup, player));
+  }
+  std::printf("done. plot any series with your tool of choice.\n");
+  return 0;
+}

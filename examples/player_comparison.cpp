@@ -1,0 +1,114 @@
+// Reproduce the paper's per-player experiments (§3) and the §4 comparison:
+// run each player model through its figure's scenario, print the selection
+// timelines and stall accounting, then sweep all players across the standard
+// traces and print the comparison table.
+#include <cstdio>
+#include <memory>
+
+#include "core/compliance.h"
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "experiments/tables.h"
+#include "players/dashjs.h"
+#include "players/exoplayer.h"
+#include "players/shaka.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+
+void report(const ex::ExperimentSetup& setup, const SessionLog& log) {
+  const QoeReport qoe = compute_qoe(log, setup.content.ladder(),
+                                    setup.allowed.empty() ? nullptr : &setup.allowed);
+  std::printf("== %s: %s ==\n", setup.id.c_str(), setup.description.c_str());
+  std::printf("%s", summarize(log, qoe).c_str());
+  std::printf("  timeline: %s\n\n", ex::render_selection_timeline(log).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // --- §3.2 ExoPlayer ---
+  {
+    auto setup = ex::fig2a_exo_dash_audio_b();
+    ExoPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig2b_exo_dash_audio_c();
+    ExoPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig3_exo_hls_a3_first();
+    ExoPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig3x_exo_hls_a1_first_5mbps();
+    ExoPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  // --- §3.3 Shaka ---
+  {
+    auto setup = ex::fig4a_shaka_hall_1mbps();
+    ShakaPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  {
+    auto setup = ex::fig4b_shaka_hall_varying();
+    ShakaPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  // --- §3.4 dash.js ---
+  {
+    auto setup = ex::fig5_dashjs_700();
+    DashJsPlayerModel player;
+    report(setup, ex::run(setup, player));
+  }
+  // --- §4 coordinated player on the same scenarios ---
+  {
+    auto setup = ex::bestpractice_dash(ex::varying_600_trace(), "bp-varying600");
+    CoordinatedPlayer player;
+    report(setup, ex::run(setup, player));
+  }
+
+  // --- Cross-player sweep over the standard traces ---
+  std::vector<ex::ComparisonRow> rows;
+  for (const auto& named : ex::comparison_traces()) {
+    for (int which = 0; which < 4; ++which) {
+      std::unique_ptr<PlayerAdapter> player;
+      ex::ExperimentSetup setup;
+      switch (which) {
+        case 0:
+          setup = ex::plain_dash(named.trace, named.name);
+          player = std::make_unique<ExoPlayerModel>();
+          break;
+        case 1:
+          setup = ex::fig4a_shaka_hall_1mbps();
+          setup.trace = named.trace;
+          player = std::make_unique<ShakaPlayerModel>();
+          break;
+        case 2:
+          setup = ex::plain_dash(named.trace, named.name);
+          player = std::make_unique<DashJsPlayerModel>();
+          break;
+        case 3:
+          setup = ex::bestpractice_dash(named.trace, named.name);
+          player = std::make_unique<CoordinatedPlayer>();
+          break;
+      }
+      const SessionLog log = ex::run(setup, *player);
+      ex::ComparisonRow row;
+      row.player = log.player_name;
+      row.trace = named.name;
+      row.qoe = compute_qoe(log, setup.content.ladder(),
+                            setup.allowed.empty() ? nullptr : &setup.allowed);
+      row.completed = log.completed;
+      rows.push_back(row);
+    }
+  }
+  std::printf("%s\n", ex::render_comparison_table(rows).c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Bandwidth-trace tooling: build each standard trace, verify its average,
+// and dump a CSV snippet — useful when adding new experiment scenarios.
+#include <cstdio>
+
+#include "experiments/scenarios.h"
+#include "net/bandwidth_trace.h"
+
+using namespace demuxabr;
+
+int main() {
+  for (const auto& named : experiments::comparison_traces()) {
+    const double avg = named.trace.average_kbps(0.0, 300.0);
+    const double t60 = named.trace.rate_kbps(60.0);
+    std::printf("%-22s avg over 300s = %7.1f kbps, rate@60s = %7.1f kbps, %zu segments%s\n",
+                named.name.c_str(), avg, t60, named.trace.segments().size(),
+                named.trace.period_s() > 0.0 ? " (periodic)" : "");
+  }
+
+  std::printf("\nCSV for the Fig 3 trace (first period):\n%s",
+              experiments::varying_600_trace().to_csv().c_str());
+
+  // Round-trip through CSV parsing.
+  const std::string csv = experiments::shaka_varying_600_trace().to_csv();
+  auto reloaded = BandwidthTrace::from_csv(csv);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "trace csv reload failed: %s\n", reloaded.error().c_str());
+    return 1;
+  }
+  std::printf("\nreloaded shaka trace avg over one period: %.1f kbps\n",
+              reloaded->average_kbps(0.0, 60.0));
+  return 0;
+}

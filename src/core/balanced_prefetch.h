@@ -1,0 +1,37 @@
+// Balanced audio/video prefetching (§4.2): keep the two buffers within one
+// chunk of each other by always advancing the lagging media type — the
+// chunk-level synchronization the paper recommends (and credits ExoPlayer's
+// downloader with, §3.5).
+#pragma once
+
+#include <optional>
+
+#include "sim/player.h"
+
+namespace demuxabr {
+
+struct BalancedPrefetchConfig {
+  /// Stop fetching a type once its buffer reaches this level.
+  double buffer_target_s = 30.0;
+  /// Never let |video buffer - audio buffer| exceed this when a choice
+  /// exists (one chunk duration by default; set by the player at start).
+  double max_imbalance_s = 4.0;
+};
+
+class BalancedPrefetcher {
+ public:
+  explicit BalancedPrefetcher(BalancedPrefetchConfig config = {});
+
+  void set_max_imbalance_s(double seconds) { config_.max_imbalance_s = seconds; }
+  [[nodiscard]] const BalancedPrefetchConfig& config() const { return config_; }
+
+  /// Which media type to fetch next; nullopt = idle (targets met, or
+  /// fetching the only eligible type would worsen an already-excessive
+  /// imbalance).
+  [[nodiscard]] std::optional<MediaType> next_type(const PlayerContext& ctx) const;
+
+ private:
+  BalancedPrefetchConfig config_;
+};
+
+}  // namespace demuxabr

@@ -1,0 +1,52 @@
+// Buffer-based joint A/V adaptation (BBA-0 style, Huang et al. [12] — one of
+// the adaptation families the paper's related work surveys), lifted to the
+// allowed-combination ladder: the decision variable is the combination
+// index, driven purely by buffer occupancy.
+//
+//   buffer <= reservoir            -> lowest combination
+//   buffer >= reservoir + cushion  -> highest combination
+//   in between                     -> the rate map f(buffer) interpolates
+//                                     linearly between R_min and R_max, with
+//                                     BBA's hysteresis: switch up only when
+//                                     f(buffer) crosses the NEXT rung's rate,
+//                                     down only when it falls below the
+//                                     CURRENT rung's.
+// Needs no bandwidth estimate at all — a useful counterpoint to the rate
+// and MPC controllers in the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "manifest/view.h"
+
+namespace demuxabr {
+
+struct BbaConfig {
+  double reservoir_s = 8.0;
+  double cushion_s = 16.0;
+  /// Prefer declared AVERAGE-BANDWIDTH over peak when present.
+  bool use_average_bandwidth = true;
+};
+
+class BufferBasedJointAbr {
+ public:
+  /// `allowed` must be sorted by ascending bandwidth.
+  BufferBasedJointAbr(std::vector<ComboView> allowed, BbaConfig config = {});
+
+  /// Decide the combination for the next chunk from the buffer level alone.
+  std::size_t decide(double min_buffer_s);
+
+  [[nodiscard]] std::size_t current_index() const { return current_; }
+  [[nodiscard]] const std::vector<ComboView>& allowed() const { return allowed_; }
+  [[nodiscard]] double requirement_kbps(std::size_t index) const;
+  /// The rate map f(buffer) in kbps.
+  [[nodiscard]] double rate_map_kbps(double buffer_s) const;
+
+ private:
+  std::vector<ComboView> allowed_;
+  BbaConfig config_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace demuxabr

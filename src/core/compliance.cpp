@@ -1,0 +1,53 @@
+#include "core/compliance.h"
+
+#include <algorithm>
+
+namespace demuxabr {
+
+ComplianceReport check_compliance(const SessionLog& log,
+                                  const std::vector<AvCombination>& allowed) {
+  ComplianceReport report;
+  const std::size_t chunks =
+      std::min(log.video_selection.size(), log.audio_selection.size());
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::string& video = log.video_selection[i];
+    const std::string& audio = log.audio_selection[i];
+    if (video.empty() || audio.empty()) continue;  // never downloaded
+    ++report.total_chunks;
+    if (!contains_combination(allowed, video, audio)) {
+      ++report.violating_chunks;
+      const std::string label = video + "+" + audio;
+      if (std::find(report.violating_labels.begin(), report.violating_labels.end(),
+                    label) == report.violating_labels.end()) {
+        report.violating_labels.push_back(label);
+      }
+    }
+  }
+  return report;
+}
+
+MpdDocument build_enhanced_mpd(const Content& content, const CurationPolicy& policy) {
+  DashBuildOptions options;
+  // The server publishes the full staircase: still curated (no undesirable
+  // pairings) but with single-step granularity for smoother adaptation.
+  options.allowed_combinations = curate_staircase(content.ladder(), policy);
+  return build_dash_mpd(content, options);
+}
+
+HlsMasterPlaylist build_curated_hls_master(const Content& content,
+                                           const CurationPolicy& policy) {
+  HlsMasterOptions options;
+  options.combos = curate_staircase(content.ladder(), policy);
+  options.include_average_bandwidth = true;
+  return build_hls_master(content, options);
+}
+
+std::map<std::string, HlsMediaPlaylist> build_bestpractice_media_playlists(
+    const Content& content, PackagingMode packaging) {
+  HlsMediaOptions options;
+  options.packaging = packaging;
+  options.include_bitrate_tag = true;  // §4.1: "should be made mandatory"
+  return build_all_media_playlists(content, options);
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,237 @@
+#include "core/coordinated_player.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace demuxabr {
+namespace {
+
+/// Client-side fallback: build a curated combination ladder from per-track
+/// declared bitrates when the manifest does not restrict combinations.
+std::vector<ComboView> curate_from_view(const ManifestView& view,
+                                        const CurationPolicy& policy) {
+  std::vector<TrackView> video = view.video_tracks;
+  std::vector<TrackView> audio = view.audio_tracks;
+  auto by_bitrate = [](const TrackView& a, const TrackView& b) {
+    return a.declared_kbps < b.declared_kbps;
+  };
+  std::stable_sort(video.begin(), video.end(), by_bitrate);
+  std::stable_sort(audio.begin(), audio.end(), by_bitrate);
+
+  // Device screen filter (heights are known for DASH video tracks).
+  std::vector<TrackView> eligible_video;
+  for (const TrackView& t : video) {
+    if (t.height == 0 || t.height <= policy.device.max_video_height()) {
+      eligible_video.push_back(t);
+    }
+  }
+  if (eligible_video.empty()) eligible_video.push_back(video.front());
+
+  // Proportional pairing shaped by the policy weight, expanded into a full
+  // staircase (one component changes per step) for finer granularity.
+  const double w = policy.audio_importance();
+  std::vector<std::size_t> audio_for_video;
+  std::size_t previous_audio = 0;
+  for (std::size_t i = 0; i < eligible_video.size(); ++i) {
+    const double v_pos =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(eligible_video.size());
+    const double a_pos = std::clamp(v_pos + (w - 0.5), 0.0, 1.0);
+    auto j = static_cast<std::size_t>(a_pos * static_cast<double>(audio.size()));
+    if (j >= audio.size()) j = audio.size() - 1;
+    j = std::max(j, previous_audio);
+    previous_audio = j;
+    audio_for_video.push_back(j);
+  }
+
+  std::vector<ComboView> combos;
+  for (const auto& [i, j] : staircase_path(audio_for_video, w >= 0.5)) {
+    ComboView combo;
+    combo.video_id = eligible_video[i].id;
+    combo.audio_id = audio[j].id;
+    combo.video_kbps = eligible_video[i].declared_kbps;
+    combo.audio_kbps = audio[j].declared_kbps;
+    combo.bandwidth_kbps = eligible_video[i].declared_kbps + audio[j].declared_kbps;
+    combo.avg_bandwidth_kbps =
+        (eligible_video[i].avg_kbps > 0.0 ? eligible_video[i].avg_kbps
+                                          : eligible_video[i].declared_kbps) +
+        (audio[j].avg_kbps > 0.0 ? audio[j].avg_kbps : audio[j].declared_kbps);
+    combos.push_back(std::move(combo));
+  }
+  return combos;
+}
+
+}  // namespace
+
+CoordinatedPlayer::CoordinatedPlayer(CoordinatedConfig config)
+    : config_(config),
+      estimator_(config.fast_half_life_s, config.slow_half_life_s),
+      video_estimator_(config.fast_half_life_s, config.slow_half_life_s),
+      audio_estimator_(config.fast_half_life_s, config.slow_half_life_s),
+      prefetcher_(config.prefetch) {}
+
+std::string CoordinatedPlayer::name() const {
+  switch (config_.algorithm) {
+    case AbrAlgorithm::kMpc: return "coordinated-mpc";
+    case AbrAlgorithm::kBufferBased: return "coordinated-bba";
+    case AbrAlgorithm::kHysteresisRate: break;
+  }
+  return "coordinated";
+}
+
+void CoordinatedPlayer::start(const ManifestView& view) {
+  const auto half_lives = std::pair{config_.fast_half_life_s, config_.slow_half_life_s};
+  estimator_ = AggregateThroughputEstimator(half_lives.first, half_lives.second);
+  video_estimator_ = AggregateThroughputEstimator(half_lives.first, half_lives.second);
+  audio_estimator_ = AggregateThroughputEstimator(half_lives.first, half_lives.second);
+  combo_for_chunk_.clear();
+
+  std::vector<ComboView> allowed;
+  if (view.has_combination_list) {
+    // §4.2: select ONLY from the allowed combinations.
+    allowed = view.combos_sorted();
+  } else {
+    // Plain DASH: curate client-side instead of free-pairing.
+    allowed = curate_from_view(view, config_.fallback_policy);
+  }
+  assert(!allowed.empty());
+  abr_.reset();
+  mpc_.reset();
+  bba_.reset();
+  switch (config_.algorithm) {
+    case AbrAlgorithm::kMpc:
+      mpc_ = std::make_unique<MpcJointAbr>(std::move(allowed), config_.mpc);
+      break;
+    case AbrAlgorithm::kBufferBased:
+      bba_ = std::make_unique<BufferBasedJointAbr>(std::move(allowed), config_.bba);
+      break;
+    case AbrAlgorithm::kHysteresisRate:
+      abr_ = std::make_unique<JointAbrController>(std::move(allowed), config_.abr);
+      break;
+  }
+  if (view.chunk_duration_s > 0.0) {
+    chunk_duration_s_ = view.chunk_duration_s;
+    prefetcher_.set_max_imbalance_s(view.chunk_duration_s);
+  }
+}
+
+std::size_t CoordinatedPlayer::path_feasible_cap() const {
+  const std::vector<ComboView>& combos = allowed();
+  std::size_t cap = combos.size() - 1;
+  if (!config_.per_path_estimation) return cap;
+  const double video_budget = 0.85 * video_estimator_.estimate_kbps();
+  const double audio_budget = 0.85 * audio_estimator_.estimate_kbps();
+  if (video_budget <= 0.0 || audio_budget <= 0.0) return cap;
+  // Highest combination whose per-component requirements fit their paths.
+  // Combinations without component info are only gated by the controller's
+  // total-budget check.
+  std::size_t feasible = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    if (!combos[i].components_known()) continue;
+    if (combos[i].video_kbps <= video_budget && combos[i].audio_kbps <= audio_budget) {
+      feasible = i;
+      any = true;
+    }
+  }
+  return any ? feasible : 0;
+}
+
+std::size_t CoordinatedPlayer::decide(const PlayerContext& ctx) {
+  const double min_buffer = std::min(ctx.audio_buffer_s, ctx.video_buffer_s);
+  // Split-path mode: total capacity is the sum of the paths; shared mode:
+  // the aggregate estimator already measures the one pipe.
+  const double estimate =
+      config_.per_path_estimation
+          ? video_estimator_.estimate_kbps() + audio_estimator_.estimate_kbps()
+          : estimator_.estimate_kbps();
+  std::size_t index;
+  if (mpc_ != nullptr) {
+    index = mpc_->decide(estimate, min_buffer, chunk_duration_s_);
+  } else if (bba_ != nullptr) {
+    index = bba_->decide(min_buffer);
+  } else {
+    index = abr_->decide(ctx.now, estimate, min_buffer);
+  }
+  // Per-path feasibility cap (§4.1). The allowed list is a monotone
+  // staircase, so clamping by index clamps both components.
+  index = std::min(index, path_feasible_cap());
+  return index;
+}
+
+std::optional<DownloadRequest> CoordinatedPlayer::next_request(const PlayerContext& ctx) {
+  assert((abr_ != nullptr || mpc_ != nullptr || bba_ != nullptr) &&
+         "start() not called");
+  std::optional<MediaType> type;
+  if (config_.prefetch_mode == PrefetchMode::kBalanced) {
+    type = prefetcher_.next_type(ctx);
+  } else {
+    // Ablation: greedy video-first scheduling with no balance constraint.
+    for (MediaType candidate : {MediaType::kVideo, MediaType::kAudio}) {
+      if (!ctx.downloading(candidate) && ctx.next_chunk(candidate) < ctx.total_chunks &&
+          ctx.buffer_s(candidate) < prefetcher_.config().buffer_target_s) {
+        type = candidate;
+        break;
+      }
+    }
+  }
+  if (!type.has_value()) return std::nullopt;
+
+  // The combination is pinned per chunk position (§4.2 joint selection):
+  // decided when the first component of the pair is requested, reused for
+  // the second, so played pairs always come from the allowed list.
+  const int chunk = ctx.next_chunk(*type);
+  std::size_t index;
+  if (auto it = combo_for_chunk_.find(chunk); it != combo_for_chunk_.end()) {
+    index = it->second;
+  } else {
+    index = decide(ctx);
+    combo_for_chunk_[chunk] = index;
+    // Chunks behind the playhead can never be requested again; drop them.
+    combo_for_chunk_.erase(combo_for_chunk_.begin(),
+                           combo_for_chunk_.lower_bound(chunk - 4));
+  }
+  const ComboView& combo = allowed()[index];
+
+  DownloadRequest request;
+  request.type = *type;
+  request.track_id = *type == MediaType::kVideo ? combo.video_id : combo.audio_id;
+  request.chunk_index = chunk;
+  return request;
+}
+
+void CoordinatedPlayer::on_progress(const ProgressSample& sample) {
+  estimator_.on_progress(sample);
+  if (sample.type == MediaType::kVideo) {
+    video_estimator_.on_progress(sample);
+  } else {
+    audio_estimator_.on_progress(sample);
+  }
+}
+
+double CoordinatedPlayer::bandwidth_estimate_kbps() const {
+  if (config_.per_path_estimation) {
+    return video_estimator_.estimate_kbps() + audio_estimator_.estimate_kbps();
+  }
+  return estimator_.estimate_kbps();
+}
+
+double CoordinatedPlayer::path_estimate_kbps(MediaType type) const {
+  return type == MediaType::kVideo ? video_estimator_.estimate_kbps()
+                                   : audio_estimator_.estimate_kbps();
+}
+
+const std::vector<ComboView>& CoordinatedPlayer::allowed() const {
+  if (mpc_ != nullptr) return mpc_->allowed();
+  if (bba_ != nullptr) return bba_->allowed();
+  assert(abr_ != nullptr);
+  return abr_->allowed();
+}
+
+std::size_t CoordinatedPlayer::current_combination_index() const {
+  if (mpc_ != nullptr) return mpc_->current_index();
+  if (bba_ != nullptr) return bba_->current_index();
+  assert(abr_ != nullptr);
+  return abr_->current_index();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,58 @@
+// Joint audio/video adaptation over the allowed-combination ladder (§4.2).
+//
+// Implements the paper's recommendations directly:
+//   * audio and video are selected together, as one combination index;
+//   * only combinations from the allowed list are considered;
+//   * switches are damped (hold time, up-switch margin, buffer gates) so
+//     neither audio nor video flutters the way Shaka's memoryless rate rule
+//     does (§3.3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "manifest/view.h"
+
+namespace demuxabr {
+
+struct JointAbrConfig {
+  /// Fraction of the estimate considered spendable.
+  double safety_factor = 0.85;
+  /// Up-switches additionally require estimate * safety >= margin * need.
+  double up_switch_margin = 1.15;
+  /// Minimum time between voluntary switches.
+  double min_hold_s = 8.0;
+  /// Up-switches require at least this much buffer (min of A/V).
+  double min_buffer_for_up_s = 10.0;
+  /// Below this buffer, drop immediately to the sustainable combination.
+  double panic_buffer_s = 4.0;
+  /// With this much buffer, ride out a temporary estimate dip (no down).
+  double hold_buffer_s = 20.0;
+  /// Prefer declared AVERAGE-BANDWIDTH over peak BANDWIDTH when present.
+  bool use_average_bandwidth = true;
+};
+
+class JointAbrController {
+ public:
+  /// `allowed` must be sorted by ascending bandwidth.
+  JointAbrController(std::vector<ComboView> allowed, JointAbrConfig config = {});
+
+  /// Decide the combination for the next chunk. Deterministic in its inputs.
+  std::size_t decide(double now, double estimate_kbps, double min_buffer_s);
+
+  [[nodiscard]] std::size_t current_index() const { return current_; }
+  [[nodiscard]] const ComboView& current() const { return allowed_[current_]; }
+  [[nodiscard]] const std::vector<ComboView>& allowed() const { return allowed_; }
+
+  /// Bandwidth requirement used for combination i (average when declared).
+  [[nodiscard]] double requirement_kbps(std::size_t i) const;
+
+ private:
+  std::vector<ComboView> allowed_;
+  JointAbrConfig config_;
+  std::size_t current_ = 0;
+  bool initialized_ = false;
+  double last_switch_t_ = -1e18;
+};
+
+}  // namespace demuxabr

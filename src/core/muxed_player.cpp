@@ -1,0 +1,77 @@
+#include "core/muxed_player.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace demuxabr {
+
+MuxedPlayer::MuxedPlayer(MuxedPlayerConfig config)
+    : config_(config),
+      estimator_(config.fast_half_life_s, config.slow_half_life_s) {}
+
+void MuxedPlayer::start(const ManifestView& view) {
+  estimator_ = AggregateThroughputEstimator(config_.fast_half_life_s,
+                                            config_.slow_half_life_s);
+  std::vector<ComboView> variants;
+  if (view.has_combination_list) {
+    variants = view.combos_sorted();
+  } else {
+    // A muxed origin stores every pairing; recreate them from per-track
+    // declarations (the same M x N grid the storage model accounts).
+    for (const TrackView& video : view.video_tracks) {
+      for (const TrackView& audio : view.audio_tracks) {
+        assert(video.bitrate_known && audio.bitrate_known);
+        ComboView combo;
+        combo.video_id = video.id;
+        combo.audio_id = audio.id;
+        combo.video_kbps = video.declared_kbps;
+        combo.audio_kbps = audio.declared_kbps;
+        combo.bandwidth_kbps = video.declared_kbps + audio.declared_kbps;
+        combo.avg_bandwidth_kbps = combo.bandwidth_kbps;
+        variants.push_back(std::move(combo));
+      }
+    }
+    std::stable_sort(variants.begin(), variants.end(),
+                     [](const ComboView& a, const ComboView& b) {
+                       return a.bandwidth_kbps < b.bandwidth_kbps;
+                     });
+  }
+  assert(!variants.empty());
+  abr_ = std::make_unique<JointAbrController>(std::move(variants), config_.abr);
+}
+
+std::optional<DownloadRequest> MuxedPlayer::next_request(const PlayerContext& ctx) {
+  assert(abr_ != nullptr && "start() not called");
+  // Positions advance in lockstep; either buffer level works as the gate.
+  if (ctx.video_downloading || ctx.audio_downloading) return std::nullopt;
+  if (ctx.next_video_chunk >= ctx.total_chunks) return std::nullopt;
+  if (ctx.video_buffer_s >= config_.buffer_target_s) return std::nullopt;
+
+  const double min_buffer = std::min(ctx.audio_buffer_s, ctx.video_buffer_s);
+  const std::size_t index =
+      abr_->decide(ctx.now, estimator_.estimate_kbps(), min_buffer);
+  const ComboView& combo = abr_->allowed()[index];
+
+  DownloadRequest request;
+  request.type = MediaType::kVideo;
+  request.muxed = true;
+  request.track_id = combo.video_id;
+  request.audio_track_id = combo.audio_id;
+  request.chunk_index = ctx.next_video_chunk;
+  return request;
+}
+
+void MuxedPlayer::on_progress(const ProgressSample& sample) {
+  estimator_.on_progress(sample);
+}
+
+double MuxedPlayer::bandwidth_estimate_kbps() const {
+  return estimator_.estimate_kbps();
+}
+
+const std::vector<ComboView>& MuxedPlayer::variants() const {
+  assert(abr_ != nullptr);
+  return abr_->allowed();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,48 @@
+// Muxed-mode baseline player (Fig 1, left side): the server stores M x N
+// combined tracks and the player downloads one combined chunk per position.
+//
+// Joint selection is trivially built in — a variant IS a combination — and
+// the audio/video buffers can never diverge. The §1 trade-off is on the
+// server side: M x N storage and poorer CDN cache reuse (httpsim/workload).
+// This model provides the QoE-side baseline the demuxed players are
+// implicitly compared against.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/joint_abr.h"
+#include "players/estimators.h"
+#include "sim/player.h"
+
+namespace demuxabr {
+
+struct MuxedPlayerConfig {
+  JointAbrConfig abr{};
+  double buffer_target_s = 30.0;
+  double fast_half_life_s = 2.0;
+  double slow_half_life_s = 6.0;
+};
+
+class MuxedPlayer : public PlayerAdapter {
+ public:
+  explicit MuxedPlayer(MuxedPlayerConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "muxed"; }
+  void start(const ManifestView& view) override;
+  [[nodiscard]] int max_concurrent_downloads() const override { return 1; }
+  std::optional<DownloadRequest> next_request(const PlayerContext& ctx) override;
+  void on_progress(const ProgressSample& sample) override;
+  [[nodiscard]] double bandwidth_estimate_kbps() const override;
+
+  [[nodiscard]] const std::vector<ComboView>& variants() const;
+
+ private:
+  MuxedPlayerConfig config_;
+  AggregateThroughputEstimator estimator_;
+  std::unique_ptr<JointAbrController> abr_;
+};
+
+}  // namespace demuxabr

@@ -1,0 +1,95 @@
+// Canned experiment setups for every figure in the paper's §3 plus the §4
+// best-practice evaluation. Each factory builds the content, generates the
+// real manifest text (MPD XML / m3u8), re-parses it, and derives the player
+// view from the parsed form — so every experiment exercises the full
+// serialize -> parse -> view pipeline, exactly like a player fetching
+// manifests over HTTP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "manifest/view.h"
+#include "media/combination.h"
+#include "media/content.h"
+#include "net/bandwidth_trace.h"
+#include "sim/metrics.h"
+#include "sim/player.h"
+#include "sim/session.h"
+
+namespace demuxabr::experiments {
+
+struct ExperimentSetup {
+  std::string id;
+  std::string description;
+  Content content;
+  ManifestView view;
+  BandwidthTrace trace;
+  /// When set, audio rides its own path with this trace while `trace`
+  /// carries video only (§4.1: tracks stored at different servers).
+  std::optional<BandwidthTrace> audio_trace;
+  double rtt_s = 0.05;
+  /// Ground-truth allowed combinations (for compliance accounting). Empty
+  /// when the manifest does not restrict combinations.
+  std::vector<AvCombination> allowed;
+  SessionConfig session{};
+};
+
+/// Run a player against a setup (fresh network per run; deterministic).
+SessionLog run(const ExperimentSetup& setup, PlayerAdapter& player);
+
+// --- Traces used by the paper's experiments (§3). ---
+
+/// Fig 3: time-varying with 600 kbps average (300/900 square, 30 s phases).
+BandwidthTrace varying_600_trace();
+/// Fig 4(b): time-varying with 600 kbps average whose high phase is fast
+/// enough (1.2 Mbps) that solo-flow 0.125 s intervals pass Shaka's 16 KB
+/// filter while shared-flow intervals do not (200 kbps x 36 s / 1.2 Mbps x
+/// 24 s).
+BandwidthTrace shaka_varying_600_trace();
+
+// --- §3.2 ExoPlayer ---
+/// Fig 2(a): DASH, Table-1 video + audio set B, fixed 900 kbps.
+ExperimentSetup fig2a_exo_dash_audio_b();
+/// Fig 2(b): DASH, Table-1 video + audio set C, fixed 900 kbps.
+ExperimentSetup fig2b_exo_dash_audio_c();
+/// Fig 3: HLS H_sub with A3 listed first, varying 600 kbps average.
+ExperimentSetup fig3_exo_hls_a3_first();
+/// §3.2 second HLS experiment: A1 listed first, fixed 5 Mbps.
+ExperimentSetup fig3x_exo_hls_a1_first_5mbps();
+
+// --- §3.3 Shaka ---
+/// Fig 4(a): HLS H_all, fixed 1 Mbps.
+ExperimentSetup fig4a_shaka_hall_1mbps();
+/// Fig 4(b): HLS H_all, varying 600 kbps average.
+ExperimentSetup fig4b_shaka_hall_varying();
+/// §3.3 DASH case (all combinations recreated from the MPD), fixed 1 Mbps.
+ExperimentSetup fig4c_shaka_dash_1mbps();
+
+// --- §3.4 dash.js ---
+/// Fig 5: DASH, fixed 700 kbps.
+ExperimentSetup fig5_dashjs_700();
+
+// --- §4 best-practice evaluations ---
+/// DASH with the §4.1 allowed-combination extension, any trace.
+ExperimentSetup bestpractice_dash(BandwidthTrace trace, const std::string& id);
+/// HLS H_sub with second-level playlists readable (EXT-X-BITRATE mandatory).
+ExperimentSetup bestpractice_hls(BandwidthTrace trace, const std::string& id);
+/// Plain DASH (no combination list) — the client-side fallback path.
+ExperimentSetup plain_dash(BandwidthTrace trace, const std::string& id);
+
+/// §4.1 different-servers scenario: best-practice DASH manifest, video and
+/// audio on separate paths with independent traces.
+ExperimentSetup split_path_dash(BandwidthTrace video_trace, BandwidthTrace audio_trace,
+                                const std::string& id);
+
+/// All standard comparison traces for the §4 evaluation sweep.
+struct NamedTrace {
+  std::string name;
+  BandwidthTrace trace;
+};
+std::vector<NamedTrace> comparison_traces();
+
+}  // namespace demuxabr::experiments

@@ -1,0 +1,74 @@
+#include "experiments/tables.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr::experiments {
+
+std::string render_table1(const Content& content) {
+  std::ostringstream out;
+  out << "Track | Declared avg | Declared peak | DASH decl | Measured avg | Measured peak\n";
+  out << "------+--------------+---------------+-----------+--------------+--------------\n";
+  for (const auto* list : {&content.ladder().audio(), &content.ladder().video()}) {
+    for (const TrackInfo& t : *list) {
+      const ChunkStats stats = content.track_stats(t.id);
+      out << format("%-5s | %12.0f | %13.0f | %9.0f | %12.1f | %13.1f\n",
+                    t.id.c_str(), t.avg_kbps, t.peak_kbps, t.declared_kbps,
+                    stats.avg_kbps, stats.peak_kbps);
+    }
+  }
+  return out.str();
+}
+
+std::string render_combination_table(const std::string& title,
+                                     const std::vector<AvCombination>& combos) {
+  std::ostringstream out;
+  out << title << '\n';
+  out << "Combination | Average Bitrate (Kbps) | Peak Bitrate (Kbps)\n";
+  out << "------------+------------------------+--------------------\n";
+  for (const AvCombination& c : combos) {
+    out << format("%-11s | %22.0f | %19.0f\n", c.label().c_str(), c.avg_kbps,
+                  c.peak_kbps);
+  }
+  return out.str();
+}
+
+std::string render_comparison_table(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream out;
+  out << "player       | trace                 | vid kbps | aud kbps | stalls | rebuf s | "
+         "switches | off-mani | qoe\n";
+  out << "-------------+-----------------------+----------+----------+--------+---------+-"
+         "---------+----------+--------\n";
+  for (const ComparisonRow& row : rows) {
+    out << format("%-12s | %-21s | %8.0f | %8.0f | %6d | %7.1f | %8d | %8d | %6.1f%s\n",
+                  row.player.c_str(), row.trace.c_str(), row.qoe.avg_video_kbps,
+                  row.qoe.avg_audio_kbps, row.qoe.stall_count, row.qoe.total_stall_s,
+                  row.qoe.combo_switches, row.qoe.off_manifest_chunks,
+                  row.qoe.qoe_score, row.completed ? "" : " (INCOMPLETE)");
+  }
+  return out.str();
+}
+
+std::string render_selection_timeline(const SessionLog& log) {
+  std::ostringstream out;
+  const std::size_t chunks =
+      std::min(log.video_selection.size(), log.audio_selection.size());
+  std::string current;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i <= chunks; ++i) {
+    const std::string label =
+        i < chunks ? log.video_selection[i] + "+" + log.audio_selection[i] : "";
+    if (label != current) {
+      if (!current.empty()) {
+        out << format("%zu-%zu:%s ", run_start, i - 1, current.c_str());
+      }
+      current = label;
+      run_start = i;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace demuxabr::experiments

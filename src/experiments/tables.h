@@ -1,0 +1,35 @@
+// Paper-style table rendering: Table 1 (track ladder), Tables 2/3
+// (combination bitrates), plus the comparison/summary tables used by the
+// best-practice benches and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/combination.h"
+#include "media/content.h"
+#include "sim/metrics.h"
+
+namespace demuxabr::experiments {
+
+/// Table 1: declared avg/peak per track vs. what the synthetic content
+/// actually measures (they must agree — that is the substitution contract).
+std::string render_table1(const Content& content);
+
+/// Tables 2/3: combination list with aggregate average and peak bitrates.
+std::string render_combination_table(const std::string& title,
+                                     const std::vector<AvCombination>& combos);
+
+/// One row per (player, trace): the §4 comparison table.
+struct ComparisonRow {
+  std::string player;
+  std::string trace;
+  QoeReport qoe;
+  bool completed = true;
+};
+std::string render_comparison_table(const std::vector<ComparisonRow>& rows);
+
+/// Selected-track timeline in compact form: "0-14:V2+A1 15-60:V3+A2 ...".
+std::string render_selection_timeline(const SessionLog& log);
+
+}  // namespace demuxabr::experiments

@@ -1,0 +1,36 @@
+#include "httpsim/cdn.h"
+
+#include <cassert>
+
+namespace demuxabr {
+
+CdnNode::CdnNode(const ObjectCatalog* origin, std::int64_t cache_capacity_bytes)
+    : origin_(origin), cache_(cache_capacity_bytes) {
+  assert(origin != nullptr);
+}
+
+CdnNode::FetchResult CdnNode::fetch(const std::string& key) {
+  FetchResult result;
+  const std::int64_t size = origin_->size_of(key);
+  if (size < 0) {
+    result.found = false;
+    result.bytes = 0;
+    return result;
+  }
+  result.bytes = size;
+  ++stats_.requests;
+  stats_.bytes_served += size;
+  if (cache_.get(key)) {
+    result.from_cache = true;
+    ++stats_.hits;
+    stats_.bytes_from_cache += size;
+  } else {
+    result.from_cache = false;
+    ++stats_.misses;
+    stats_.bytes_from_origin += size;
+    cache_.put(key, size);
+  }
+  return result;
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,59 @@
+// CDN edge node in front of the origin: serves chunk objects out of an LRU
+// cache, filling from the origin on miss. Tracks the byte/request split
+// between cache and origin — the quantity the §1 motivation compares between
+// muxed and demuxed storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "httpsim/catalog.h"
+#include "httpsim/lru_cache.h"
+
+namespace demuxabr {
+
+struct CdnStats {
+  std::int64_t requests = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t bytes_served = 0;
+  std::int64_t bytes_from_cache = 0;
+  std::int64_t bytes_from_origin = 0;
+
+  [[nodiscard]] double hit_ratio() const {
+    return requests > 0 ? static_cast<double>(hits) / static_cast<double>(requests) : 0.0;
+  }
+  [[nodiscard]] double byte_hit_ratio() const {
+    return bytes_served > 0
+               ? static_cast<double>(bytes_from_cache) / static_cast<double>(bytes_served)
+               : 0.0;
+  }
+};
+
+class CdnNode {
+ public:
+  /// The catalog is the origin's inventory; cache_capacity_bytes == 0 means
+  /// an unbounded edge cache.
+  CdnNode(const ObjectCatalog* origin, std::int64_t cache_capacity_bytes);
+
+  struct FetchResult {
+    std::int64_t bytes = 0;
+    bool from_cache = false;
+    bool found = true;
+  };
+
+  /// Serve one object request. Misses pull from origin and populate the
+  /// cache. Unknown keys return found == false.
+  FetchResult fetch(const std::string& key);
+
+  [[nodiscard]] const CdnStats& stats() const { return stats_; }
+  [[nodiscard]] const LruCache& cache() const { return cache_; }
+  void reset_stats() { stats_ = CdnStats{}; }
+
+ private:
+  const ObjectCatalog* origin_;
+  LruCache cache_;
+  CdnStats stats_;
+};
+
+}  // namespace demuxabr

@@ -1,0 +1,39 @@
+#include "httpsim/cdn_chain.h"
+
+#include <cassert>
+
+namespace demuxabr {
+
+CdnChain::CdnChain(const ObjectCatalog* origin, std::int64_t edge_capacity_bytes,
+                   std::int64_t regional_capacity_bytes)
+    : origin_(origin), edge_(edge_capacity_bytes), regional_(regional_capacity_bytes) {
+  assert(origin != nullptr);
+}
+
+CdnChain::FetchResult CdnChain::fetch(const std::string& key) {
+  FetchResult result;
+  const std::int64_t size = origin_->size_of(key);
+  if (size < 0) return result;  // kNotFound
+  result.bytes = size;
+  ++stats_.requests;
+
+  if (edge_.get(key)) {
+    result.served_by = ServedBy::kEdge;
+    ++stats_.edge_hits;
+    return result;
+  }
+  if (regional_.get(key)) {
+    result.served_by = ServedBy::kRegional;
+    ++stats_.regional_hits;
+    edge_.put(key, size);
+    return result;
+  }
+  result.served_by = ServedBy::kOrigin;
+  ++stats_.origin_fetches;
+  stats_.bytes_from_origin += size;
+  regional_.put(key, size);
+  edge_.put(key, size);
+  return result;
+}
+
+}  // namespace demuxabr

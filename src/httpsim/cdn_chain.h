@@ -1,0 +1,61 @@
+// Two-tier CDN hierarchy: edge cache -> regional cache -> origin. Extends
+// the §1 motivation study to realistic deployments where the demuxed
+// cache-reuse advantage compounds across tiers (the regional cache serves
+// many edges' misses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "httpsim/catalog.h"
+#include "httpsim/cdn.h"
+#include "httpsim/lru_cache.h"
+
+namespace demuxabr {
+
+class CdnChain {
+ public:
+  CdnChain(const ObjectCatalog* origin, std::int64_t edge_capacity_bytes,
+           std::int64_t regional_capacity_bytes);
+
+  enum class ServedBy { kEdge, kRegional, kOrigin, kNotFound };
+
+  struct FetchResult {
+    std::int64_t bytes = 0;
+    ServedBy served_by = ServedBy::kNotFound;
+  };
+
+  /// Serve one request: edge hit, else regional hit (fills edge), else
+  /// origin (fills both tiers).
+  FetchResult fetch(const std::string& key);
+
+  struct Stats {
+    std::int64_t requests = 0;
+    std::int64_t edge_hits = 0;
+    std::int64_t regional_hits = 0;
+    std::int64_t origin_fetches = 0;
+    std::int64_t bytes_from_origin = 0;
+
+    [[nodiscard]] double edge_hit_ratio() const {
+      return requests > 0 ? static_cast<double>(edge_hits) / static_cast<double>(requests)
+                          : 0.0;
+    }
+    [[nodiscard]] double origin_fetch_ratio() const {
+      return requests > 0
+                 ? static_cast<double>(origin_fetches) / static_cast<double>(requests)
+                 : 0.0;
+    }
+  };
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const LruCache& edge() const { return edge_; }
+  [[nodiscard]] const LruCache& regional() const { return regional_; }
+
+ private:
+  const ObjectCatalog* origin_;
+  LruCache edge_;
+  LruCache regional_;
+  Stats stats_;
+};
+
+}  // namespace demuxabr

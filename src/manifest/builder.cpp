@@ -1,0 +1,171 @@
+#include "manifest/builder.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace demuxabr {
+
+std::string track_id_from_uri(const std::string& uri) {
+  // Strip query, take path components.
+  std::string path = uri;
+  if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
+  const std::vector<std::string> parts = split(path, '/');
+  if (parts.empty()) return "";
+  std::string last = parts.back();
+  const auto dot = last.rfind('.');
+  std::string stem = dot == std::string::npos ? last : last.substr(0, dot);
+  // "video/V3.m3u8" -> stem "V3". "seg/A1/00042.m4s" -> stem is a number,
+  // use the directory component instead.
+  const bool numeric = !stem.empty() && stem.find_first_not_of("0123456789") == std::string::npos;
+  if (numeric && parts.size() >= 2) return parts[parts.size() - 2];
+  return stem;
+}
+
+std::string audio_group_for(const std::string& audio_id) { return "audio-" + audio_id; }
+
+MpdDocument build_dash_mpd(const Content& content, const DashBuildOptions& options) {
+  const BitrateLadder& ladder = content.ladder();
+  MpdDocument mpd;
+  mpd.media_duration_s = content.duration_s();
+  mpd.min_buffer_s = 2.0;
+
+  MpdAdaptationSet audio_set;
+  audio_set.content_type = "audio";
+  audio_set.mime_type = "audio/mp4";
+  audio_set.segment_duration_s = content.chunk_duration_s();
+  audio_set.segment_template = "seg/$RepresentationID$/$Number$.m4s";
+  for (const TrackInfo& t : ladder.audio()) {
+    MpdRepresentation rep;
+    rep.id = t.id;
+    rep.bandwidth_bps = static_cast<std::int64_t>(std::llround(t.declared_kbps * 1000.0));
+    rep.codecs = t.codec;
+    rep.audio_sampling_rate = t.sample_rate_hz;
+    rep.audio_channels = t.channels;
+    audio_set.representations.push_back(std::move(rep));
+  }
+
+  MpdAdaptationSet video_set;
+  video_set.content_type = "video";
+  video_set.mime_type = "video/mp4";
+  video_set.segment_duration_s = content.chunk_duration_s();
+  video_set.segment_template = "seg/$RepresentationID$/$Number$.m4s";
+  for (const TrackInfo& t : ladder.video()) {
+    MpdRepresentation rep;
+    rep.id = t.id;
+    rep.bandwidth_bps = static_cast<std::int64_t>(std::llround(t.declared_kbps * 1000.0));
+    rep.codecs = t.codec;
+    rep.width = t.width;
+    rep.height = t.height;
+    video_set.representations.push_back(std::move(rep));
+  }
+
+  mpd.adaptation_sets.push_back(std::move(video_set));
+  mpd.adaptation_sets.push_back(std::move(audio_set));
+
+  for (const AvCombination& combo : options.allowed_combinations) {
+    mpd.allowed_combinations.push_back(combo.label());
+  }
+  return mpd;
+}
+
+HlsMasterPlaylist build_hls_master(const Content& content, const HlsMasterOptions& options) {
+  const BitrateLadder& ladder = content.ladder();
+  assert(!options.combos.empty());
+
+  HlsMasterPlaylist playlist;
+
+  // Audio renditions, in the requested order (default: ladder order). Only
+  // tracks referenced by at least one combo are listed.
+  std::vector<std::string> order = options.audio_order;
+  if (order.empty()) {
+    for (const TrackInfo& t : ladder.audio()) order.push_back(t.id);
+  }
+  for (const std::string& id : order) {
+    [[maybe_unused]] const TrackInfo* track = ladder.find(id);
+    assert(track != nullptr && track->is_audio());
+    bool referenced = false;
+    for (const AvCombination& combo : options.combos) {
+      if (combo.audio_id == id) referenced = true;
+    }
+    if (!referenced) continue;
+    HlsMediaRendition rendition;
+    rendition.group_id = audio_group_for(id);
+    rendition.name = id;
+    rendition.uri = "audio/" + id + ".m3u8";
+    rendition.is_default = playlist.audio_renditions.empty();
+    playlist.audio_renditions.push_back(std::move(rendition));
+  }
+
+  for (const AvCombination& combo : options.combos) {
+    const TrackInfo* video = ladder.find(combo.video_id);
+    const TrackInfo* audio = ladder.find(combo.audio_id);
+    assert(video != nullptr && audio != nullptr);
+    HlsVariant variant;
+    variant.bandwidth_bps = static_cast<std::int64_t>(std::llround(combo.peak_kbps * 1000.0));
+    if (options.include_average_bandwidth) {
+      variant.average_bandwidth_bps =
+          static_cast<std::int64_t>(std::llround(combo.avg_kbps * 1000.0));
+    }
+    variant.codecs = video->codec + "," + audio->codec;
+    variant.resolution = format("%dx%d", video->width, video->height);
+    variant.audio_group = audio_group_for(combo.audio_id);
+    variant.uri = "video/" + combo.video_id + ".m3u8";
+    playlist.variants.push_back(std::move(variant));
+  }
+  return playlist;
+}
+
+HlsMasterPlaylist build_hall_master(const Content& content,
+                                    std::vector<std::string> audio_order) {
+  HlsMasterOptions options;
+  options.combos = all_combinations(content.ladder());
+  options.audio_order = std::move(audio_order);
+  return build_hls_master(content, options);
+}
+
+HlsMasterPlaylist build_hsub_master(const Content& content,
+                                    std::vector<std::string> audio_order) {
+  HlsMasterOptions options;
+  options.combos = curated_subset(content.ladder());
+  options.audio_order = std::move(audio_order);
+  return build_hls_master(content, options);
+}
+
+HlsMediaPlaylist build_hls_media(const Content& content, const std::string& track_id,
+                                 const HlsMediaOptions& options) {
+  const std::vector<ChunkInfo>& chunks = content.chunks(track_id);
+  HlsMediaPlaylist playlist;
+  playlist.target_duration_s = content.chunk_duration_s();
+  std::int64_t offset = 0;
+  for (const ChunkInfo& chunk : chunks) {
+    HlsSegment segment;
+    segment.duration_s = chunk.duration_s;
+    if (options.packaging == PackagingMode::kSingleFileByteRange) {
+      segment.uri = track_id + ".mp4";
+      segment.byterange_length = chunk.size_bytes;
+      segment.byterange_offset = offset;
+      offset += chunk.size_bytes;
+    } else {
+      segment.uri = format("seg/%s/%05d.m4s", track_id.c_str(), chunk.index);
+    }
+    if (options.include_bitrate_tag) segment.bitrate_kbps = chunk.bitrate_kbps();
+    playlist.segments.push_back(std::move(segment));
+  }
+  playlist.ended = true;
+  return playlist;
+}
+
+std::map<std::string, HlsMediaPlaylist> build_all_media_playlists(
+    const Content& content, const HlsMediaOptions& options) {
+  std::map<std::string, HlsMediaPlaylist> playlists;
+  for (const auto* list : {&content.ladder().audio(), &content.ladder().video()}) {
+    for (const TrackInfo& track : *list) {
+      playlists[track.id] = build_hls_media(content, track.id, options);
+    }
+  }
+  return playlists;
+}
+
+}  // namespace demuxabr

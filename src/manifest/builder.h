@@ -1,0 +1,75 @@
+// Server-side manifest generation from Content (the role Bento4 plays in the
+// paper's testbed, §3.1). Builds:
+//   * a DASH MPD with two AdaptationSets (optionally carrying the §4.1
+//     allowed-combination extension),
+//   * HLS master playlists H_all (all combinations) and H_sub (curated
+//     subset), with controllable audio-rendition order (the Fig 3 variable),
+//   * HLS media playlists in either packaging mode, optionally with the
+//     EXT-X-BITRATE tag §4.1 recommends making mandatory.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "manifest/dash_mpd.h"
+#include "manifest/hls_playlist.h"
+#include "media/combination.h"
+#include "media/content.h"
+
+namespace demuxabr {
+
+/// "video/V3.m3u8" -> "V3"; "seg/A1/00042.m4s" -> "A1" (second-to-last path
+/// component when the last is a segment number). Returns "" when unparseable.
+std::string track_id_from_uri(const std::string& uri);
+
+/// Audio rendition group id for a track ("audio-A1").
+std::string audio_group_for(const std::string& audio_id);
+
+struct DashBuildOptions {
+  /// When non-empty, emit the §4.1 SupplementalProperty extension listing
+  /// these combinations. Standard DASH (the paper's baseline) leaves it out.
+  std::vector<AvCombination> allowed_combinations;
+};
+
+MpdDocument build_dash_mpd(const Content& content, const DashBuildOptions& options = {});
+
+struct HlsMasterOptions {
+  /// The combinations to list as variants (H_all or H_sub), in order.
+  std::vector<AvCombination> combos;
+  /// Audio rendition order in the master playlist. Empty = ladder order.
+  /// The paper's Fig 3 experiments vary which track is listed first.
+  std::vector<std::string> audio_order;
+  /// Whether to declare AVERAGE-BANDWIDTH in addition to BANDWIDTH.
+  bool include_average_bandwidth = true;
+};
+
+HlsMasterPlaylist build_hls_master(const Content& content, const HlsMasterOptions& options);
+
+/// H_all: all |V| x |A| combinations, increasing aggregate peak (Table 2).
+HlsMasterPlaylist build_hall_master(const Content& content,
+                                    std::vector<std::string> audio_order = {});
+
+/// H_sub: the curated subset (Table 3).
+HlsMasterPlaylist build_hsub_master(const Content& content,
+                                    std::vector<std::string> audio_order = {});
+
+enum class PackagingMode {
+  kSeparateFiles,       ///< one file per chunk; no byte ranges
+  kSingleFileByteRange  ///< one file per track; EXT-X-BYTERANGE addressing
+};
+
+struct HlsMediaOptions {
+  PackagingMode packaging = PackagingMode::kSeparateFiles;
+  /// Emit EXT-X-BITRATE per segment (the §4.1 "should be mandatory" tag).
+  bool include_bitrate_tag = false;
+};
+
+HlsMediaPlaylist build_hls_media(const Content& content, const std::string& track_id,
+                                 const HlsMediaOptions& options = {});
+
+/// All media playlists of a content keyed by track id.
+std::map<std::string, HlsMediaPlaylist> build_all_media_playlists(
+    const Content& content, const HlsMediaOptions& options = {});
+
+}  // namespace demuxabr

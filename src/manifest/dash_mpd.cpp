@@ -1,0 +1,210 @@
+#include "manifest/dash_mpd.h"
+
+#include <cmath>
+
+#include "manifest/xml.h"
+#include "util/strings.h"
+
+namespace demuxabr {
+
+const MpdAdaptationSet* MpdDocument::adaptation_set(const std::string& content_type) const {
+  for (const MpdAdaptationSet& set : adaptation_sets) {
+    if (set.content_type == content_type) return &set;
+  }
+  return nullptr;
+}
+
+std::string to_iso8601_duration(double seconds) {
+  const auto whole_minutes = static_cast<std::int64_t>(seconds / 60.0);
+  const double rest = seconds - static_cast<double>(whole_minutes) * 60.0;
+  if (whole_minutes > 0) return format("PT%lldM%.3fS", static_cast<long long>(whole_minutes), rest);
+  return format("PT%.3fS", rest);
+}
+
+std::optional<double> parse_iso8601_duration(const std::string& text) {
+  // Accepts PT[nH][nM][n(.n)S].
+  if (!starts_with(text, "PT")) return std::nullopt;
+  double total = 0.0;
+  std::string number;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    if ((c >= '0' && c <= '9') || c == '.') {
+      number += c;
+      continue;
+    }
+    const auto value = parse_double(number);
+    if (!value.has_value()) return std::nullopt;
+    number.clear();
+    switch (c) {
+      case 'H': total += *value * 3600.0; break;
+      case 'M': total += *value * 60.0; break;
+      case 'S': total += *value; break;
+      default: return std::nullopt;
+    }
+  }
+  if (!number.empty()) return std::nullopt;  // trailing digits without unit
+  return total;
+}
+
+std::string serialize_mpd(const MpdDocument& mpd) {
+  xml::Element root("MPD");
+  root.set_attribute("xmlns", "urn:mpeg:dash:schema:mpd:2011");
+  root.set_attribute("type", "static");
+  root.set_attribute("profiles", "urn:mpeg:dash:profile:isoff-on-demand:2011");
+  root.set_attribute("mediaPresentationDuration", to_iso8601_duration(mpd.media_duration_s));
+  root.set_attribute("minBufferTime", to_iso8601_duration(mpd.min_buffer_s));
+
+  xml::Element& period = root.add_child("Period");
+  period.set_attribute("id", "0");
+  period.set_attribute("duration", to_iso8601_duration(mpd.media_duration_s));
+
+  if (!mpd.allowed_combinations.empty()) {
+    xml::Element& prop = period.add_child("SupplementalProperty");
+    prop.set_attribute("schemeIdUri", kAllowedCombinationsScheme);
+    prop.set_attribute("value", join(mpd.allowed_combinations, ","));
+  }
+
+  for (const MpdAdaptationSet& set : mpd.adaptation_sets) {
+    xml::Element& set_el = period.add_child("AdaptationSet");
+    set_el.set_attribute("contentType", set.content_type);
+    set_el.set_attribute("mimeType", set.mime_type);
+    set_el.set_attribute("segmentAlignment", "true");
+
+    if (set.segment_duration_s > 0.0) {
+      xml::Element& tmpl = set_el.add_child("SegmentTemplate");
+      tmpl.set_attribute("timescale", static_cast<std::int64_t>(1000));
+      tmpl.set_attribute("duration",
+                         static_cast<std::int64_t>(std::llround(set.segment_duration_s * 1000.0)));
+      tmpl.set_attribute("media", set.segment_template);
+      tmpl.set_attribute("startNumber", static_cast<std::int64_t>(0));
+    }
+
+    for (const MpdRepresentation& rep : set.representations) {
+      xml::Element& rep_el = set_el.add_child("Representation");
+      rep_el.set_attribute("id", rep.id);
+      rep_el.set_attribute("bandwidth", rep.bandwidth_bps);
+      if (!rep.codecs.empty()) rep_el.set_attribute("codecs", rep.codecs);
+      if (rep.width > 0) rep_el.set_attribute("width", static_cast<std::int64_t>(rep.width));
+      if (rep.height > 0) rep_el.set_attribute("height", static_cast<std::int64_t>(rep.height));
+      if (rep.audio_sampling_rate > 0) {
+        rep_el.set_attribute("audioSamplingRate",
+                             static_cast<std::int64_t>(rep.audio_sampling_rate));
+      }
+      if (rep.audio_channels > 0) {
+        xml::Element& cc = rep_el.add_child("AudioChannelConfiguration");
+        cc.set_attribute("schemeIdUri",
+                         "urn:mpeg:dash:23003:3:audio_channel_configuration:2011");
+        cc.set_attribute("value", static_cast<std::int64_t>(rep.audio_channels));
+      }
+    }
+  }
+  return xml::serialize_document(root);
+}
+
+namespace {
+
+Result<MpdRepresentation> parse_representation(const xml::Element& el) {
+  MpdRepresentation rep;
+  const std::string* id = el.attribute("id");
+  if (id == nullptr) return Error{"Representation missing @id"};
+  rep.id = *id;
+  const std::string* bandwidth = el.attribute("bandwidth");
+  if (bandwidth == nullptr) return Error{"Representation " + rep.id + " missing @bandwidth"};
+  const auto bw = parse_int(*bandwidth);
+  if (!bw.has_value() || *bw <= 0) {
+    return Error{"Representation " + rep.id + " has invalid @bandwidth"};
+  }
+  rep.bandwidth_bps = *bw;
+  if (const std::string* codecs = el.attribute("codecs")) rep.codecs = *codecs;
+  if (const std::string* w = el.attribute("width")) {
+    rep.width = static_cast<int>(parse_int(*w).value_or(0));
+  }
+  if (const std::string* h = el.attribute("height")) {
+    rep.height = static_cast<int>(parse_int(*h).value_or(0));
+  }
+  if (const std::string* sr = el.attribute("audioSamplingRate")) {
+    rep.audio_sampling_rate = static_cast<int>(parse_int(*sr).value_or(0));
+  }
+  if (const xml::Element* cc = el.first_child("AudioChannelConfiguration")) {
+    if (const std::string* v = cc->attribute("value")) {
+      rep.audio_channels = static_cast<int>(parse_int(*v).value_or(0));
+    }
+  }
+  return rep;
+}
+
+Result<MpdAdaptationSet> parse_adaptation_set(const xml::Element& el) {
+  MpdAdaptationSet set;
+  if (const std::string* ct = el.attribute("contentType")) set.content_type = *ct;
+  if (const std::string* mt = el.attribute("mimeType")) {
+    set.mime_type = *mt;
+    if (set.content_type.empty()) {
+      set.content_type = starts_with(*mt, "audio") ? "audio" : "video";
+    }
+  }
+  if (set.content_type.empty()) return Error{"AdaptationSet has no contentType/mimeType"};
+
+  if (const xml::Element* tmpl = el.first_child("SegmentTemplate")) {
+    double timescale = 1.0;
+    if (const std::string* ts = tmpl->attribute("timescale")) {
+      timescale = static_cast<double>(parse_int(*ts).value_or(1));
+    }
+    if (const std::string* dur = tmpl->attribute("duration")) {
+      set.segment_duration_s = static_cast<double>(parse_int(*dur).value_or(0)) / timescale;
+    }
+    if (const std::string* media = tmpl->attribute("media")) set.segment_template = *media;
+  }
+
+  for (const xml::Element* rep_el : el.children_named("Representation")) {
+    auto rep = parse_representation(*rep_el);
+    if (!rep.ok()) return Error{rep.error()};
+    set.representations.push_back(std::move(rep).take());
+  }
+  if (set.representations.empty()) {
+    return Error{"AdaptationSet (" + set.content_type + ") has no Representations"};
+  }
+  return set;
+}
+
+}  // namespace
+
+Result<MpdDocument> parse_mpd(const std::string& xml_text) {
+  auto parsed = xml::parse(xml_text);
+  if (!parsed.ok()) return Error{parsed.error()};
+  const xml::Element& root = **parsed;
+  if (root.name() != "MPD") return Error{"root element is not MPD"};
+
+  MpdDocument mpd;
+  if (const std::string* dur = root.attribute("mediaPresentationDuration")) {
+    const auto seconds = parse_iso8601_duration(*dur);
+    if (!seconds.has_value()) return Error{"invalid mediaPresentationDuration: " + *dur};
+    mpd.media_duration_s = *seconds;
+  }
+  if (const std::string* mbt = root.attribute("minBufferTime")) {
+    mpd.min_buffer_s = parse_iso8601_duration(*mbt).value_or(2.0);
+  }
+
+  const xml::Element* period = root.first_child("Period");
+  if (period == nullptr) return Error{"MPD has no Period"};
+
+  for (const xml::Element* prop : period->children_named("SupplementalProperty")) {
+    const std::string* scheme = prop->attribute("schemeIdUri");
+    const std::string* value = prop->attribute("value");
+    if (scheme != nullptr && *scheme == kAllowedCombinationsScheme && value != nullptr) {
+      for (const std::string& label : split(*value, ',')) {
+        const auto trimmed = trim(label);
+        if (!trimmed.empty()) mpd.allowed_combinations.emplace_back(trimmed);
+      }
+    }
+  }
+
+  for (const xml::Element* set_el : period->children_named("AdaptationSet")) {
+    auto set = parse_adaptation_set(*set_el);
+    if (!set.ok()) return Error{set.error()};
+    mpd.adaptation_sets.push_back(std::move(set).take());
+  }
+  if (mpd.adaptation_sets.empty()) return Error{"MPD has no AdaptationSets"};
+  return mpd;
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,65 @@
+// DASH MPD (Media Presentation Description) model, serializer and parser.
+//
+// Covers the subset of ISO/IEC 23009-1 exercised by the paper: one Period,
+// one AdaptationSet per content type (audio / video), Representations with
+// @bandwidth (the per-track *declared* bitrate, §2.3), and SegmentTemplate
+// addressing. Also implements the paper's §4.1 proposal as an extension: an
+// allowed-combination list carried in a SupplementalProperty descriptor
+// (scheme "urn:demuxabr:allowed-combinations:2019", value "V1+A1,V2+A1,...").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace demuxabr {
+
+/// Scheme URI of the allowed-combinations extension descriptor (§4.1).
+inline constexpr const char* kAllowedCombinationsScheme =
+    "urn:demuxabr:allowed-combinations:2019";
+
+struct MpdRepresentation {
+  std::string id;                ///< track id ("V3", "A1")
+  std::int64_t bandwidth_bps = 0;  ///< DASH @bandwidth (declared bitrate)
+  std::string codecs;
+  // Video attributes (0 when audio).
+  int width = 0;
+  int height = 0;
+  // Audio attributes (0 when video).
+  int audio_sampling_rate = 0;
+  int audio_channels = 0;
+};
+
+struct MpdAdaptationSet {
+  std::string content_type;  ///< "audio" or "video"
+  std::string mime_type;     ///< "audio/mp4" or "video/mp4"
+  double segment_duration_s = 0.0;
+  std::string segment_template;  ///< e.g. "seg/$RepresentationID$/$Number$.m4s"
+  std::vector<MpdRepresentation> representations;
+};
+
+struct MpdDocument {
+  double media_duration_s = 0.0;
+  double min_buffer_s = 2.0;
+  std::vector<MpdAdaptationSet> adaptation_sets;
+  /// §4.1 extension: combination labels like "V1+A1". Empty = not provided
+  /// (the standard-DASH situation the paper critiques).
+  std::vector<std::string> allowed_combinations;
+
+  [[nodiscard]] const MpdAdaptationSet* adaptation_set(const std::string& content_type) const;
+};
+
+/// Render the MPD as XML text.
+std::string serialize_mpd(const MpdDocument& mpd);
+
+/// Parse MPD XML text back into the model.
+Result<MpdDocument> parse_mpd(const std::string& xml_text);
+
+/// ISO 8601 duration helpers ("PT5M0.000S").
+std::string to_iso8601_duration(double seconds);
+std::optional<double> parse_iso8601_duration(const std::string& text);
+
+}  // namespace demuxabr

@@ -1,0 +1,254 @@
+#include "manifest/hls_playlist.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr {
+
+std::vector<std::string> HlsMasterPlaylist::video_uris() const {
+  std::vector<std::string> uris;
+  for (const HlsVariant& v : variants) {
+    if (std::find(uris.begin(), uris.end(), v.uri) == uris.end()) uris.push_back(v.uri);
+  }
+  return uris;
+}
+
+const HlsVariant* HlsMasterPlaylist::first_variant_with_uri(const std::string& uri) const {
+  for (const HlsVariant& v : variants) {
+    if (v.uri == uri) return &v;
+  }
+  return nullptr;
+}
+
+double HlsMediaPlaylist::total_duration_s() const {
+  double total = 0.0;
+  for (const HlsSegment& s : segments) total += s.duration_s;
+  return total;
+}
+
+double HlsMediaPlaylist::average_bitrate_from_byteranges_kbps() const {
+  std::int64_t bytes = 0;
+  double seconds = 0.0;
+  for (const HlsSegment& s : segments) {
+    if (!s.has_byterange()) return 0.0;
+    bytes += s.byterange_length;
+    seconds += s.duration_s;
+  }
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / 1000.0 / seconds;
+}
+
+double HlsMediaPlaylist::peak_bitrate_kbps() const {
+  double peak = 0.0;
+  for (const HlsSegment& s : segments) {
+    double kbps = s.bitrate_kbps;
+    if (kbps <= 0.0 && s.has_byterange() && s.duration_s > 0.0) {
+      kbps = static_cast<double>(s.byterange_length) * 8.0 / 1000.0 / s.duration_s;
+    }
+    peak = std::max(peak, kbps);
+  }
+  return peak;
+}
+
+double HlsMediaPlaylist::average_bitrate_from_tags_kbps() const {
+  double sum = 0.0;
+  double seconds = 0.0;
+  for (const HlsSegment& s : segments) {
+    if (s.bitrate_kbps <= 0.0) return 0.0;
+    sum += s.bitrate_kbps * s.duration_s;
+    seconds += s.duration_s;
+  }
+  return seconds > 0.0 ? sum / seconds : 0.0;
+}
+
+std::string serialize_master(const HlsMasterPlaylist& playlist) {
+  std::ostringstream out;
+  out << "#EXTM3U\n";
+  out << "#EXT-X-VERSION:" << playlist.version << '\n';
+  for (const HlsMediaRendition& r : playlist.audio_renditions) {
+    out << "#EXT-X-MEDIA:TYPE=" << r.type << ",GROUP-ID=" << quote_attribute(r.group_id)
+        << ",NAME=" << quote_attribute(r.name)
+        << ",DEFAULT=" << (r.is_default ? "YES" : "NO")
+        << ",AUTOSELECT=" << (r.autoselect ? "YES" : "NO");
+    if (!r.uri.empty()) out << ",URI=" << quote_attribute(r.uri);
+    out << '\n';
+  }
+  for (const HlsVariant& v : playlist.variants) {
+    out << "#EXT-X-STREAM-INF:BANDWIDTH=" << v.bandwidth_bps;
+    if (v.average_bandwidth_bps > 0) out << ",AVERAGE-BANDWIDTH=" << v.average_bandwidth_bps;
+    if (!v.codecs.empty()) out << ",CODECS=" << quote_attribute(v.codecs);
+    if (!v.resolution.empty()) out << ",RESOLUTION=" << v.resolution;
+    if (!v.audio_group.empty()) out << ",AUDIO=" << quote_attribute(v.audio_group);
+    out << '\n' << v.uri << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<HlsMediaRendition> parse_media_tag(std::string_view attrs) {
+  HlsMediaRendition r;
+  for (const auto& [key, value] : parse_attribute_list(attrs)) {
+    if (key == "TYPE") {
+      r.type = value;
+    } else if (key == "GROUP-ID") {
+      r.group_id = value;
+    } else if (key == "NAME") {
+      r.name = value;
+    } else if (key == "URI") {
+      r.uri = value;
+    } else if (key == "DEFAULT") {
+      r.is_default = (value == "YES");
+    } else if (key == "AUTOSELECT") {
+      r.autoselect = (value == "YES");
+    }
+  }
+  if (r.group_id.empty()) return Error{"EXT-X-MEDIA missing GROUP-ID"};
+  return r;
+}
+
+Result<HlsVariant> parse_stream_inf(std::string_view attrs) {
+  HlsVariant v;
+  for (const auto& [key, value] : parse_attribute_list(attrs)) {
+    if (key == "BANDWIDTH") {
+      const auto bw = parse_int(value);
+      if (!bw.has_value() || *bw <= 0) return Error{"EXT-X-STREAM-INF invalid BANDWIDTH"};
+      v.bandwidth_bps = *bw;
+    } else if (key == "AVERAGE-BANDWIDTH") {
+      v.average_bandwidth_bps = parse_int(value).value_or(0);
+    } else if (key == "CODECS") {
+      v.codecs = value;
+    } else if (key == "RESOLUTION") {
+      v.resolution = value;
+    } else if (key == "AUDIO") {
+      v.audio_group = value;
+    }
+  }
+  if (v.bandwidth_bps <= 0) return Error{"EXT-X-STREAM-INF missing BANDWIDTH"};
+  return v;
+}
+
+}  // namespace
+
+Result<HlsMasterPlaylist> parse_master(const std::string& text) {
+  const std::vector<std::string> lines = split_lines(text);
+  if (lines.empty() || trim(lines[0]) != "#EXTM3U") {
+    return Error{"master playlist must start with #EXTM3U"};
+  }
+  HlsMasterPlaylist playlist;
+  bool pending_variant = false;
+  HlsVariant variant;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    if (line.empty()) continue;
+    if (starts_with(line, "#EXT-X-VERSION:")) {
+      playlist.version =
+          static_cast<int>(parse_int(line.substr(std::string("#EXT-X-VERSION:").size()))
+                               .value_or(6));
+    } else if (starts_with(line, "#EXT-X-MEDIA:")) {
+      auto rendition = parse_media_tag(line.substr(std::string("#EXT-X-MEDIA:").size()));
+      if (!rendition.ok()) return Error{rendition.error()};
+      if (rendition->type == "AUDIO") playlist.audio_renditions.push_back(std::move(rendition).take());
+    } else if (starts_with(line, "#EXT-X-STREAM-INF:")) {
+      auto parsed = parse_stream_inf(line.substr(std::string("#EXT-X-STREAM-INF:").size()));
+      if (!parsed.ok()) return Error{parsed.error()};
+      variant = std::move(parsed).take();
+      pending_variant = true;
+    } else if (!starts_with(line, "#")) {
+      if (!pending_variant) return Error{"URI line without preceding EXT-X-STREAM-INF"};
+      variant.uri = std::string(line);
+      playlist.variants.push_back(variant);
+      pending_variant = false;
+    }
+  }
+  if (pending_variant) return Error{"EXT-X-STREAM-INF without URI line"};
+  if (playlist.variants.empty()) return Error{"master playlist has no variants"};
+  return playlist;
+}
+
+std::string serialize_media(const HlsMediaPlaylist& playlist) {
+  std::ostringstream out;
+  out << "#EXTM3U\n";
+  out << "#EXT-X-VERSION:" << playlist.version << '\n';
+  out << "#EXT-X-TARGETDURATION:"
+      << static_cast<std::int64_t>(playlist.target_duration_s + 0.999) << '\n';
+  out << "#EXT-X-MEDIA-SEQUENCE:" << playlist.media_sequence << '\n';
+  out << "#EXT-X-PLAYLIST-TYPE:VOD\n";
+  for (const HlsSegment& s : playlist.segments) {
+    if (s.bitrate_kbps > 0.0) {
+      out << "#EXT-X-BITRATE:" << static_cast<std::int64_t>(s.bitrate_kbps + 0.5) << '\n';
+    }
+    out << format("#EXTINF:%.3f,\n", s.duration_s);
+    if (s.has_byterange()) {
+      out << "#EXT-X-BYTERANGE:" << s.byterange_length << '@' << s.byterange_offset << '\n';
+    }
+    out << s.uri << '\n';
+  }
+  if (playlist.ended) out << "#EXT-X-ENDLIST\n";
+  return out.str();
+}
+
+Result<HlsMediaPlaylist> parse_media(const std::string& text) {
+  const std::vector<std::string> lines = split_lines(text);
+  if (lines.empty() || trim(lines[0]) != "#EXTM3U") {
+    return Error{"media playlist must start with #EXTM3U"};
+  }
+  HlsMediaPlaylist playlist;
+  playlist.ended = false;
+  HlsSegment segment;
+  bool pending_segment = false;
+  double current_bitrate_kbps = 0.0;  // EXT-X-BITRATE applies until changed
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    if (line.empty()) continue;
+    if (starts_with(line, "#EXT-X-VERSION:")) {
+      playlist.version = static_cast<int>(
+          parse_int(line.substr(std::string("#EXT-X-VERSION:").size())).value_or(6));
+    } else if (starts_with(line, "#EXT-X-TARGETDURATION:")) {
+      playlist.target_duration_s =
+          parse_double(line.substr(std::string("#EXT-X-TARGETDURATION:").size())).value_or(0.0);
+    } else if (starts_with(line, "#EXT-X-MEDIA-SEQUENCE:")) {
+      playlist.media_sequence = static_cast<int>(
+          parse_int(line.substr(std::string("#EXT-X-MEDIA-SEQUENCE:").size())).value_or(0));
+    } else if (starts_with(line, "#EXT-X-BITRATE:")) {
+      current_bitrate_kbps =
+          parse_double(line.substr(std::string("#EXT-X-BITRATE:").size())).value_or(0.0);
+    } else if (starts_with(line, "#EXTINF:")) {
+      std::string_view payload = line.substr(std::string("#EXTINF:").size());
+      const std::size_t comma = payload.find(',');
+      if (comma != std::string_view::npos) payload = payload.substr(0, comma);
+      const auto duration = parse_double(payload);
+      if (!duration.has_value() || *duration <= 0.0) return Error{"invalid EXTINF duration"};
+      segment = HlsSegment{};
+      segment.duration_s = *duration;
+      segment.bitrate_kbps = current_bitrate_kbps;
+      pending_segment = true;
+    } else if (starts_with(line, "#EXT-X-BYTERANGE:")) {
+      if (!pending_segment) return Error{"EXT-X-BYTERANGE without EXTINF"};
+      const std::string_view payload = line.substr(std::string("#EXT-X-BYTERANGE:").size());
+      const std::size_t at = payload.find('@');
+      if (at == std::string_view::npos) return Error{"EXT-X-BYTERANGE requires explicit offset"};
+      const auto length = parse_int(payload.substr(0, at));
+      const auto offset = parse_int(payload.substr(at + 1));
+      if (!length.has_value() || !offset.has_value() || *length < 0 || *offset < 0) {
+        return Error{"invalid EXT-X-BYTERANGE"};
+      }
+      segment.byterange_length = *length;
+      segment.byterange_offset = *offset;
+    } else if (starts_with(line, "#EXT-X-ENDLIST")) {
+      playlist.ended = true;
+    } else if (!starts_with(line, "#")) {
+      if (!pending_segment) return Error{"segment URI without EXTINF"};
+      segment.uri = std::string(line);
+      playlist.segments.push_back(segment);
+      pending_segment = false;
+    }
+  }
+  if (pending_segment) return Error{"EXTINF without segment URI"};
+  if (playlist.segments.empty()) return Error{"media playlist has no segments"};
+  return playlist;
+}
+
+}  // namespace demuxabr

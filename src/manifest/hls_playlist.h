@@ -1,0 +1,87 @@
+// HLS playlist model, serializer and parser (RFC 8216 subset).
+//
+// Master playlist: EXT-X-MEDIA audio renditions + EXT-X-STREAM-INF variants.
+// A variant pairs a video media-playlist URI with an audio GROUP-ID and
+// declares only the *aggregate* BANDWIDTH of the combination (§2.3) — the
+// root cause of ExoPlayer's HLS behaviour in §3.2.
+//
+// Media playlist: EXTINF segments with either per-file URIs or
+// EXT-X-BYTERANGE (single-file packaging), plus the optional EXT-X-BITRATE
+// tag whose mandatory use §4.1 recommends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace demuxabr {
+
+/// EXT-X-MEDIA entry (audio rendition). Order in the playlist matters:
+/// ExoPlayer falls back to the first listed rendition (§3.2/HLS).
+struct HlsMediaRendition {
+  std::string type = "AUDIO";
+  std::string group_id;  ///< e.g. "audio-A1"
+  std::string name;      ///< e.g. "A1"
+  std::string uri;       ///< media playlist of this rendition
+  bool is_default = false;
+  bool autoselect = true;
+};
+
+/// EXT-X-STREAM-INF entry: one allowed audio/video combination.
+struct HlsVariant {
+  std::int64_t bandwidth_bps = 0;          ///< required; aggregate peak
+  std::int64_t average_bandwidth_bps = 0;  ///< optional; aggregate average
+  std::string codecs;
+  std::string resolution;   ///< "WxH" of the video track; empty = omit
+  std::string audio_group;  ///< AUDIO attribute referencing a rendition group
+  std::string uri;          ///< video media playlist
+};
+
+struct HlsMasterPlaylist {
+  int version = 6;
+  std::vector<HlsMediaRendition> audio_renditions;
+  std::vector<HlsVariant> variants;
+
+  /// All distinct video playlist URIs in variant order.
+  [[nodiscard]] std::vector<std::string> video_uris() const;
+  /// First variant whose URI matches; nullptr when absent.
+  [[nodiscard]] const HlsVariant* first_variant_with_uri(const std::string& uri) const;
+};
+
+struct HlsSegment {
+  double duration_s = 0.0;
+  std::string uri;
+  /// Single-file packaging: EXT-X-BYTERANGE length@offset; -1 = absent.
+  std::int64_t byterange_length = -1;
+  std::int64_t byterange_offset = -1;
+  /// EXT-X-BITRATE in kbps; 0 = absent.
+  double bitrate_kbps = 0.0;
+
+  [[nodiscard]] bool has_byterange() const { return byterange_length >= 0; }
+};
+
+struct HlsMediaPlaylist {
+  int version = 6;
+  double target_duration_s = 0.0;
+  int media_sequence = 0;
+  std::vector<HlsSegment> segments;
+  bool ended = true;
+
+  [[nodiscard]] double total_duration_s() const;
+  /// Average bitrate derivable from byteranges (if present), kbps; 0 if not.
+  [[nodiscard]] double average_bitrate_from_byteranges_kbps() const;
+  /// Peak per-segment bitrate from EXT-X-BITRATE or byteranges, kbps.
+  [[nodiscard]] double peak_bitrate_kbps() const;
+  /// Average per-segment bitrate from EXT-X-BITRATE tags, kbps; 0 if absent.
+  [[nodiscard]] double average_bitrate_from_tags_kbps() const;
+};
+
+std::string serialize_master(const HlsMasterPlaylist& playlist);
+Result<HlsMasterPlaylist> parse_master(const std::string& text);
+
+std::string serialize_media(const HlsMediaPlaylist& playlist);
+Result<HlsMediaPlaylist> parse_media(const std::string& text);
+
+}  // namespace demuxabr

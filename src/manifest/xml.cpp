@@ -1,0 +1,279 @@
+#include "manifest/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr::xml {
+
+Element& Element::set_attribute(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = value;
+      return *this;
+    }
+  }
+  attributes_.emplace_back(key, value);
+  return *this;
+}
+
+Element& Element::set_attribute(const std::string& key, std::int64_t value) {
+  return set_attribute(key, format("%lld", static_cast<long long>(value)));
+}
+
+Element& Element::set_attribute(const std::string& key, double value) {
+  std::string s = format("%.6f", value);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return set_attribute(key, s);
+}
+
+const std::string* Element::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Element& Element::add_child(const std::string& name) {
+  children_.push_back(std::make_unique<Element>(name));
+  return *children_.back();
+}
+
+Element& Element::add_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::first_child(const std::string& name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Element::to_string(int indent) const {
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad << '<' << name_;
+  for (const auto& [k, v] : attributes_) {
+    out << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    out << "/>\n";
+    return out.str();
+  }
+  out << '>';
+  if (!text_.empty()) out << escape(text_);
+  if (!children_.empty()) {
+    out << '\n';
+    for (const auto& child : children_) out << child->to_string(indent + 1);
+    out << pad;
+  }
+  out << "</" << name_ << ">\n";
+  return out.str();
+}
+
+std::string serialize_document(const Element& root) {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.to_string();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<Element>> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.ok()) return Error{root.error()};
+    skip_whitespace_and_comments();
+    if (pos_ != text_.size()) return Error{err("trailing content after root element")};
+    return std::move(root).take();
+  }
+
+ private:
+  std::string err(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return format("xml parse error at line %zu: %s", line, message.c_str());
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char get() { return text_[pos_++]; }
+
+  bool consume(std::string_view token) {
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      skip_whitespace();
+      if (consume("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      pos_ = end == std::string::npos ? text_.size() : end + 2;
+    }
+    skip_whitespace_and_comments();
+    if (consume("<!DOCTYPE")) {
+      const std::size_t end = text_.find('>', pos_);
+      pos_ = end == std::string::npos ? text_.size() : end + 1;
+    }
+    skip_whitespace_and_comments();
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  static std::string unescape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] != '&') {
+        out += text[i];
+        continue;
+      }
+      const std::string_view rest = text.substr(i);
+      auto try_entity = [&](std::string_view entity, char replacement) {
+        if (rest.substr(0, entity.size()) == entity) {
+          out += replacement;
+          i += entity.size() - 1;
+          return true;
+        }
+        return false;
+      };
+      if (try_entity("&amp;", '&') || try_entity("&lt;", '<') || try_entity("&gt;", '>') ||
+          try_entity("&quot;", '"') || try_entity("&apos;", '\'')) {
+        continue;
+      }
+      out += '&';
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> parse_element() {
+    skip_whitespace_and_comments();
+    if (eof() || peek() != '<') return Error{err("expected '<'")};
+    ++pos_;
+    std::string name = parse_name();
+    if (name.empty()) return Error{err("expected element name")};
+    auto element = std::make_unique<Element>(name);
+
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (eof()) return Error{err("unexpected end in element " + name)};
+      if (peek() == '/' || peek() == '>') break;
+      std::string key = parse_name();
+      if (key.empty()) return Error{err("expected attribute name in <" + name + ">")};
+      skip_whitespace();
+      if (eof() || get() != '=') return Error{err("expected '=' after attribute " + key)};
+      skip_whitespace();
+      if (eof()) return Error{err("unexpected end after '='")};
+      const char quote = get();
+      if (quote != '"' && quote != '\'') return Error{err("expected quoted attribute value")};
+      const std::size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) return Error{err("unterminated attribute value")};
+      element->set_attribute(key, unescape(text_.substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+    }
+
+    if (consume("/>")) return element;
+    if (!consume(">")) return Error{err("expected '>' closing tag of " + name)};
+
+    // Content: text and child elements until </name>.
+    std::string text;
+    for (;;) {
+      skip_whitespace_and_comments();
+      if (eof()) return Error{err("unexpected end inside element " + name)};
+      if (consume("</")) {
+        std::string closing = parse_name();
+        skip_whitespace();
+        if (!consume(">")) return Error{err("malformed closing tag")};
+        if (closing != name) {
+          return Error{err("mismatched closing tag: " + closing + " vs " + name)};
+        }
+        break;
+      }
+      if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return Error{child.error()};
+        element->add_child(std::move(child).take());
+        continue;
+      }
+      const std::size_t start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      text += unescape(text_.substr(start, pos_ - start));
+    }
+    element->set_text(std::string(trim(text)));
+    return element;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> parse(const std::string& text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace demuxabr::xml

@@ -1,0 +1,66 @@
+// Minimal XML document model + writer + parser, sufficient for DASH MPDs.
+//
+// Supports: elements, attributes, text content, self-closing tags, XML
+// declaration, comments (skipped). Not supported (not needed for MPD):
+// namespaces resolution (prefixes are kept verbatim), DTDs, CDATA.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace demuxabr::xml {
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  Element& set_attribute(const std::string& key, const std::string& value);
+  Element& set_attribute(const std::string& key, std::int64_t value);
+  Element& set_attribute(const std::string& key, double value);
+
+  /// nullptr when missing.
+  [[nodiscard]] const std::string* attribute(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Append and return a new child element.
+  Element& add_child(const std::string& name);
+  /// Append an already-built child element.
+  Element& add_child(std::unique_ptr<Element> child);
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// First child with the given name; nullptr when absent.
+  [[nodiscard]] const Element* first_child(const std::string& name) const;
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const Element*> children_named(const std::string& name) const;
+
+  void set_text(std::string text) { text_ = std::move(text); }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// Serialize (indented, 2 spaces per level).
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+/// Serialize with an <?xml?> declaration.
+std::string serialize_document(const Element& root);
+
+/// Parse a document; returns the root element.
+Result<std::unique_ptr<Element>> parse(const std::string& text);
+
+/// Escape text for use in attribute values / text nodes.
+std::string escape(const std::string& text);
+
+}  // namespace demuxabr::xml

@@ -1,0 +1,23 @@
+// Chunk-level media model. Each track is cut into fixed-duration chunks;
+// the per-chunk byte size encodes the (VBR) encoding of that chunk.
+#pragma once
+
+#include <cstdint>
+
+namespace demuxabr {
+
+/// One chunk of one track.
+struct ChunkInfo {
+  int index = 0;              ///< chunk position within the track (0-based)
+  double duration_s = 0.0;    ///< playback duration
+  std::int64_t size_bytes = 0;
+
+  /// Effective bitrate of this chunk in kbps.
+  [[nodiscard]] double bitrate_kbps() const {
+    return duration_s > 0.0
+               ? static_cast<double>(size_bytes) * 8.0 / 1000.0 / duration_s
+               : 0.0;
+  }
+};
+
+}  // namespace demuxabr

@@ -1,0 +1,84 @@
+#include "media/content.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace demuxabr {
+
+Content::Content(BitrateLadder ladder, double chunk_duration_s,
+                 std::map<std::string, std::vector<ChunkInfo>> chunks)
+    : ladder_(std::move(ladder)),
+      chunk_duration_s_(chunk_duration_s),
+      chunks_(std::move(chunks)) {
+  assert(!chunks_.empty());
+  num_chunks_ = static_cast<int>(chunks_.begin()->second.size());
+  for ([[maybe_unused]] const auto& [id, list] : chunks_) {
+    assert(static_cast<int>(list.size()) == num_chunks_);
+  }
+}
+
+const std::vector<ChunkInfo>& Content::chunks(const std::string& track_id) const {
+  auto it = chunks_.find(track_id);
+  assert(it != chunks_.end());
+  return it->second;
+}
+
+const ChunkInfo& Content::chunk(const std::string& track_id, int index) const {
+  const auto& list = chunks(track_id);
+  assert(index >= 0 && index < static_cast<int>(list.size()));
+  return list[static_cast<std::size_t>(index)];
+}
+
+ChunkStats Content::track_stats(const std::string& track_id) const {
+  return measure_chunks(chunks(track_id));
+}
+
+std::int64_t Content::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [id, list] : chunks_) {
+    for (const ChunkInfo& c : list) total += c.size_bytes;
+  }
+  return total;
+}
+
+ContentBuilder::ContentBuilder(BitrateLadder ladder) : ladder_(std::move(ladder)) {}
+
+ContentBuilder& ContentBuilder::duration_s(double seconds) {
+  duration_s_ = seconds;
+  return *this;
+}
+
+ContentBuilder& ContentBuilder::chunk_duration_s(double seconds) {
+  chunk_duration_s_ = seconds;
+  return *this;
+}
+
+ContentBuilder& ContentBuilder::vbr_params(VbrModelParams params) {
+  vbr_params_ = params;
+  return *this;
+}
+
+Content ContentBuilder::build() const {
+  assert(duration_s_ > 0.0 && chunk_duration_s_ > 0.0);
+  const int num_chunks =
+      std::max(1, static_cast<int>(std::llround(duration_s_ / chunk_duration_s_)));
+  std::map<std::string, std::vector<ChunkInfo>> chunks;
+  for (const auto* list : {&ladder_.audio(), &ladder_.video()}) {
+    for (const TrackInfo& track : *list) {
+      chunks[track.id] = generate_chunks(track, num_chunks, chunk_duration_s_, vbr_params_);
+    }
+  }
+  return Content(ladder_, chunk_duration_s_, std::move(chunks));
+}
+
+Content make_drama_content(double chunk_duration_s, std::uint64_t seed) {
+  VbrModelParams params;
+  params.seed = seed;
+  return ContentBuilder(youtube_drama_ladder())
+      .duration_s(300.0)
+      .chunk_duration_s(chunk_duration_s)
+      .vbr_params(params)
+      .build();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,68 @@
+// Content: a complete demuxed title — a bitrate ladder plus the generated
+// chunk map for every track. This is the server-side ground truth; players
+// only ever see manifests derived from it (manifest/*).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "media/chunk.h"
+#include "media/ladder.h"
+#include "media/vbr_model.h"
+
+namespace demuxabr {
+
+class Content {
+ public:
+  Content() = default;
+  Content(BitrateLadder ladder, double chunk_duration_s,
+          std::map<std::string, std::vector<ChunkInfo>> chunks);
+
+  [[nodiscard]] const BitrateLadder& ladder() const { return ladder_; }
+  [[nodiscard]] double chunk_duration_s() const { return chunk_duration_s_; }
+  [[nodiscard]] int num_chunks() const { return num_chunks_; }
+  [[nodiscard]] double duration_s() const {
+    return chunk_duration_s_ * static_cast<double>(num_chunks_);
+  }
+
+  /// All chunks of one track. Track id must exist.
+  [[nodiscard]] const std::vector<ChunkInfo>& chunks(const std::string& track_id) const;
+  /// One chunk. Track id and index must be valid.
+  [[nodiscard]] const ChunkInfo& chunk(const std::string& track_id, int index) const;
+
+  /// Measured stats for a track's chunk list (compare against Table 1).
+  [[nodiscard]] ChunkStats track_stats(const std::string& track_id) const;
+
+  /// Total stored bytes across all tracks (demuxed storage footprint).
+  [[nodiscard]] std::int64_t total_bytes() const;
+
+ private:
+  BitrateLadder ladder_;
+  double chunk_duration_s_ = 0.0;
+  int num_chunks_ = 0;
+  std::map<std::string, std::vector<ChunkInfo>> chunks_;
+};
+
+/// Builds Content from a ladder: generates VBR chunks for every track.
+class ContentBuilder {
+ public:
+  explicit ContentBuilder(BitrateLadder ladder);
+
+  ContentBuilder& duration_s(double seconds);
+  ContentBuilder& chunk_duration_s(double seconds);
+  ContentBuilder& vbr_params(VbrModelParams params);
+
+  [[nodiscard]] Content build() const;
+
+ private:
+  BitrateLadder ladder_;
+  double duration_s_ = 300.0;       // paper: ~5 minute clip
+  double chunk_duration_s_ = 4.0;
+  VbrModelParams vbr_params_{};
+};
+
+/// The paper's experimental content: Table 1 ladder, ~5 minutes.
+Content make_drama_content(double chunk_duration_s = 4.0, std::uint64_t seed = 42);
+
+}  // namespace demuxabr

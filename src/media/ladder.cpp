@@ -1,0 +1,190 @@
+#include "media/ladder.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace demuxabr {
+namespace {
+
+TrackInfo audio_track(std::string id, double avg, double peak, double declared,
+                      int channels, int sample_rate_hz) {
+  TrackInfo t;
+  t.id = std::move(id);
+  t.type = MediaType::kAudio;
+  t.avg_kbps = avg;
+  t.peak_kbps = peak;
+  t.declared_kbps = declared;
+  t.channels = channels;
+  t.sample_rate_hz = sample_rate_hz;
+  t.codec = "mp4a.40.2";
+  return t;
+}
+
+TrackInfo video_track(std::string id, double avg, double peak, double declared,
+                      int width, int height) {
+  TrackInfo t;
+  t.id = std::move(id);
+  t.type = MediaType::kVideo;
+  t.avg_kbps = avg;
+  t.peak_kbps = peak;
+  t.declared_kbps = declared;
+  t.width = width;
+  t.height = height;
+  t.codec = "avc1.4d401f";
+  return t;
+}
+
+bool sorted_by_declared(const std::vector<TrackInfo>& tracks) {
+  return std::is_sorted(tracks.begin(), tracks.end(),
+                        [](const TrackInfo& a, const TrackInfo& b) {
+                          return a.declared_kbps < b.declared_kbps;
+                        });
+}
+
+}  // namespace
+
+BitrateLadder::BitrateLadder(std::vector<TrackInfo> audio, std::vector<TrackInfo> video)
+    : audio_(std::move(audio)), video_(std::move(video)) {}
+
+const TrackInfo* BitrateLadder::find(const std::string& id) const {
+  for (const TrackInfo& t : audio_) {
+    if (t.id == id) return &t;
+  }
+  for (const TrackInfo& t : video_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> BitrateLadder::index_of(const std::string& id) const {
+  for (std::size_t i = 0; i < audio_.size(); ++i) {
+    if (audio_[i].id == id) return i;
+  }
+  for (std::size_t i = 0; i < video_.size(); ++i) {
+    if (video_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+BitrateLadder BitrateLadder::with_audio(std::vector<TrackInfo> audio) const {
+  return BitrateLadder(std::move(audio), video_);
+}
+
+bool BitrateLadder::valid(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (audio_.empty() || video_.empty()) return fail("ladder needs >=1 audio and >=1 video track");
+  for (const auto* list : {&audio_, &video_}) {
+    for (const TrackInfo& t : *list) {
+      if (t.id.empty()) return fail("track with empty id");
+      if (t.declared_kbps <= 0.0 || t.avg_kbps <= 0.0 || t.peak_kbps <= 0.0) {
+        return fail("track " + t.id + " has non-positive bitrate");
+      }
+      if (t.avg_kbps > t.peak_kbps + 1e-9) {
+        return fail("track " + t.id + " has avg > peak");
+      }
+      if (const TrackInfo* other = find(t.id); other != &t) {
+        return fail("duplicate track id " + t.id);
+      }
+    }
+  }
+  for (const TrackInfo& t : audio_) {
+    if (!t.is_audio()) return fail("video track in audio list: " + t.id);
+  }
+  for (const TrackInfo& t : video_) {
+    if (!t.is_video()) return fail("audio track in video list: " + t.id);
+  }
+  if (!sorted_by_declared(audio_) || !sorted_by_declared(video_)) {
+    return fail("tracks must be sorted by declared bitrate");
+  }
+  return true;
+}
+
+BitrateLadder youtube_drama_ladder() {
+  // Table 1, verbatim.
+  std::vector<TrackInfo> audio{
+      audio_track("A1", 128, 134, 128, /*channels=*/2, /*rate=*/44100),
+      audio_track("A2", 196, 199, 196, /*channels=*/6, /*rate=*/48000),
+      audio_track("A3", 384, 391, 384, /*channels=*/6, /*rate=*/48000),
+  };
+  std::vector<TrackInfo> video{
+      video_track("V1", 111, 119, 111, 256, 144),
+      video_track("V2", 246, 261, 246, 426, 240),
+      video_track("V3", 362, 641, 473, 640, 360),
+      video_track("V4", 734, 1190, 914, 854, 480),
+      video_track("V5", 1421, 2382, 1852, 1280, 720),
+      video_track("V6", 2728, 4447, 3746, 1920, 1080),
+  };
+  return BitrateLadder(std::move(audio), std::move(video));
+}
+
+std::vector<TrackInfo> audio_set_b() {
+  // §3.2: declared 32/64/128 kbps. The paper only gives declared bitrates;
+  // audio is near-CBR so avg == declared and peak is 2% above.
+  return {
+      audio_track("B1", 32, 33, 32, 2, 44100),
+      audio_track("B2", 64, 65, 64, 2, 44100),
+      audio_track("B3", 128, 131, 128, 2, 44100),
+  };
+}
+
+std::vector<TrackInfo> audio_set_c() {
+  // §3.2: declared 196/384/768 kbps (768 = Dolby Atmos class bitrate [19]).
+  return {
+      audio_track("C1", 196, 200, 196, 2, 48000),
+      audio_track("C2", 384, 392, 384, 6, 48000),
+      audio_track("C3", 768, 783, 768, 8, 48000),
+  };
+}
+
+BitrateLadder drama_with_audio_set_b() {
+  return youtube_drama_ladder().with_audio(audio_set_b());
+}
+
+BitrateLadder drama_with_audio_set_c() {
+  return youtube_drama_ladder().with_audio(audio_set_c());
+}
+
+BitrateLadder premium_sports_ladder() {
+  std::vector<TrackInfo> audio{
+      audio_track("A1", 128, 131, 128, /*channels=*/2, /*rate=*/48000),
+      audio_track("A2", 384, 392, 384, /*channels=*/6, /*rate=*/48000),
+      audio_track("A3", 768, 784, 768, /*channels=*/16, /*rate=*/48000),
+  };
+  // Sports content is motion-heavy: peak-to-average around 1.7-1.9.
+  std::vector<TrackInfo> video{
+      video_track("V1", 145, 260, 180, 256, 144),
+      video_track("V2", 365, 640, 450, 426, 240),
+      video_track("V3", 730, 1300, 900, 640, 360),
+      video_track("V4", 1600, 2900, 2000, 1280, 720),
+      video_track("V5", 3400, 6100, 4200, 1920, 1080),
+      video_track("V6", 7200, 13000, 8900, 2560, 1440),
+      video_track("V7", 13000, 23500, 16000, 3840, 2160),
+  };
+  return BitrateLadder(std::move(audio), std::move(video));
+}
+
+BitrateLadder make_ladder(const std::vector<double>& audio_kbps,
+                          const std::vector<double>& video_kbps,
+                          double video_peak_to_avg, double audio_peak_to_avg) {
+  std::vector<TrackInfo> audio;
+  std::vector<TrackInfo> video;
+  int i = 1;
+  for (double kbps : audio_kbps) {
+    audio.push_back(audio_track(format("A%d", i++), kbps, kbps * audio_peak_to_avg, kbps,
+                                2, 44100));
+  }
+  i = 1;
+  for (double kbps : video_kbps) {
+    // Resolution rungs are cosmetic for synthetic ladders.
+    const int height = 144 * i;
+    video.push_back(video_track(format("V%d", i++), kbps, kbps * video_peak_to_avg, kbps,
+                                height * 16 / 9, height));
+  }
+  return BitrateLadder(std::move(audio), std::move(video));
+}
+
+}  // namespace demuxabr

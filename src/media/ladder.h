@@ -1,0 +1,79 @@
+// Bitrate ladders: the set of demuxed audio and video tracks offered for one
+// title. Includes exact reconstructions of the paper's ladders:
+//   * Table 1  — YouTube drama show: 6 video tracks (V1..V6), 3 audio (A1..A3)
+//   * §3.2     — audio set B (32/64/128 kbps) and audio set C (196/384/768)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/track.h"
+
+namespace demuxabr {
+
+/// An ordered set of audio tracks plus an ordered set of video tracks.
+/// Tracks are kept in increasing declared-bitrate order within each type.
+class BitrateLadder {
+ public:
+  BitrateLadder() = default;
+  BitrateLadder(std::vector<TrackInfo> audio, std::vector<TrackInfo> video);
+
+  [[nodiscard]] const std::vector<TrackInfo>& audio() const { return audio_; }
+  [[nodiscard]] const std::vector<TrackInfo>& video() const { return video_; }
+  [[nodiscard]] const std::vector<TrackInfo>& tracks(MediaType type) const {
+    return type == MediaType::kAudio ? audio_ : video_;
+  }
+
+  [[nodiscard]] std::size_t audio_count() const { return audio_.size(); }
+  [[nodiscard]] std::size_t video_count() const { return video_.size(); }
+
+  /// Lookup by id ("A2", "V5"); nullptr when absent.
+  [[nodiscard]] const TrackInfo* find(const std::string& id) const;
+  /// Index of a track within its type's ordered list; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(const std::string& id) const;
+
+  /// Replace the audio side of the ladder (used by the §3.2 experiments that
+  /// swap in audio sets B and C against the Table 1 video tracks).
+  [[nodiscard]] BitrateLadder with_audio(std::vector<TrackInfo> audio) const;
+
+  /// Validation: ids unique, bitrates positive and sorted, avg <= peak.
+  [[nodiscard]] bool valid(std::string* why = nullptr) const;
+
+ private:
+  std::vector<TrackInfo> audio_;
+  std::vector<TrackInfo> video_;
+};
+
+/// Table 1 of the paper, reproduced exactly (avg / peak / declared kbps,
+/// channel layout, sampling rate, resolution).
+BitrateLadder youtube_drama_ladder();
+
+/// §3.2 experiment 1: low-bitrate audio set B1/B2/B3 = 32/64/128 kbps
+/// (declared); combined with the Table 1 video tracks.
+std::vector<TrackInfo> audio_set_b();
+
+/// §3.2 experiment 2: high-bitrate audio set C1/C2/C3 = 196/384/768 kbps
+/// (declared); combined with the Table 1 video tracks.
+std::vector<TrackInfo> audio_set_c();
+
+/// Convenience: Table 1 video tracks with audio replaced by set B / set C.
+BitrateLadder drama_with_audio_set_b();
+BitrateLadder drama_with_audio_set_c();
+
+/// A premium live-sports style ladder: video up to 4K (V1..V7, 145 kbps to
+/// 16 Mbps declared) and audio from stereo AAC to an object-based Atmos-like
+/// 16-channel track (128/384/768 kbps — the bitrates §1 motivates with the
+/// HLS authoring spec and the Dolby Atmos references). Exercises device caps
+/// (phone vs TV, stereo vs surround) on a ladder wider than Table 1.
+BitrateLadder premium_sports_ladder();
+
+/// A generic synthetic ladder for tests/examples: `video_kbps` and
+/// `audio_kbps` are declared bitrates; avg = declared, peak = declared * vbr.
+BitrateLadder make_ladder(const std::vector<double>& audio_kbps,
+                          const std::vector<double>& video_kbps,
+                          double video_peak_to_avg = 1.6,
+                          double audio_peak_to_avg = 1.02);
+
+}  // namespace demuxabr

@@ -1,0 +1,39 @@
+// Track-level media model: a track is one encoded rendition of the audio or
+// the video component of a title (paper §1, Fig 1). Bitrates are carried in
+// kbps to match the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace demuxabr {
+
+enum class MediaType { kAudio = 0, kVideo = 1 };
+
+inline const char* media_type_name(MediaType type) {
+  return type == MediaType::kAudio ? "audio" : "video";
+}
+
+/// Static description of one track (DASH Representation / HLS rendition).
+struct TrackInfo {
+  std::string id;           ///< e.g. "V3", "A1"
+  MediaType type = MediaType::kVideo;
+  double avg_kbps = 0.0;    ///< measured average bitrate
+  double peak_kbps = 0.0;   ///< measured peak (max chunk) bitrate
+  double declared_kbps = 0.0;  ///< manifest-declared bandwidth (DASH @bandwidth)
+
+  // Audio-only attributes (0 when video).
+  int channels = 0;
+  int sample_rate_hz = 0;
+
+  // Video-only attributes (0 when audio).
+  int width = 0;
+  int height = 0;
+
+  std::string codec;        ///< RFC 6381 codec string
+
+  [[nodiscard]] bool is_audio() const { return type == MediaType::kAudio; }
+  [[nodiscard]] bool is_video() const { return type == MediaType::kVideo; }
+};
+
+}  // namespace demuxabr

@@ -1,0 +1,177 @@
+#include "net/bandwidth_trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace demuxabr {
+
+BandwidthTrace::BandwidthTrace(std::vector<Segment> segments, double period_s)
+    : segments_(std::move(segments)), period_s_(period_s) {
+  assert(!segments_.empty());
+  assert(segments_.front().start_s == 0.0);
+}
+
+BandwidthTrace BandwidthTrace::constant(double kbps) {
+  assert(kbps > 0.0);
+  return BandwidthTrace({{0.0, kbps}}, 0.0);
+}
+
+BandwidthTrace BandwidthTrace::square_wave(double low_kbps, double high_kbps,
+                                           double low_duration_s, double high_duration_s,
+                                           bool start_high) {
+  assert(low_duration_s > 0.0 && high_duration_s > 0.0);
+  std::vector<Segment> segments;
+  if (start_high) {
+    segments.push_back({0.0, high_kbps});
+    segments.push_back({high_duration_s, low_kbps});
+  } else {
+    segments.push_back({0.0, low_kbps});
+    segments.push_back({low_duration_s, high_kbps});
+  }
+  return BandwidthTrace(std::move(segments), low_duration_s + high_duration_s);
+}
+
+BandwidthTrace BandwidthTrace::steps(const std::vector<Step>& steps, bool repeat) {
+  assert(!steps.empty());
+  std::vector<Segment> segments;
+  double t = 0.0;
+  for (const Step& step : steps) {
+    assert(step.duration_s > 0.0);
+    segments.push_back({t, step.kbps});
+    t += step.duration_s;
+  }
+  return BandwidthTrace(std::move(segments), repeat ? t : 0.0);
+}
+
+BandwidthTrace BandwidthTrace::random_walk(double min_kbps, double max_kbps,
+                                           double step_interval_s, double total_duration_s,
+                                           double volatility_kbps, std::uint64_t seed) {
+  assert(min_kbps > 0.0 && max_kbps >= min_kbps);
+  assert(step_interval_s > 0.0 && total_duration_s >= step_interval_s);
+  Rng rng(seed);
+  std::vector<Segment> segments;
+  double rate = (min_kbps + max_kbps) / 2.0;
+  for (double t = 0.0; t < total_duration_s; t += step_interval_s) {
+    segments.push_back({t, rate});
+    rate = std::clamp(rate + rng.normal(0.0, volatility_kbps), min_kbps, max_kbps);
+  }
+  return BandwidthTrace(std::move(segments), total_duration_s);
+}
+
+BandwidthTrace BandwidthTrace::markov(const std::vector<MarkovState>& states,
+                                      const std::vector<std::vector<double>>& transitions,
+                                      double total_duration_s, double jitter_fraction,
+                                      std::uint64_t seed) {
+  assert(!states.empty());
+  assert(transitions.size() == states.size());
+  for ([[maybe_unused]] const auto& row : transitions) assert(row.size() == states.size());
+  assert(total_duration_s > 0.0);
+
+  Rng rng(seed);
+  std::vector<Segment> segments;
+  std::size_t state = 0;
+  double t = 0.0;
+  while (t < total_duration_s) {
+    const MarkovState& s = states[state];
+    const double dwell = std::max(0.5, rng.exponential(1.0 / s.mean_dwell_s));
+    const double jitter =
+        1.0 + std::clamp(rng.normal(0.0, jitter_fraction), -0.9, 3.0);
+    segments.push_back({t, std::max(1.0, s.rate_kbps * jitter)});
+    t += dwell;
+    state = rng.weighted_index(transitions[state]);
+  }
+  return BandwidthTrace(std::move(segments), total_duration_s);
+}
+
+BandwidthTrace BandwidthTrace::cellular(double total_duration_s, std::uint64_t seed) {
+  // Five LTE-like states: deep fade, edge-of-cell, fair, good, excellent.
+  const std::vector<MarkovState> states = {
+      {150.0, 4.0}, {500.0, 6.0}, {1500.0, 8.0}, {4000.0, 8.0}, {9000.0, 6.0}};
+  // Sticky, mostly-neighbour transitions.
+  const std::vector<std::vector<double>> transitions = {
+      {0.3, 0.5, 0.15, 0.05, 0.0},
+      {0.2, 0.3, 0.4, 0.1, 0.0},
+      {0.05, 0.25, 0.3, 0.35, 0.05},
+      {0.0, 0.1, 0.3, 0.4, 0.2},
+      {0.0, 0.05, 0.15, 0.4, 0.4},
+  };
+  return markov(states, transitions, total_duration_s, /*jitter_fraction=*/0.15, seed);
+}
+
+Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text) {
+  auto doc = parse_csv(csv_text);
+  if (!doc.ok()) return Error{doc.error()};
+  if (doc->header.size() < 2) return Error{"trace csv needs columns t,kbps"};
+  std::vector<Segment> segments;
+  for (const auto& row : doc->rows) {
+    const auto t = parse_double(row[0]);
+    const auto kbps = parse_double(row[1]);
+    if (!t.has_value() || !kbps.has_value()) return Error{"trace csv has non-numeric cell"};
+    if (*kbps <= 0.0) return Error{"trace csv has non-positive rate"};
+    if (!segments.empty() && *t <= segments.back().start_s) {
+      return Error{"trace csv times must be strictly increasing"};
+    }
+    segments.push_back({*t, *kbps});
+  }
+  if (segments.empty()) return Error{"trace csv has no rows"};
+  if (segments.front().start_s != 0.0) return Error{"trace csv must start at t=0"};
+  return BandwidthTrace(std::move(segments), 0.0);
+}
+
+double BandwidthTrace::rate_kbps(double t) const {
+  assert(!segments_.empty());
+  if (t < 0.0) t = 0.0;
+  if (period_s_ > 0.0) t = std::fmod(t, period_s_);
+  // Last segment whose start <= t.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](double x, const Segment& s) { return x < s.start_s; });
+  return std::prev(it)->kbps;
+}
+
+double BandwidthTrace::next_change_after(double t) const {
+  if (segments_.size() == 1 && period_s_ == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (t < 0.0) t = 0.0;
+  double base = 0.0;
+  double local = t;
+  if (period_s_ > 0.0) {
+    base = std::floor(t / period_s_) * period_s_;
+    local = t - base;
+  }
+  for (const Segment& s : segments_) {
+    if (s.start_s > local + 1e-12) return base + s.start_s;
+  }
+  if (period_s_ > 0.0) return base + period_s_;  // wraps to segment 0
+  return std::numeric_limits<double>::infinity();
+}
+
+double BandwidthTrace::average_kbps(double t0, double t1) const {
+  assert(t1 > t0);
+  double area = 0.0;
+  double t = t0;
+  // Walk breakpoints; bounded iterations for safety.
+  for (int guard = 0; guard < 1000000 && t < t1; ++guard) {
+    const double next = std::min(t1, next_change_after(t));
+    area += rate_kbps(t) * (next - t);
+    t = next;
+  }
+  return area / (t1 - t0);
+}
+
+std::string BandwidthTrace::to_csv() const {
+  std::ostringstream out;
+  out << "t,kbps\n";
+  for (const Segment& s : segments_) {
+    out << format("%.3f,%.3f\n", s.start_s, s.kbps);
+  }
+  return out.str();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,7 @@
+// Link and Network are header-only; this translation unit exists so the
+// module has a concrete object file and the header stays self-contained.
+#include "net/link.h"
+
+namespace demuxabr {
+// (intentionally empty)
+}  // namespace demuxabr

@@ -1,0 +1,80 @@
+// Bottleneck link with processor-sharing among concurrent flows, plus the
+// Network abstraction that lets audio and video ride either a shared
+// bottleneck (the common case in §3) or two independent paths (the
+// different-servers scenario §1/§4.1 calls out).
+#pragma once
+
+#include <memory>
+
+#include "net/bandwidth_trace.h"
+
+namespace demuxabr {
+
+/// A link carrying 0..N concurrent flows. Capacity follows a BandwidthTrace;
+/// active flows share it equally (TCP-fair approximation). The simulation
+/// engine registers/unregisters flows and asks for the current per-flow rate.
+class Link {
+ public:
+  explicit Link(BandwidthTrace trace) : trace_(std::move(trace)) {}
+
+  void add_flow() { ++active_flows_; }
+  void remove_flow() {
+    if (active_flows_ > 0) --active_flows_;
+  }
+  [[nodiscard]] int active_flows() const { return active_flows_; }
+
+  /// Total capacity at time t.
+  [[nodiscard]] double capacity_kbps(double t) const { return trace_.rate_kbps(t); }
+
+  /// Rate each active flow receives at time t (capacity when idle, so a
+  /// flow about to start can be quoted).
+  [[nodiscard]] double per_flow_kbps(double t) const {
+    const int n = active_flows_ > 0 ? active_flows_ : 1;
+    return trace_.rate_kbps(t) / static_cast<double>(n);
+  }
+
+  /// Next time > t at which capacity changes.
+  [[nodiscard]] double next_change_after(double t) const {
+    return trace_.next_change_after(t);
+  }
+
+  [[nodiscard]] const BandwidthTrace& trace() const { return trace_; }
+
+ private:
+  BandwidthTrace trace_;
+  int active_flows_ = 0;
+};
+
+/// The network between client and server(s): one link per media type.
+/// `shared` points both media types at the same Link object so concurrent
+/// audio+video downloads contend (the root of Shaka's mis-estimation, §3.3).
+struct Network {
+  std::shared_ptr<Link> video_link;
+  std::shared_ptr<Link> audio_link;
+  /// Per-request startup latency (connection + request RTT).
+  double rtt_s = 0.05;
+
+  static Network shared(BandwidthTrace trace, double rtt_s = 0.05) {
+    Network net;
+    net.video_link = std::make_shared<Link>(std::move(trace));
+    net.audio_link = net.video_link;
+    net.rtt_s = rtt_s;
+    return net;
+  }
+
+  static Network split(BandwidthTrace video_trace, BandwidthTrace audio_trace,
+                       double rtt_s = 0.05) {
+    Network net;
+    net.video_link = std::make_shared<Link>(std::move(video_trace));
+    net.audio_link = std::make_shared<Link>(std::move(audio_trace));
+    net.rtt_s = rtt_s;
+    return net;
+  }
+
+  [[nodiscard]] bool is_shared() const { return video_link == audio_link; }
+  [[nodiscard]] Link& link_for(bool is_video) const {
+    return is_video ? *video_link : *audio_link;
+  }
+};
+
+}  // namespace demuxabr

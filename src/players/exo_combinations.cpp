@@ -1,0 +1,111 @@
+#include "players/exo_combinations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace demuxabr {
+namespace {
+
+/// Normalized log-midpoint switch points for one renderer's bitrates.
+std::vector<double> switch_points(const std::vector<double>& kbps) {
+  std::vector<double> points;
+  if (kbps.size() < 2) return points;
+  std::vector<double> logs;
+  logs.reserve(kbps.size());
+  for (double k : kbps) {
+    assert(k > 0.0);
+    logs.push_back(std::log(k));
+  }
+  const double total = logs.back() - logs.front();
+  points.reserve(kbps.size() - 1);
+  for (std::size_t k = 0; k + 1 < logs.size(); ++k) {
+    const double midpoint = (logs[k] + logs[k + 1]) / 2.0;
+    points.push_back(total == 0.0 ? 1.0 : (midpoint - logs.front()) / total);
+  }
+  return points;
+}
+
+struct Upgrade {
+  double point;
+  bool is_video;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> exo_allocation_path(
+    const std::vector<double>& video_kbps, const std::vector<double>& audio_kbps) {
+  assert(!video_kbps.empty() && !audio_kbps.empty());
+  assert(std::is_sorted(video_kbps.begin(), video_kbps.end()));
+  assert(std::is_sorted(audio_kbps.begin(), audio_kbps.end()));
+
+  std::vector<Upgrade> upgrades;
+  for (double p : switch_points(video_kbps)) upgrades.push_back({p, true});
+  for (double p : switch_points(audio_kbps)) upgrades.push_back({p, false});
+  // Ascending switch points; ties upgrade video first (renderer order).
+  std::stable_sort(upgrades.begin(), upgrades.end(),
+                   [](const Upgrade& a, const Upgrade& b) {
+                     if (a.point != b.point) return a.point < b.point;
+                     return a.is_video && !b.is_video;
+                   });
+
+  std::vector<std::pair<std::size_t, std::size_t>> path;
+  std::size_t video = 0;
+  std::size_t audio = 0;
+  path.emplace_back(video, audio);
+  for (const Upgrade& upgrade : upgrades) {
+    if (upgrade.is_video) {
+      ++video;
+    } else {
+      ++audio;
+    }
+    path.emplace_back(video, audio);
+  }
+  assert(video == video_kbps.size() - 1 && audio == audio_kbps.size() - 1);
+  return path;
+}
+
+std::vector<AvCombination> exo_predetermined_combinations(const BitrateLadder& ladder) {
+  std::vector<double> video_kbps;
+  std::vector<double> audio_kbps;
+  for (const TrackInfo& t : ladder.video()) video_kbps.push_back(t.declared_kbps);
+  for (const TrackInfo& t : ladder.audio()) audio_kbps.push_back(t.declared_kbps);
+
+  std::vector<AvCombination> combos;
+  for (const auto& [v, a] : exo_allocation_path(video_kbps, audio_kbps)) {
+    combos.push_back(
+        make_combination(ladder, ladder.video()[v].id, ladder.audio()[a].id));
+  }
+  return combos;
+}
+
+std::vector<ComboView> exo_predetermined_combinations(const ManifestView& view) {
+  // Sort the view's tracks by declared bitrate (manifest order may differ).
+  std::vector<TrackView> video = view.video_tracks;
+  std::vector<TrackView> audio = view.audio_tracks;
+  auto by_bitrate = [](const TrackView& a, const TrackView& b) {
+    return a.declared_kbps < b.declared_kbps;
+  };
+  std::stable_sort(video.begin(), video.end(), by_bitrate);
+  std::stable_sort(audio.begin(), audio.end(), by_bitrate);
+
+  std::vector<double> video_kbps;
+  std::vector<double> audio_kbps;
+  for (const TrackView& t : video) video_kbps.push_back(t.declared_kbps);
+  for (const TrackView& t : audio) audio_kbps.push_back(t.declared_kbps);
+
+  std::vector<ComboView> combos;
+  for (const auto& [v, a] : exo_allocation_path(video_kbps, audio_kbps)) {
+    ComboView combo;
+    combo.video_id = video[v].id;
+    combo.audio_id = audio[a].id;
+    combo.video_kbps = video[v].declared_kbps;
+    combo.audio_kbps = audio[a].declared_kbps;
+    combo.bandwidth_kbps = video[v].declared_kbps + audio[a].declared_kbps;
+    combo.avg_bandwidth_kbps = combo.bandwidth_kbps;
+    combos.push_back(std::move(combo));
+  }
+  return combos;
+}
+
+}  // namespace demuxabr

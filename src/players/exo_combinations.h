@@ -1,0 +1,43 @@
+// ExoPlayer's predetermined audio/video combinations (§3.2, DASH).
+//
+// Reimplements the switch-point construction of ExoPlayer 2.10's
+// AdaptiveTrackSelection.getAllocationCheckpoints():
+//   1. take log bitrates so all rate-update steps are treated equally;
+//   2. for each renderer (audio, video), place the switch point of the
+//      upgrade k -> k+1 at the normalized log-bitrate MIDPOINT
+//      (log b_k + log b_{k+1}) / 2, scaled into [0, 1] by the renderer's
+//      total log-bitrate span;
+//   3. start both renderers at their lowest track and apply upgrades in
+//      ascending switch-point order — producing |V| + |A| - 1 combinations
+//      where adjacent combinations differ in exactly one component.
+//
+// Verified against all three ladders the paper reports: Table 1 audio
+// (A1..A3), audio set B and audio set C (§3.2) reproduce the exact
+// published sequences.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "manifest/view.h"
+#include "media/combination.h"
+
+namespace demuxabr {
+
+/// Core algorithm on plain bitrate arrays (ascending order required).
+/// Returns the upgrade path as (video_index, audio_index) pairs, starting at
+/// (0,0) and ending at (V-1, A-1).
+std::vector<std::pair<std::size_t, std::size_t>> exo_allocation_path(
+    const std::vector<double>& video_kbps, const std::vector<double>& audio_kbps);
+
+/// Predetermined combinations for a bitrate ladder, using declared bitrates
+/// (what a DASH manifest exposes).
+std::vector<AvCombination> exo_predetermined_combinations(const BitrateLadder& ladder);
+
+/// Predetermined combinations from a DASH ManifestView (what the player
+/// actually sees). Combination bandwidths are sums of declared bitrates.
+std::vector<ComboView> exo_predetermined_combinations(const ManifestView& view);
+
+}  // namespace demuxabr

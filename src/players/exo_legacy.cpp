@@ -1,0 +1,118 @@
+#include "players/exo_legacy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace demuxabr {
+
+ExoLegacyPlayerModel::ExoLegacyPlayerModel(ExoLegacyConfig config)
+    : config_(config), meter_(config.meter) {}
+
+void ExoLegacyPlayerModel::start(const ManifestView& view) {
+  video_ids_.clear();
+  video_kbps_.clear();
+  current_ = 0;
+  selection_initialized_ = false;
+
+  assert(!view.audio_tracks.empty());
+  const std::size_t audio_index =
+      std::min(config_.fixed_audio_index, view.audio_tracks.size() - 1);
+  audio_id_ = view.audio_tracks[audio_index].id;
+
+  // Video ladder: per-track declared bitrates under DASH; the first
+  // variant's aggregate BANDWIDTH under HLS (the same overestimation as the
+  // v2.10 model — that code path predates it).
+  struct VideoEntry {
+    std::string id;
+    double kbps;
+  };
+  std::vector<VideoEntry> entries;
+  for (const TrackView& video : view.video_tracks) {
+    double kbps = video.declared_kbps;
+    if (!video.bitrate_known) {
+      for (const ComboView& combo : view.combos) {
+        if (combo.video_id == video.id) {
+          kbps = combo.bandwidth_kbps;
+          break;
+        }
+      }
+    }
+    if (kbps <= 0.0) continue;
+    entries.push_back({video.id, kbps});
+  }
+  assert(!entries.empty());
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const VideoEntry& a, const VideoEntry& b) {
+                     return a.kbps < b.kbps;
+                   });
+  for (const VideoEntry& entry : entries) {
+    video_ids_.push_back(entry.id);
+    video_kbps_.push_back(entry.kbps);
+  }
+}
+
+void ExoLegacyPlayerModel::update_selection(const PlayerContext& ctx) {
+  const double allocatable = config_.bandwidth_fraction * meter_.estimate_kbps();
+  std::size_t ideal = 0;
+  for (std::size_t i = 0; i < video_kbps_.size(); ++i) {
+    if (video_kbps_[i] <= allocatable) ideal = i;
+  }
+  if (!selection_initialized_) {
+    current_ = ideal;
+    selection_initialized_ = true;
+    return;
+  }
+  const double buffered = std::min(ctx.audio_buffer_s, ctx.video_buffer_s);
+  if (ideal > current_) {
+    if (buffered >= config_.min_duration_for_quality_increase_s) current_ = ideal;
+  } else if (ideal < current_) {
+    if (buffered < config_.max_duration_for_quality_decrease_s) current_ = ideal;
+  }
+}
+
+std::optional<DownloadRequest> ExoLegacyPlayerModel::next_request(
+    const PlayerContext& ctx) {
+  // Same chunk-level A/V download synchronization as the v2.10 model.
+  struct Candidate {
+    MediaType type;
+    int next_chunk;
+    double buffer;
+  };
+  std::vector<Candidate> candidates;
+  for (MediaType type : {MediaType::kVideo, MediaType::kAudio}) {
+    if (ctx.downloading(type)) continue;
+    if (ctx.next_chunk(type) >= ctx.total_chunks) continue;
+    if (ctx.buffer_s(type) >= config_.max_buffer_s) continue;
+    candidates.push_back({type, ctx.next_chunk(type), ctx.buffer_s(type)});
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.next_chunk != b.next_chunk) return a.next_chunk < b.next_chunk;
+                     return a.buffer < b.buffer;
+                   });
+  const Candidate& chosen = candidates.front();
+
+  DownloadRequest request;
+  request.type = chosen.type;
+  request.chunk_index = chosen.next_chunk;
+  if (chosen.type == MediaType::kAudio) {
+    request.track_id = audio_id_;  // pinned, never adapted
+  } else {
+    update_selection(ctx);
+    request.track_id = video_ids_[current_];
+  }
+  return request;
+}
+
+void ExoLegacyPlayerModel::on_chunk_complete(const ChunkCompletion& completion,
+                                             const PlayerContext& ctx) {
+  (void)ctx;
+  meter_.on_transfer_end(completion.bytes, completion.duration_s());
+}
+
+double ExoLegacyPlayerModel::bandwidth_estimate_kbps() const {
+  return meter_.estimate_kbps();
+}
+
+}  // namespace demuxabr

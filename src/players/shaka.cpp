@@ -1,0 +1,92 @@
+#include "players/shaka.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace demuxabr {
+
+ShakaPlayerModel::ShakaPlayerModel(ShakaConfig config)
+    : config_(config), estimator_(config.estimator) {}
+
+std::string ShakaPlayerModel::name() const {
+  return protocol_ == Protocol::kDash ? "shaka-dash" : "shaka-hls";
+}
+
+void ShakaPlayerModel::start(const ManifestView& view) {
+  protocol_ = view.protocol;
+  estimator_ = ShakaBandwidthEstimator(config_.estimator);
+  combos_.clear();
+
+  if (view.has_combination_list) {
+    combos_ = view.combos_sorted();
+  } else {
+    // DASH: the player creates every audio x video combination when parsing
+    // the manifest (§3.3), priced at the sum of declared bitrates.
+    for (const TrackView& video : view.video_tracks) {
+      for (const TrackView& audio : view.audio_tracks) {
+        assert(video.bitrate_known && audio.bitrate_known);
+        ComboView combo;
+        combo.video_id = video.id;
+        combo.audio_id = audio.id;
+        combo.video_kbps = video.declared_kbps;
+        combo.audio_kbps = audio.declared_kbps;
+        combo.bandwidth_kbps = video.declared_kbps + audio.declared_kbps;
+        combo.avg_bandwidth_kbps = combo.bandwidth_kbps;
+        combos_.push_back(std::move(combo));
+      }
+    }
+    std::stable_sort(combos_.begin(), combos_.end(),
+                     [](const ComboView& a, const ComboView& b) {
+                       return a.bandwidth_kbps < b.bandwidth_kbps;
+                     });
+  }
+  assert(!combos_.empty());
+}
+
+std::size_t ShakaPlayerModel::select_for_estimate(double estimate_kbps) const {
+  // Highest combination whose bandwidth requirement fits the estimate;
+  // the lowest one when nothing fits. No hysteresis (§3.3).
+  std::size_t choice = 0;
+  for (std::size_t i = 0; i < combos_.size(); ++i) {
+    if (combos_[i].bandwidth_kbps <= estimate_kbps) choice = i;
+  }
+  return choice;
+}
+
+std::optional<DownloadRequest> ShakaPlayerModel::next_request(const PlayerContext& ctx) {
+  // Independent per-type pipelines, both filling to the bufferingGoal.
+  struct Candidate {
+    MediaType type;
+    double buffer;
+  };
+  std::vector<Candidate> candidates;
+  for (MediaType type : {MediaType::kAudio, MediaType::kVideo}) {
+    if (ctx.downloading(type)) continue;
+    if (ctx.next_chunk(type) >= ctx.total_chunks) continue;
+    if (ctx.buffer_s(type) >= config_.buffering_goal_s) continue;
+    candidates.push_back({type, ctx.buffer_s(type)});
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.buffer < b.buffer;
+                   });
+  const MediaType type = candidates.front().type;
+
+  const ComboView& combo = combos_[select_for_estimate(estimator_.estimate_kbps())];
+  DownloadRequest request;
+  request.type = type;
+  request.track_id = type == MediaType::kVideo ? combo.video_id : combo.audio_id;
+  request.chunk_index = ctx.next_chunk(type);
+  return request;
+}
+
+void ShakaPlayerModel::on_progress(const ProgressSample& sample) {
+  estimator_.on_progress(sample);
+}
+
+double ShakaPlayerModel::bandwidth_estimate_kbps() const {
+  return estimator_.estimate_kbps();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,43 @@
+#include "sim/buffer.h"
+
+#include <algorithm>
+
+namespace demuxabr {
+
+void MediaBuffer::push(int chunk_index, double duration_s, std::string track_id) {
+  assert(duration_s > 0.0);
+  assert(chunks_.empty() ? chunk_index >= end_index_ - 1 : true);
+  assert(chunk_index == end_index_ || end_index_ == 0);
+  chunks_.push_back({chunk_index, duration_s, std::move(track_id)});
+  level_s_ += duration_s;
+  end_index_ = chunk_index + 1;
+}
+
+double MediaBuffer::consume(double dt) {
+  assert(dt >= 0.0);
+  double consumed = 0.0;
+  while (dt > 1e-12 && !chunks_.empty()) {
+    BufferedChunk& front = chunks_.front();
+    const double remaining = front.duration_s - front_consumed_s_;
+    const double take = std::min(remaining, dt);
+    front_consumed_s_ += take;
+    level_s_ -= take;
+    consumed += take;
+    dt -= take;
+    if (front.duration_s - front_consumed_s_ <= 1e-12) {
+      chunks_.pop_front();
+      front_consumed_s_ = 0.0;
+    }
+  }
+  if (level_s_ < 1e-12) level_s_ = 0.0;
+  return consumed;
+}
+
+void MediaBuffer::clear() {
+  chunks_.clear();
+  front_consumed_s_ = 0.0;
+  level_s_ = 0.0;
+  end_index_ = 0;
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,43 @@
+// MediaBuffer: the client-side prefetch buffer for one media type. Chunks
+// become playable only once fully downloaded; playback drains the front.
+// Stalls happen when *either* the audio or the video buffer underruns
+// (§3.4, Fig 5(b)) — the session engine enforces that coupling.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <string>
+
+namespace demuxabr {
+
+class MediaBuffer {
+ public:
+  struct BufferedChunk {
+    int chunk_index;
+    double duration_s;
+    std::string track_id;
+  };
+
+  /// Append a fully-downloaded chunk. Indices must arrive in order.
+  void push(int chunk_index, double duration_s, std::string track_id);
+
+  /// Consume up to dt seconds of playback; returns the amount actually
+  /// consumed (less than dt only when the buffer runs dry).
+  double consume(double dt);
+
+  [[nodiscard]] double level_s() const { return level_s_; }
+  [[nodiscard]] bool empty() const { return level_s_ <= 1e-9; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  /// Highest buffered chunk index + 1; 0 when never filled.
+  [[nodiscard]] int end_index() const { return end_index_; }
+
+  void clear();
+
+ private:
+  std::deque<BufferedChunk> chunks_;
+  double front_consumed_s_ = 0.0;  ///< already-played part of the front chunk
+  double level_s_ = 0.0;
+  int end_index_ = 0;
+};
+
+}  // namespace demuxabr

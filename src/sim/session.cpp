@@ -1,0 +1,429 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace demuxabr {
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+StreamingSession::StreamingSession(const Content& content, ManifestView view,
+                                   Network network, PlayerAdapter& player,
+                                   SessionConfig config)
+    : content_(content),
+      view_(std::move(view)),
+      network_(std::move(network)),
+      player_(player),
+      config_(config) {
+  // A player must know the timeline before adapting; when the manifest view
+  // lacks it (HLS top-level only), model the mandatory fetch of the first
+  // media playlist by filling it in here.
+  if (view_.total_chunks <= 0 || view_.chunk_duration_s <= 0.0) {
+    view_.total_chunks = content_.num_chunks();
+    view_.chunk_duration_s = content_.chunk_duration_s();
+  }
+  log_.content_duration_s = content_.duration_s();
+  log_.chunk_duration_s = content_.chunk_duration_s();
+  log_.total_chunks = content_.num_chunks();
+  log_.video_selection.assign(static_cast<std::size_t>(content_.num_chunks()), "");
+  log_.audio_selection.assign(static_cast<std::size_t>(content_.num_chunks()), "");
+}
+
+PlayerContext StreamingSession::make_context() const {
+  PlayerContext ctx;
+  ctx.now = now_;
+  ctx.audio_buffer_s = audio_buffer_.level_s();
+  ctx.video_buffer_s = video_buffer_.level_s();
+  ctx.next_audio_chunk = next_audio_chunk_;
+  ctx.next_video_chunk = next_video_chunk_;
+  ctx.total_chunks = content_.num_chunks();
+  ctx.audio_downloading =
+      audio_flow_.active || (video_flow_.active && video_flow_.request.muxed);
+  ctx.video_downloading = video_flow_.active;
+  ctx.playing = playing_;
+  ctx.playhead_s = playhead_s_;
+  return ctx;
+}
+
+double StreamingSession::flow_rate_bytes_per_s(const Flow& f) const {
+  if (!f.active || now_ + kEps < f.data_start_t) return 0.0;
+  const Link& link = network_.link_for(f.request.type == MediaType::kVideo);
+  const int n = std::max(1, link.active_flows());
+  const double kbps = link.capacity_kbps(now_) / static_cast<double>(n);
+  return kbps * 1000.0 / 8.0;
+}
+
+bool StreamingSession::all_chunks_downloaded() const {
+  return next_audio_chunk_ >= content_.num_chunks() &&
+         next_video_chunk_ >= content_.num_chunks();
+}
+
+void StreamingSession::start_flow(const DownloadRequest& request) {
+  Flow& f = flow(request.type);
+  assert(!f.active);
+  assert(request.chunk_index == next_chunk(request.type));
+  assert(request.chunk_index < content_.num_chunks());
+  [[maybe_unused]] const TrackInfo* track = content_.ladder().find(request.track_id);
+  assert(track != nullptr);
+  assert((request.type == MediaType::kAudio) == track->is_audio());
+  if (request.muxed) {
+    // Muxed chunks carry both components: positions must be aligned and the
+    // audio slot must be free (the muxed flow occupies both).
+    assert(request.type == MediaType::kVideo);
+    assert(!audio_flow_.active);
+    assert(next_audio_chunk_ == next_video_chunk_);
+    [[maybe_unused]] const TrackInfo* audio = content_.ladder().find(request.audio_track_id);
+    assert(audio != nullptr && audio->is_audio());
+  }
+
+  f.active = true;
+  f.request = request;
+  f.total_bytes = content_.chunk(request.track_id, request.chunk_index).size_bytes;
+  if (request.muxed) {
+    f.total_bytes +=
+        content_.chunk(request.audio_track_id, request.chunk_index).size_bytes;
+  }
+  f.request_t = now_;
+  f.data_start_t = now_ + network_.rtt_s;
+  f.bytes_done = 0.0;
+  f.sampled_bytes = 0;
+  f.last_sample_t = f.data_start_t;
+  f.on_link = false;
+
+  if (config_.record_series) {
+    const TrackInfo* info = content_.ladder().find(request.track_id);
+    if (request.type == MediaType::kVideo) {
+      log_.selected_video_kbps.add(now_, info->avg_kbps);
+    } else {
+      log_.selected_audio_kbps.add(now_, info->avg_kbps);
+    }
+    if (request.muxed) {
+      log_.selected_audio_kbps.add(
+          now_, content_.ladder().find(request.audio_track_id)->avg_kbps);
+    }
+  }
+  DMX_DEBUG << "t=" << now_ << " request " << media_type_name(request.type) << " "
+            << request.track_id << " chunk " << request.chunk_index << " ("
+            << f.total_bytes << " B)";
+}
+
+std::optional<ProgressSample> StreamingSession::emit_progress(Flow& f, double t1) {
+  const auto bytes_now = static_cast<std::int64_t>(f.bytes_done + 0.5);
+  const std::int64_t delta_bytes = bytes_now - f.sampled_bytes;
+  const double t0 = f.last_sample_t;
+  if (t1 <= t0 + kEps) return std::nullopt;
+  ProgressSample sample;
+  sample.type = f.request.type;
+  sample.t0 = t0;
+  sample.t1 = t1;
+  sample.bytes = delta_bytes;
+  player_.on_progress(sample);
+  f.sampled_bytes = bytes_now;
+  f.last_sample_t = t1;
+  return sample;
+}
+
+void StreamingSession::abort_flow(Flow& f) {
+  assert(f.active);
+  Link& link = network_.link_for(f.request.type == MediaType::kVideo);
+  if (f.on_link) {
+    link.remove_flow();
+    f.on_link = false;
+  }
+  DownloadRecord record;
+  record.type = f.request.type;
+  record.track_id = f.request.track_id;
+  record.chunk_index = f.request.chunk_index;
+  record.bytes = static_cast<std::int64_t>(f.bytes_done + 0.5);
+  record.start_t = f.request_t;
+  record.end_t = now_;
+  log_.abandoned.push_back(record);
+  f.active = false;
+  DMX_DEBUG << "t=" << now_ << " abandon " << media_type_name(record.type) << " "
+            << record.track_id << " chunk " << record.chunk_index << " after "
+            << record.bytes << " B";
+}
+
+void StreamingSession::complete_flow(Flow& f) {
+  // Final (partial-interval) progress sample, then the completion event.
+  emit_progress(f, now_);
+  Link& link = network_.link_for(f.request.type == MediaType::kVideo);
+  if (f.on_link) {
+    link.remove_flow();
+    f.on_link = false;
+  }
+
+  // One component per record/completion; a muxed flow yields two of each.
+  struct Component {
+    MediaType type;
+    std::string track_id;
+    std::int64_t bytes;
+  };
+  std::vector<Component> components;
+  const int chunk_index = f.request.chunk_index;
+  components.push_back(
+      {f.request.type, f.request.track_id,
+       content_.chunk(f.request.track_id, chunk_index).size_bytes});
+  if (f.request.muxed) {
+    components.push_back(
+        {MediaType::kAudio, f.request.audio_track_id,
+         content_.chunk(f.request.audio_track_id, chunk_index).size_bytes});
+  }
+
+  for (const Component& component : components) {
+    buffer(component.type)
+        .push(chunk_index, content_.chunk(component.track_id, chunk_index).duration_s,
+              component.track_id);
+    next_chunk(component.type) = chunk_index + 1;
+
+    DownloadRecord record;
+    record.type = component.type;
+    record.track_id = component.track_id;
+    record.chunk_index = chunk_index;
+    record.bytes = component.bytes;
+    record.start_t = f.request_t;
+    record.end_t = now_;
+    log_.downloads.push_back(record);
+    auto& selection = component.type == MediaType::kVideo ? log_.video_selection
+                                                          : log_.audio_selection;
+    selection[static_cast<std::size_t>(chunk_index)] = component.track_id;
+  }
+
+  const bool was_muxed = f.request.muxed;
+  f.active = false;
+  for (const Component& component : components) {
+    ChunkCompletion completion;
+    completion.type = component.type;
+    completion.track_id = component.track_id;
+    completion.chunk_index = chunk_index;
+    completion.bytes = component.bytes;
+    completion.start_t = f.request_t;
+    completion.end_t = now_;
+    player_.on_chunk_complete(completion, make_context());
+  }
+  DMX_DEBUG << "t=" << now_ << " complete " << (was_muxed ? "muxed " : "")
+            << components.front().track_id << " chunk " << chunk_index;
+}
+
+void StreamingSession::perform_seek(const SeekEvent& seek) {
+  // Snap the target to a chunk boundary so audio and video restart aligned.
+  const double chunk_s = content_.chunk_duration_s();
+  int target_chunk = static_cast<int>(seek.to_position_s / chunk_s);
+  target_chunk = std::clamp(target_chunk, 0, content_.num_chunks() - 1);
+  const double target_position = static_cast<double>(target_chunk) * chunk_s;
+
+  SeekRecord record;
+  record.at_t = now_;
+  record.from_position_s = playhead_s_;
+  record.to_position_s = target_position;
+  log_.seeks.push_back(record);
+
+  // Cancel in-flight downloads (wasted bytes, accounted like abandonment).
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active) {
+      emit_progress(*f, now_);
+      abort_flow(*f);
+    }
+  }
+  audio_buffer_.clear();
+  video_buffer_.clear();
+  next_audio_chunk_ = target_chunk;
+  next_video_chunk_ = target_chunk;
+  playhead_s_ = target_position;
+  // Rebuffer at the new position; the gap counts as a stall when playback
+  // was running (the user watches a spinner either way).
+  if (started_ && playing_) {
+    playing_ = false;
+    stall_start_t_ = now_;
+  }
+  DMX_DEBUG << "t=" << now_ << " seek " << record.from_position_s << " -> "
+            << target_position;
+}
+
+void StreamingSession::poll_player() {
+  // Offer free download slots to the player until it declines.
+  for (int guard = 0; guard < 4; ++guard) {
+    if (active_flow_count() >= player_.max_concurrent_downloads()) return;
+    if (all_chunks_downloaded()) return;
+    const PlayerContext ctx = make_context();
+    const std::optional<DownloadRequest> request = player_.next_request(ctx);
+    if (!request.has_value()) return;
+    assert(!flow(request->type).active && "player requested a busy media type");
+    start_flow(*request);
+  }
+}
+
+void StreamingSession::handle_playback_transitions() {
+  const bool audio_done = next_audio_chunk_ >= content_.num_chunks();
+  const bool video_done = next_video_chunk_ >= content_.num_chunks();
+  const bool everything_downloaded = audio_done && video_done;
+
+  if (!started_) {
+    if ((audio_buffer_.level_s() >= config_.startup_buffer_s - kEps &&
+         video_buffer_.level_s() >= config_.startup_buffer_s - kEps) ||
+        everything_downloaded) {
+      started_ = true;
+      playing_ = true;
+      log_.startup_delay_s = now_;
+      DMX_DEBUG << "t=" << now_ << " playback start";
+    }
+    return;
+  }
+
+  if (playing_) {
+    const bool audio_underrun = audio_buffer_.empty() && !audio_done;
+    const bool video_underrun = video_buffer_.empty() && !video_done;
+    if (audio_underrun || video_underrun) {
+      playing_ = false;
+      stall_start_t_ = now_;
+      DMX_DEBUG << "t=" << now_ << " stall (audio=" << audio_buffer_.level_s()
+                << " video=" << video_buffer_.level_s() << ")";
+    }
+    return;
+  }
+
+  // Stalled: resume when both buffers recover (or nothing more to download).
+  if ((audio_buffer_.level_s() >= config_.resume_buffer_s - kEps &&
+       video_buffer_.level_s() >= config_.resume_buffer_s - kEps) ||
+      everything_downloaded) {
+    playing_ = true;
+    log_.stalls.push_back({stall_start_t_, now_});
+    DMX_DEBUG << "t=" << now_ << " resume after "
+              << (now_ - stall_start_t_) << "s stall";
+  }
+}
+
+void StreamingSession::sample_series() {
+  if (!config_.record_series) return;
+  log_.audio_buffer_s.add(now_, audio_buffer_.level_s());
+  log_.video_buffer_s.add(now_, video_buffer_.level_s());
+  log_.bandwidth_estimate_kbps.add(now_, player_.bandwidth_estimate_kbps());
+  const double interval = now_ - last_series_sample_t_;
+  if (interval > 0.0) {
+    log_.achieved_throughput_kbps.add(
+        now_, bytes_since_last_sample_ * 8.0 / 1000.0 / interval);
+  }
+  last_series_sample_t_ = now_;
+  bytes_since_last_sample_ = 0.0;
+}
+
+SessionLog StreamingSession::run() {
+  player_.start(view_);
+  log_.player_name = player_.name();  // after start: names can be protocol-dependent
+
+  double next_tick = config_.delta_s;
+  sample_series();
+  poll_player();
+
+  while (now_ < config_.max_sim_time_s) {
+    // Register flows whose RTT phase just ended.
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && !f->on_link && now_ + kEps >= f->data_start_t) {
+        network_.link_for(f->request.type == MediaType::kVideo).add_flow();
+        f->on_link = true;
+      }
+    }
+
+    // --- Find the next event horizon. ---
+    double dt = next_tick - now_;
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (!f->active) continue;
+      if (now_ + kEps < f->data_start_t) {
+        dt = std::min(dt, f->data_start_t - now_);
+        continue;
+      }
+      const double rate = flow_rate_bytes_per_s(*f);
+      if (rate > 0.0) {
+        const double remaining = static_cast<double>(f->total_bytes) - f->bytes_done;
+        dt = std::min(dt, remaining / rate);
+      }
+    }
+    for (const Link* link : {network_.video_link.get(), network_.audio_link.get()}) {
+      const double change = link->next_change_after(now_);
+      if (std::isfinite(change)) dt = std::min(dt, change - now_);
+      if (network_.is_shared()) break;
+    }
+    if (playing_) {
+      const double min_buffer =
+          std::min(audio_buffer_.level_s(), video_buffer_.level_s());
+      if (min_buffer > 0.0) dt = std::min(dt, min_buffer);
+      dt = std::min(dt, std::max(0.0, content_.duration_s() - playhead_s_));
+    }
+    if (next_seek_ < config_.seeks.size()) {
+      dt = std::min(dt, std::max(0.0, config_.seeks[next_seek_].at_time_s - now_));
+    }
+    dt = std::max(dt, 1e-6);  // forward progress guard
+
+    // --- Advance state by dt. ---
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && f->on_link) {
+        const double delivered = flow_rate_bytes_per_s(*f) * dt;
+        f->bytes_done += delivered;
+        bytes_since_last_sample_ += delivered;
+      }
+    }
+    if (playing_) {
+      audio_buffer_.consume(dt);
+      video_buffer_.consume(dt);
+      playhead_s_ += dt;
+    }
+    now_ += dt;
+
+    // --- Process events at the new time. ---
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && f->on_link &&
+          f->bytes_done + 0.5 >= static_cast<double>(f->total_bytes)) {
+        f->bytes_done = static_cast<double>(f->total_bytes);
+        complete_flow(*f);
+      }
+    }
+    if (now_ + kEps >= next_tick) {
+      for (Flow* f : {&audio_flow_, &video_flow_}) {
+        if (f->active && f->on_link) {
+          const auto sample = emit_progress(*f, now_);
+          if (sample.has_value() &&
+              player_.should_abandon(*sample, make_context())) {
+            abort_flow(*f);
+          }
+        }
+      }
+      sample_series();
+      next_tick += config_.delta_s;
+    }
+
+    if (next_seek_ < config_.seeks.size() &&
+        now_ + kEps >= config_.seeks[next_seek_].at_time_s) {
+      perform_seek(config_.seeks[next_seek_]);
+      ++next_seek_;
+    }
+
+    handle_playback_transitions();
+    poll_player();
+
+    if (started_ && playhead_s_ + kEps >= content_.duration_s()) {
+      log_.completed = true;
+      break;
+    }
+  }
+
+  log_.end_time_s = now_;
+  if (!log_.completed) {
+    DMX_WARN << "session hit the sim-time cap at t=" << now_ << " (playhead "
+             << playhead_s_ << "/" << content_.duration_s() << ")";
+  }
+  return log_;
+}
+
+SessionLog run_session(const Content& content, const ManifestView& view,
+                       const Network& network, PlayerAdapter& player,
+                       const SessionConfig& config) {
+  StreamingSession session(content, view, network, player, config);
+  return session.run();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,138 @@
+// StreamingSession: the discrete-event client/network simulation.
+//
+// Owns the playback clock, the per-type prefetch buffers, and the download
+// flows over the Network. Polls the PlayerAdapter for decisions, feeds it
+// progress/completion events, and records a SessionLog. Deterministic:
+// identical inputs yield identical logs.
+//
+// Model summary (DESIGN.md §4):
+//  * at most one in-flight download per media type; the player's
+//    max_concurrent_downloads() caps overall parallelism (1 = serial A/V,
+//    2 = concurrent pipelines);
+//  * each request pays an RTT before data flows; active flows on a link
+//    share its capacity equally;
+//  * per-delta (default 0.125 s) progress samples are emitted per flow —
+//    the granularity Shaka's estimator filters on (§3.3);
+//  * playback consumes audio and video in lockstep; a stall starts when
+//    either buffer underruns and ends when both recover past the resume
+//    threshold (§3.4).
+#pragma once
+
+#include "manifest/view.h"
+#include "media/content.h"
+#include "net/link.h"
+#include "sim/buffer.h"
+#include "sim/metrics.h"
+#include "sim/player.h"
+
+namespace demuxabr {
+
+/// A scripted user seek: at wall-clock `at_time_s`, jump the playhead to
+/// content position `to_position_s` (snapped to a chunk boundary).
+struct SeekEvent {
+  double at_time_s = 0.0;
+  double to_position_s = 0.0;
+};
+
+struct SessionConfig {
+  /// Playback starts once both buffers reach this level (or the content is
+  /// fully downloaded). Default matches ExoPlayer's bufferForPlayback.
+  double startup_buffer_s = 2.5;
+  /// After a stall, playback resumes once both buffers recover to this
+  /// (ExoPlayer's bufferForPlaybackAfterRebuffer).
+  double resume_buffer_s = 5.0;
+  /// Progress-sampling interval (Shaka's delta).
+  double delta_s = 0.125;
+  /// Hard wall on simulated time (guards against player deadlock).
+  double max_sim_time_s = 7200.0;
+  /// Record buffer/estimate/selection time series in the log.
+  bool record_series = true;
+  /// Scripted seeks, ascending by at_time_s. A seek cancels in-flight
+  /// downloads, flushes both buffers and rebuffers at the target position
+  /// (counted as a stall while playback is paused).
+  std::vector<SeekEvent> seeks;
+};
+
+class StreamingSession {
+ public:
+  /// `content` is server-side truth (chunk sizes); `view` is what the player
+  /// sees. The session keeps references; all must outlive run().
+  StreamingSession(const Content& content, ManifestView view, Network network,
+                   PlayerAdapter& player, SessionConfig config = {});
+
+  /// Run to completion (or the sim-time cap) and return the log.
+  SessionLog run();
+
+ private:
+  struct Flow {
+    bool active = false;
+    DownloadRequest request;
+    std::int64_t total_bytes = 0;
+    double request_t = 0.0;
+    double data_start_t = 0.0;  ///< request_t + RTT
+    double bytes_done = 0.0;
+    std::int64_t sampled_bytes = 0;  ///< bytes already reported via samples
+    double last_sample_t = 0.0;
+    bool on_link = false;
+  };
+
+  [[nodiscard]] PlayerContext make_context() const;
+  [[nodiscard]] Flow& flow(MediaType type) {
+    return type == MediaType::kAudio ? audio_flow_ : video_flow_;
+  }
+  [[nodiscard]] MediaBuffer& buffer(MediaType type) {
+    return type == MediaType::kAudio ? audio_buffer_ : video_buffer_;
+  }
+  [[nodiscard]] int& next_chunk(MediaType type) {
+    return type == MediaType::kAudio ? next_audio_chunk_ : next_video_chunk_;
+  }
+  [[nodiscard]] int active_flow_count() const {
+    return (audio_flow_.active ? 1 : 0) + (video_flow_.active ? 1 : 0);
+  }
+
+  /// Bytes/s the flow receives right now (0 during the RTT phase).
+  [[nodiscard]] double flow_rate_bytes_per_s(const Flow& f) const;
+
+  void poll_player();
+  void perform_seek(const SeekEvent& seek);
+  void start_flow(const DownloadRequest& request);
+  void complete_flow(Flow& f);
+  /// Cancel an in-flight download (request abandonment).
+  void abort_flow(Flow& f);
+  /// Emit the pending progress sample up to t1; returns it when non-empty.
+  std::optional<ProgressSample> emit_progress(Flow& f, double t1);
+  void handle_playback_transitions();
+  void sample_series();
+  [[nodiscard]] bool all_chunks_downloaded() const;
+
+  const Content& content_;
+  ManifestView view_;
+  Network network_;
+  PlayerAdapter& player_;
+  SessionConfig config_;
+
+  double now_ = 0.0;
+  double last_series_sample_t_ = 0.0;
+  double bytes_since_last_sample_ = 0.0;
+  bool started_ = false;
+  bool playing_ = false;
+  double playhead_s_ = 0.0;
+  double stall_start_t_ = 0.0;
+
+  MediaBuffer audio_buffer_;
+  MediaBuffer video_buffer_;
+  int next_audio_chunk_ = 0;
+  int next_video_chunk_ = 0;
+  Flow audio_flow_;
+  Flow video_flow_;
+  std::size_t next_seek_ = 0;  ///< index into config_.seeks
+
+  SessionLog log_;
+};
+
+/// Convenience one-call runner.
+SessionLog run_session(const Content& content, const ManifestView& view,
+                       const Network& network, PlayerAdapter& player,
+                       const SessionConfig& config = {});
+
+}  // namespace demuxabr

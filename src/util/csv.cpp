@@ -1,0 +1,170 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string escape_cell(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value) {
+  // Trim trailing zeros for compact logs while keeping precision.
+  std::string s = format("%.6f", value);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  assert(pending_.size() < header_.size());
+  pending_.push_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) { return cell(format_double(value)); }
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  return cell(format("%lld", static_cast<long long>(value)));
+}
+
+CsvWriter& CsvWriter::end_row() {
+  assert(pending_.size() == header_.size());
+  rows_.push_back(std::move(pending_));
+  pending_.clear();
+  return *this;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    out << escape_cell(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << escape_cell(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status CsvWriter::save(const std::string& path) const {
+  return write_file(path, to_string());
+}
+
+Result<CsvDocument> parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&]() -> Status {
+    end_cell();
+    if (doc.header.empty()) {
+      doc.header = std::move(row);
+    } else {
+      if (row.size() != doc.header.size()) {
+        return Error{format("csv row has %zu cells, header has %zu", row.size(),
+                            doc.header.size())};
+      }
+      doc.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_content = false;
+    return {};
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n': {
+        if (!row_has_content && cell.empty() && row.empty()) break;  // skip blank line
+        if (auto st = end_row(); !st.ok()) return Error{st.error()};
+        break;
+      }
+      default:
+        cell += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) return Error{"csv ends inside quoted cell"};
+  if (row_has_content || !cell.empty() || !row.empty()) {
+    if (auto st = end_row(); !st.ok()) return Error{st.error()};
+  }
+  if (doc.header.empty()) return Error{"csv is empty"};
+  return doc;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"cannot open file: " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{"cannot open file for writing: " + path};
+  out << content;
+  if (!out) return Error{"write failed: " + path};
+  return {};
+}
+
+}  // namespace demuxabr

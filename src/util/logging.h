@@ -1,0 +1,57 @@
+// Lightweight leveled logging.
+//
+// The simulation is single-threaded; the logger writes directly to stderr.
+// Experiments default to kWarn so bench output stays parseable; tests can
+// raise the level to debug a failing scenario.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace demuxabr {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Messages below the threshold are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Internal sink; prefer the DMX_LOG macro below.
+void log_message(LogLevel level, const char* file, int line, const std::string& message);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_message(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace demuxabr
+
+#define DMX_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::demuxabr::log_level())) { \
+  } else                                                    \
+    ::demuxabr::detail::LogLine(level, __FILE__, __LINE__)
+
+#define DMX_TRACE DMX_LOG(::demuxabr::LogLevel::kTrace)
+#define DMX_DEBUG DMX_LOG(::demuxabr::LogLevel::kDebug)
+#define DMX_INFO DMX_LOG(::demuxabr::LogLevel::kInfo)
+#define DMX_WARN DMX_LOG(::demuxabr::LogLevel::kWarn)
+#define DMX_ERROR DMX_LOG(::demuxabr::LogLevel::kError)

@@ -1,0 +1,72 @@
+// Minimal Result<T> type for recoverable errors (parsers, file I/O).
+//
+// C++20 has no std::expected; this is a small subset tailored to the needs
+// of this library: a value or a human-readable error message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace demuxabr {
+
+/// Error payload carried by a failed Result.
+struct Error {
+  std::string message;
+};
+
+/// A value of type T or an Error. Inspect with ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return Error{"bad token"};   or   return parsed_value;
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+}  // namespace demuxabr

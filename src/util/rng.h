@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// All stochastic behaviour in the library (VBR chunk sizes, random-walk
+// bandwidth traces, zipf request populations) flows through Rng so that a
+// fixed seed yields bit-identical experiment logs across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace demuxabr {
+
+/// xoshiro256++ generator seeded via splitmix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal with the given *underlying* normal mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double lambda);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Sample an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Zipf(s) distribution over ranks {0, .., n-1}: P(k) proportional to 1/(k+1)^s.
+/// Precomputes the CDF; sampling is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace demuxabr

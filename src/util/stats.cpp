@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace demuxabr {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+HalfLifeEwma::HalfLifeEwma(double half_life) : half_life_(half_life) {
+  assert(half_life > 0.0);
+}
+
+void HalfLifeEwma::add(double weight, double x) {
+  if (weight <= 0.0) return;
+  const double adjusted_alpha = std::pow(0.5, weight / half_life_);
+  estimate_ = x * (1.0 - adjusted_alpha) + adjusted_alpha * estimate_;
+  total_weight_ += weight;
+}
+
+void HalfLifeEwma::reset() {
+  estimate_ = 0.0;
+  total_weight_ = 0.0;
+}
+
+double HalfLifeEwma::estimate() const {
+  if (total_weight_ <= 0.0) return 0.0;
+  const double zero_factor = 1.0 - std::pow(0.5, total_weight_ / half_life_);
+  return estimate_ / zero_factor;
+}
+
+SlidingPercentile::SlidingPercentile(double max_weight) : max_weight_(max_weight) {
+  assert(max_weight > 0.0);
+}
+
+void SlidingPercentile::add(double weight, double value) {
+  if (weight <= 0.0) return;
+  samples_.push_back({weight, value});
+  total_weight_ += weight;
+  while (total_weight_ > max_weight_ && samples_.size() > 1) {
+    total_weight_ -= samples_.front().weight;
+    samples_.pop_front();
+  }
+}
+
+double SlidingPercentile::percentile(double fraction, double fallback) const {
+  if (samples_.empty()) return fallback;
+  std::vector<Sample> sorted(samples_.begin(), samples_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Sample& a, const Sample& b) { return a.value < b.value; });
+  const double target = std::clamp(fraction, 0.0, 1.0) * total_weight_;
+  double acc = 0.0;
+  for (const Sample& s : sorted) {
+    acc += s.weight;
+    // Epsilon guards the acc == target case against accumulation error.
+    if (acc + 1e-9 * total_weight_ >= target) return s.value;
+  }
+  return sorted.back().value;
+}
+
+void SlidingPercentile::clear() {
+  samples_.clear();
+  total_weight_ = 0.0;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+void SlidingWindow::add(double x) {
+  window_.push_back(x);
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+void SlidingWindow::clear() { window_.clear(); }
+
+double SlidingWindow::mean() const {
+  if (window_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : window_) sum += x;
+  return sum / static_cast<double>(window_.size());
+}
+
+double SlidingWindow::harmonic_mean() const {
+  if (window_.empty()) return 0.0;
+  double denom = 0.0;
+  for (double x : window_) {
+    if (x <= 0.0) return 0.0;
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(window_.size()) / denom;
+}
+
+double SlidingWindow::last() const { return window_.empty() ? 0.0 : window_.back(); }
+
+double percentile_of(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = std::clamp(fraction, 0.0, 1.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,118 @@
+// Streaming statistics primitives used by bandwidth estimators, metrics and
+// benchmarks: running mean/variance, EWMA (time and sample based), sliding
+// percentile (ExoPlayer-style weighted), harmonic mean window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace demuxabr {
+
+/// Welford running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Classic sample-count EWMA: v <- alpha * x + (1 - alpha) * v.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] bool empty() const { return !initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Half-life weighted EWMA as used by Shaka Player's bandwidth estimator:
+/// each sample carries a weight (e.g. transfer duration in seconds) and the
+/// decay is expressed as a half-life over accumulated weight. The estimate is
+/// bias-corrected for the initial missing mass, matching shaka.abr.Ewma.
+class HalfLifeEwma {
+ public:
+  explicit HalfLifeEwma(double half_life);
+
+  /// Add a sample `x` carrying `weight` units (seconds of transfer).
+  void add(double weight, double x);
+  void reset();
+
+  [[nodiscard]] double estimate() const;
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+
+ private:
+  double half_life_;
+  double estimate_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+/// Sliding percentile with sample weights, modelled after ExoPlayer's
+/// SlidingPercentile (DefaultBandwidthMeter): keeps at most `max_weight`
+/// total weight, evicting oldest samples, and answers weighted percentile
+/// queries over the retained window.
+class SlidingPercentile {
+ public:
+  explicit SlidingPercentile(double max_weight);
+
+  void add(double weight, double value);
+  /// Weighted percentile in [0,1]; returns fallback when empty.
+  [[nodiscard]] double percentile(double fraction, double fallback) const;
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  void clear();
+
+ private:
+  struct Sample {
+    double weight;
+    double value;
+  };
+  double max_weight_;
+  double total_weight_ = 0.0;
+  std::deque<Sample> samples_;  // insertion order for eviction
+};
+
+/// Fixed-size window over the last N samples with arithmetic and harmonic
+/// means (dash.js ThroughputRule style).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return window_.size(); }
+  [[nodiscard]] bool full() const { return window_.size() == capacity_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double harmonic_mean() const;
+  [[nodiscard]] double last() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+/// Percentile of an unsorted vector (copies + sorts). fraction in [0,1].
+double percentile_of(std::vector<double> values, double fraction);
+
+}  // namespace demuxabr

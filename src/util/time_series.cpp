@@ -1,0 +1,81 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr {
+
+void TimeSeries::add(double t, double value) {
+  assert(points_.empty() || t >= points_.back().t);
+  points_.push_back({t, value});
+}
+
+void TimeSeries::clear() { points_.clear(); }
+
+double TimeSeries::value_at(double t, double fallback) const {
+  if (points_.empty() || t < points_.front().t) return fallback;
+  // Binary search for the last point with point.t <= t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double x, const Point& p) { return x < p.t; });
+  return std::prev(it)->value;
+}
+
+double TimeSeries::time_weighted_mean(double t0, double t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double area = 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double seg_start = std::max(points_[i].t, t0);
+    const double seg_end =
+        std::min(i + 1 < points_.size() ? points_[i + 1].t : t1, t1);
+    if (seg_end <= seg_start) continue;
+    area += points_[i].value * (seg_end - seg_start);
+    covered += (seg_end - seg_start);
+  }
+  return covered > 0.0 ? area / covered : 0.0;
+}
+
+double TimeSeries::min_value() const {
+  if (points_.empty()) return 0.0;
+  double m = points_.front().value;
+  for (const Point& p : points_) m = std::min(m, p.value);
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  if (points_.empty()) return 0.0;
+  double m = points_.front().value;
+  for (const Point& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+std::size_t TimeSeries::change_count() const {
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].value != points_[i - 1].value) ++changes;
+  }
+  return changes;
+}
+
+TimeSeries TimeSeries::resample(double t0, double t1, double step) const {
+  assert(step > 0.0);
+  TimeSeries out;
+  for (double t = t0; t <= t1 + 1e-9; t += step) {
+    out.add(t, value_at(t, points_.empty() ? 0.0 : points_.front().value));
+  }
+  return out;
+}
+
+std::string TimeSeries::to_csv(const std::string& value_column) const {
+  std::ostringstream out;
+  out << "t," << value_column << '\n';
+  for (const Point& p : points_) {
+    out << format("%.3f,%.3f", p.t, p.value) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,52 @@
+// Time-stamped value series used throughout the session logs: buffer levels,
+// bandwidth estimates, selected-track timelines (Figs 2-5 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace demuxabr {
+
+/// Ordered (time, value) samples. Times must be non-decreasing.
+class TimeSeries {
+ public:
+  struct Point {
+    double t;
+    double value;
+  };
+
+  void add(double t, double value);
+  void clear();
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const Point& front() const { return points_.front(); }
+  [[nodiscard]] const Point& back() const { return points_.back(); }
+
+  /// Step interpolation: value of the latest point with point.t <= t.
+  /// Returns fallback before the first sample.
+  [[nodiscard]] double value_at(double t, double fallback = 0.0) const;
+
+  /// Time-weighted mean over [t0, t1] under step interpolation.
+  [[nodiscard]] double time_weighted_mean(double t0, double t1) const;
+
+  /// Minimum / maximum sampled value (0 when empty).
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+  /// Number of times the (step) value changes across consecutive samples.
+  [[nodiscard]] std::size_t change_count() const;
+
+  /// Resample onto a uniform grid [t0, t1] with the given step.
+  [[nodiscard]] TimeSeries resample(double t0, double t1, double step) const;
+
+  /// Render as a CSV fragment with the given column name.
+  [[nodiscard]] std::string to_csv(const std::string& value_column) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace demuxabr

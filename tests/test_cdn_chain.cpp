@@ -1,0 +1,93 @@
+#include "httpsim/cdn_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "media/content.h"
+#include "util/rng.h"
+
+namespace demuxabr {
+namespace {
+
+class CdnChainTest : public ::testing::Test {
+ protected:
+  Content content_ = make_drama_content();
+  ObjectCatalog catalog_ = build_demuxed_catalog(content_);
+};
+
+TEST_F(CdnChainTest, ColdFetchComesFromOriginAndFillsBothTiers) {
+  CdnChain chain(&catalog_, 0, 0);
+  const std::string key = chunk_object_key("V1", 0);
+  const auto first = chain.fetch(key);
+  EXPECT_EQ(first.served_by, CdnChain::ServedBy::kOrigin);
+  EXPECT_TRUE(chain.edge().contains(key));
+  EXPECT_TRUE(chain.regional().contains(key));
+  const auto second = chain.fetch(key);
+  EXPECT_EQ(second.served_by, CdnChain::ServedBy::kEdge);
+}
+
+TEST_F(CdnChainTest, RegionalServesEdgeEvictions) {
+  // Tiny edge, unbounded regional: after the edge evicts, the regional
+  // still has the object.
+  const std::int64_t one_chunk = catalog_.size_of(chunk_object_key("V1", 0));
+  CdnChain chain(&catalog_, one_chunk + 1, 0);
+  const std::string a = chunk_object_key("V1", 0);
+  const std::string b = chunk_object_key("V1", 1);
+  (void)chain.fetch(a);  // origin, fills edge+regional
+  (void)chain.fetch(b);  // origin, evicts `a` from the tiny edge
+  const auto again = chain.fetch(a);
+  EXPECT_EQ(again.served_by, CdnChain::ServedBy::kRegional);
+  EXPECT_EQ(chain.stats().regional_hits, 1);
+}
+
+TEST_F(CdnChainTest, UnknownKeyNotCounted) {
+  CdnChain chain(&catalog_, 0, 0);
+  const auto result = chain.fetch("nope");
+  EXPECT_EQ(result.served_by, CdnChain::ServedBy::kNotFound);
+  EXPECT_EQ(chain.stats().requests, 0);
+}
+
+TEST_F(CdnChainTest, StatsAddUp) {
+  CdnChain chain(&catalog_, 0, 0);
+  Rng rng(3);
+  const auto& video = content_.ladder().video();
+  for (int i = 0; i < 500; ++i) {
+    const auto& track = video[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    const int chunk = static_cast<int>(rng.uniform_int(0, 9));
+    (void)chain.fetch(chunk_object_key(track.id, chunk));
+  }
+  const auto& stats = chain.stats();
+  EXPECT_EQ(stats.requests, 500);
+  EXPECT_EQ(stats.edge_hits + stats.regional_hits + stats.origin_fetches, 500);
+  // With unbounded caches the regional tier never gets hit (the edge holds
+  // everything it ever saw).
+  EXPECT_EQ(stats.regional_hits, 0);
+  EXPECT_NEAR(stats.edge_hit_ratio() + stats.origin_fetch_ratio(), 1.0, 1e-12);
+}
+
+TEST_F(CdnChainTest, DemuxedBeatsMuxedAcrossTheChain) {
+  // Same viewer demand against demuxed and muxed catalogs with a bounded
+  // edge: the demuxed chain pulls fewer bytes from the origin.
+  const ObjectCatalog muxed = build_muxed_catalog(content_);
+  const std::int64_t edge_cap = catalog_.total_bytes() / 4;
+  const std::int64_t regional_cap = catalog_.total_bytes();
+  CdnChain demuxed_chain(&catalog_, edge_cap, regional_cap);
+  CdnChain muxed_chain(&muxed, edge_cap, regional_cap);
+
+  Rng rng(7);
+  ZipfDistribution video_dist(content_.ladder().video_count(), 0.8);
+  ZipfDistribution audio_dist(content_.ladder().audio_count(), 0.8);
+  for (int user = 0; user < 60; ++user) {
+    const std::string video = content_.ladder().video()[video_dist.sample(rng)].id;
+    const std::string audio = content_.ladder().audio()[audio_dist.sample(rng)].id;
+    for (int chunk = 0; chunk < content_.num_chunks(); ++chunk) {
+      (void)demuxed_chain.fetch(chunk_object_key(video, chunk));
+      (void)demuxed_chain.fetch(chunk_object_key(audio, chunk));
+      (void)muxed_chain.fetch(chunk_object_key(video + "+" + audio, chunk));
+    }
+  }
+  EXPECT_LT(demuxed_chain.stats().bytes_from_origin,
+            muxed_chain.stats().bytes_from_origin);
+}
+
+}  // namespace
+}  // namespace demuxabr

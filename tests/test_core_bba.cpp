@@ -1,0 +1,111 @@
+#include "core/bba_abr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compliance.h"
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+namespace ex = demuxabr::experiments;
+
+std::vector<ComboView> drama_staircase() {
+  const Content content = make_drama_content();
+  CurationPolicy policy;
+  policy.device.screen = DeviceProfile::Screen::kTv;
+  DashBuildOptions options;
+  options.allowed_combinations = curate_staircase(content.ladder(), policy);
+  return view_from_mpd(build_dash_mpd(content, options)).combos_sorted();
+}
+
+TEST(BbaAbr, ReservoirForcesLowest) {
+  BufferBasedJointAbr bba(drama_staircase());
+  EXPECT_EQ(bba.decide(0.0), 0u);
+  EXPECT_EQ(bba.decide(8.0), 0u);  // at the reservoir edge
+}
+
+TEST(BbaAbr, FullCushionReachesHighest) {
+  BufferBasedJointAbr bba(drama_staircase());
+  const std::size_t top = bba.allowed().size() - 1;
+  EXPECT_EQ(bba.decide(24.0), top);   // reservoir + cushion
+  EXPECT_EQ(bba.decide(100.0), top);  // beyond
+}
+
+TEST(BbaAbr, RateMapIsLinearInsideCushion) {
+  BufferBasedJointAbr bba(drama_staircase());
+  const double r_min = bba.requirement_kbps(0);
+  const double r_max = bba.requirement_kbps(bba.allowed().size() - 1);
+  EXPECT_DOUBLE_EQ(bba.rate_map_kbps(8.0), r_min);
+  EXPECT_DOUBLE_EQ(bba.rate_map_kbps(24.0), r_max);
+  EXPECT_NEAR(bba.rate_map_kbps(16.0), (r_min + r_max) / 2.0, 1e-9);
+}
+
+TEST(BbaAbr, DecisionMonotoneInBuffer) {
+  BufferBasedJointAbr bba(drama_staircase());
+  std::size_t previous = 0;
+  for (double buffer = 0.0; buffer <= 30.0; buffer += 0.5) {
+    const std::size_t index = bba.decide(buffer);
+    EXPECT_GE(index, previous) << buffer;
+    previous = index;
+  }
+}
+
+TEST(BbaAbr, HysteresisAvoidsChatterAtRungBoundary) {
+  BufferBasedJointAbr bba(drama_staircase());
+  // Park the buffer right where the map sits between rung k's and rung
+  // k+1's requirement: small oscillations must not flip the decision.
+  (void)bba.decide(15.0);
+  const std::size_t index = bba.current_index();
+  for (double wiggle : {14.9, 15.1, 14.8, 15.2, 15.0}) {
+    EXPECT_EQ(bba.decide(wiggle), index) << wiggle;
+  }
+}
+
+TEST(BbaAbr, NeedsNoBandwidthEstimate) {
+  // The whole point: decisions depend on buffer alone.
+  BufferBasedJointAbr a(drama_staircase());
+  BufferBasedJointAbr b(drama_staircase());
+  for (double buffer : {2.0, 9.0, 14.0, 21.0, 26.0}) {
+    EXPECT_EQ(a.decide(buffer), b.decide(buffer));
+  }
+}
+
+TEST(BbaCoordinated, SessionCompletesWithoutStalls) {
+  auto setup = ex::bestpractice_dash(BandwidthTrace::constant(900.0), "bba");
+  CoordinatedConfig config;
+  config.algorithm = AbrAlgorithm::kBufferBased;
+  CoordinatedPlayer player(config);
+  EXPECT_EQ(player.name(), "coordinated-bba");
+  const SessionLog log = ex::run(setup, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_EQ(log.stall_count(), 0u);
+}
+
+TEST(BbaCoordinated, StaysOnManifestEverywhere) {
+  for (const auto& named : ex::comparison_traces()) {
+    auto setup = ex::bestpractice_dash(named.trace, named.name);
+    CoordinatedConfig config;
+    config.algorithm = AbrAlgorithm::kBufferBased;
+    CoordinatedPlayer player(config);
+    const SessionLog log = ex::run(setup, player);
+    EXPECT_TRUE(log.completed) << named.name;
+    EXPECT_TRUE(check_compliance(log, setup.allowed).compliant()) << named.name;
+  }
+}
+
+TEST(BbaCoordinated, SurvivesBurstyTrace) {
+  auto setup = ex::bestpractice_dash(ex::shaka_varying_600_trace(), "bba");
+  CoordinatedConfig config;
+  config.algorithm = AbrAlgorithm::kBufferBased;
+  CoordinatedPlayer player(config);
+  const SessionLog log = ex::run(setup, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_LT(log.total_stall_s(), 30.0);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,193 @@
+#include "core/allowed_combinations.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+CurationPolicy policy(ContentGenre genre,
+                      DeviceProfile::Screen screen = DeviceProfile::Screen::kTv,
+                      DeviceProfile::Sound sound = DeviceProfile::Sound::kSurround) {
+  CurationPolicy p;
+  p.genre = genre;
+  p.device.screen = screen;
+  p.device.sound = sound;
+  return p;
+}
+
+TEST(CurationPolicy, AudioImportanceOrdering) {
+  // §2.1: music shows value sound quality most; action movies least.
+  EXPECT_GT(policy(ContentGenre::kMusic).audio_importance(),
+            policy(ContentGenre::kDrama).audio_importance());
+  EXPECT_GT(policy(ContentGenre::kDrama).audio_importance(),
+            policy(ContentGenre::kAction).audio_importance());
+}
+
+TEST(Curation, DramaOnTvMatchesHsub) {
+  // Weight 0.5 reproduces the paper's H_sub pairing exactly.
+  const auto combos = curate_combinations(youtube_drama_ladder(),
+                                          policy(ContentGenre::kDrama));
+  ASSERT_EQ(combos.size(), 6u);
+  EXPECT_EQ(combos[0].label(), "V1+A1");
+  EXPECT_EQ(combos[1].label(), "V2+A1");
+  EXPECT_EQ(combos[2].label(), "V3+A2");
+  EXPECT_EQ(combos[3].label(), "V4+A2");
+  EXPECT_EQ(combos[4].label(), "V5+A3");
+  EXPECT_EQ(combos[5].label(), "V6+A3");
+}
+
+TEST(Curation, MusicSkewsAudioUp) {
+  const auto drama = curate_combinations(youtube_drama_ladder(),
+                                         policy(ContentGenre::kDrama));
+  const auto music = curate_combinations(youtube_drama_ladder(),
+                                         policy(ContentGenre::kMusic));
+  const BitrateLadder ladder = youtube_drama_ladder();
+  // At every video rung, music pairs an audio rung >= drama's.
+  for (std::size_t i = 0; i < drama.size(); ++i) {
+    EXPECT_GE(ladder.index_of(music[i].audio_id).value(),
+              ladder.index_of(drama[i].audio_id).value())
+        << i;
+  }
+  // And at the lowest video rung music already uses better-than-lowest audio.
+  EXPECT_NE(music[0].audio_id, "A1");
+}
+
+TEST(Curation, ActionSkewsAudioDown) {
+  const auto action = curate_combinations(youtube_drama_ladder(),
+                                          policy(ContentGenre::kAction));
+  // Action keeps low audio rungs longer: V3 still pairs A1.
+  EXPECT_EQ(action[2].video_id, "V3");
+  EXPECT_EQ(action[2].audio_id, "A1");
+}
+
+TEST(Curation, PhoneScreenDropsTallVideo) {
+  const auto combos = curate_combinations(
+      youtube_drama_ladder(),
+      policy(ContentGenre::kDrama, DeviceProfile::Screen::kPhone));
+  ASSERT_EQ(combos.size(), 5u);  // V6 (1080p) excluded
+  for (const AvCombination& combo : combos) EXPECT_NE(combo.video_id, "V6");
+}
+
+TEST(Curation, MonoSoundDropsSurroundAudio) {
+  const auto combos = curate_combinations(
+      youtube_drama_ladder(),
+      policy(ContentGenre::kMusic, DeviceProfile::Screen::kTv,
+             DeviceProfile::Sound::kMono));
+  // A2/A3 are 6-channel; only stereo A1 remains even for music.
+  for (const AvCombination& combo : combos) EXPECT_EQ(combo.audio_id, "A1");
+}
+
+TEST(Curation, AudioRungMonotoneForEveryGenre) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  for (ContentGenre genre : {ContentGenre::kDrama, ContentGenre::kMusic,
+                             ContentGenre::kAction, ContentGenre::kNews,
+                             ContentGenre::kSports}) {
+    const auto combos = curate_combinations(ladder, policy(genre));
+    std::size_t previous = 0;
+    for (const AvCombination& combo : combos) {
+      const std::size_t rung = ladder.index_of(combo.audio_id).value();
+      EXPECT_GE(rung, previous) << genre_name(genre);
+      previous = rung;
+    }
+  }
+}
+
+TEST(Staircase, PathExpandsPairing) {
+  const auto path = staircase_path({0, 0, 1, 1, 2, 2}, /*audio_first=*/true);
+  // Exactly V + A - 1 = 6 + 3 - 1 = 8 steps.
+  ASSERT_EQ(path.size(), 8u);
+  EXPECT_EQ(path.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<std::size_t, std::size_t>{5, 2}));
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ((path[i].first - path[i - 1].first) +
+                  (path[i].second - path[i - 1].second),
+              1u);
+  }
+}
+
+TEST(Staircase, AudioFirstInsertsAudioUpgradeBeforeVideo) {
+  const auto audio_first = staircase_path({0, 1}, true);
+  ASSERT_EQ(audio_first.size(), 3u);
+  EXPECT_EQ(audio_first[1], (std::pair<std::size_t, std::size_t>{0, 1}));
+  const auto video_first = staircase_path({0, 1}, false);
+  EXPECT_EQ(video_first[1], (std::pair<std::size_t, std::size_t>{1, 0}));
+}
+
+TEST(Staircase, DramaStaircaseMatchesExoPath) {
+  // For the Table-1 ladder on a TV, the drama staircase coincides with
+  // ExoPlayer's predetermined path (audio upgraded before video).
+  const auto combos =
+      curate_staircase(youtube_drama_ladder(), policy(ContentGenre::kDrama));
+  ASSERT_EQ(combos.size(), 8u);
+  const char* expected[] = {"V1+A1", "V2+A1", "V2+A2", "V3+A2",
+                            "V4+A2", "V4+A3", "V5+A3", "V6+A3"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(combos[i].label(), expected[i]);
+}
+
+TEST(Staircase, ValidAndMonotone) {
+  const auto combos =
+      curate_staircase(youtube_drama_ladder(), policy(ContentGenre::kMusic));
+  EXPECT_EQ(validate_combinations(youtube_drama_ladder(), combos), "");
+}
+
+TEST(Validate, AcceptsCuratedSubset) {
+  EXPECT_EQ(validate_combinations(youtube_drama_ladder(),
+                                  curated_subset(youtube_drama_ladder())),
+            "");
+}
+
+TEST(Validate, RejectsEmptyList) {
+  EXPECT_NE(validate_combinations(youtube_drama_ladder(), {}), "");
+}
+
+TEST(Validate, RejectsUnknownTrack) {
+  auto combos = curated_subset(youtube_drama_ladder());
+  combos[0].video_id = "V9";
+  EXPECT_NE(validate_combinations(youtube_drama_ladder(), combos).find("unknown"),
+            std::string::npos);
+}
+
+TEST(Validate, RejectsWrongBitrateSum) {
+  auto combos = curated_subset(youtube_drama_ladder());
+  combos[1].declared_kbps += 100;
+  EXPECT_NE(validate_combinations(youtube_drama_ladder(), combos).find("declared"),
+            std::string::npos);
+}
+
+TEST(Validate, RejectsQualityInversion) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  std::vector<AvCombination> combos = {make_combination(ladder, "V1", "A3"),
+                                       make_combination(ladder, "V2", "A1")};
+  EXPECT_NE(validate_combinations(ladder, combos).find("inverts"), std::string::npos);
+}
+
+TEST(DeviceProfile, CapsAreOrdered) {
+  DeviceProfile phone;
+  phone.screen = DeviceProfile::Screen::kPhone;
+  DeviceProfile tv;
+  tv.screen = DeviceProfile::Screen::kTv;
+  EXPECT_LT(phone.max_video_height(), tv.max_video_height());
+  DeviceProfile mono;
+  mono.sound = DeviceProfile::Sound::kMono;
+  DeviceProfile surround;
+  surround.sound = DeviceProfile::Sound::kSurround;
+  EXPECT_LT(mono.max_audio_channels(), surround.max_audio_channels());
+}
+
+class GenreSweep : public ::testing::TestWithParam<ContentGenre> {};
+
+TEST_P(GenreSweep, CurationAlwaysValid) {
+  const auto combos = curate_combinations(youtube_drama_ladder(), policy(GetParam()));
+  EXPECT_EQ(validate_combinations(youtube_drama_ladder(), combos), "");
+  const auto stairs = curate_staircase(youtube_drama_ladder(), policy(GetParam()));
+  EXPECT_EQ(validate_combinations(youtube_drama_ladder(), stairs), "");
+  EXPECT_GE(stairs.size(), combos.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Genres, GenreSweep,
+                         ::testing::Values(ContentGenre::kDrama, ContentGenre::kMusic,
+                                           ContentGenre::kAction, ContentGenre::kNews,
+                                           ContentGenre::kSports));
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,142 @@
+#include "core/joint_abr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/allowed_combinations.h"
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+std::vector<ComboView> drama_combos() {
+  const Content content = make_drama_content();
+  DashBuildOptions options;
+  CurationPolicy policy;
+  options.allowed_combinations = curate_staircase(content.ladder(), policy);
+  return view_from_mpd(build_dash_mpd(content, options)).combos_sorted();
+}
+
+TEST(JointAbr, StartsAtLowestWithoutEstimate) {
+  JointAbrController abr(drama_combos());
+  EXPECT_EQ(abr.decide(0.0, 0.0, 0.0), 0u);
+  EXPECT_EQ(abr.current().label(), "V1+A1");
+}
+
+TEST(JointAbr, FirstEstimatePicksSustainable) {
+  JointAbrController abr(drama_combos());
+  // 0.85 * 900 = 765 -> V3+A2 (669) sustainable.
+  const std::size_t index = abr.decide(0.0, 900.0, 0.0);
+  EXPECT_EQ(abr.allowed()[index].label(), "V3+A2");
+}
+
+TEST(JointAbr, UpSwitchNeedsBufferMarginAndHold) {
+  JointAbrConfig config;
+  JointAbrController abr(drama_combos(), config);
+  (void)abr.decide(0.0, 400.0, 0.0);  // start low
+  const std::size_t low = abr.current_index();
+  // Estimate now high, but buffer thin: no up-switch.
+  EXPECT_EQ(abr.decide(20.0, 2000.0, 5.0), low);
+  // Buffer fine but hold not expired since last switch at t=0... hold is
+  // 8 s, so by t=20 it expired; the remaining gate is the buffer:
+  EXPECT_GT(abr.decide(21.0, 2000.0, 15.0), low);
+}
+
+TEST(JointAbr, HoldTimeSuppressesRapidUpSwitches) {
+  JointAbrConfig config;
+  config.min_hold_s = 8.0;
+  JointAbrController abr(drama_combos(), config);
+  (void)abr.decide(0.0, 400.0, 0.0);
+  const std::size_t low = abr.current_index();
+  // 2 s after the initial decision: hold still active.
+  EXPECT_EQ(abr.decide(2.0, 2000.0, 15.0), low);
+  EXPECT_GT(abr.decide(9.0, 2000.0, 15.0), low);
+}
+
+TEST(JointAbr, UpSwitchMarginIsRespected) {
+  JointAbrConfig config;
+  config.up_switch_margin = 1.15;
+  JointAbrController abr(drama_combos(), config);
+  (void)abr.decide(0.0, 500.0, 0.0);
+  // V3+A2 needs 669; the margin demands 0.85*est >= 769 -> est >= 905.
+  (void)abr.decide(10.0, 890.0, 15.0);
+  EXPECT_NE(abr.current().label(), "V3+A2");
+  (void)abr.decide(20.0, 920.0, 15.0);
+  EXPECT_EQ(abr.current().label(), "V3+A2");
+}
+
+TEST(JointAbr, PanicDropsImmediately) {
+  JointAbrController abr(drama_combos());
+  (void)abr.decide(0.0, 2000.0, 0.0);
+  const std::size_t high = abr.current_index();
+  ASSERT_GT(high, 0u);
+  // Buffer nearly dry 1 s later: drop at once, ignoring hold time.
+  const std::size_t dropped = abr.decide(1.0, 300.0, 2.0);
+  EXPECT_LT(dropped, high);
+}
+
+TEST(JointAbr, ComfortableBufferRidesOutDips) {
+  JointAbrConfig config;
+  config.hold_buffer_s = 20.0;
+  JointAbrController abr(drama_combos(), config);
+  (void)abr.decide(0.0, 2000.0, 0.0);
+  const std::size_t high = abr.current_index();
+  // Estimate dips but 25 s of buffer: hold quality.
+  EXPECT_EQ(abr.decide(10.0, 400.0, 25.0), high);
+  // Buffer shrinks below the hold threshold: follow the estimate down.
+  EXPECT_LT(abr.decide(20.0, 400.0, 12.0), high);
+}
+
+TEST(JointAbr, UsesAverageBandwidthWhenDeclared) {
+  std::vector<ComboView> combos;
+  ComboView low;
+  low.video_id = "V1";
+  low.audio_id = "A1";
+  low.bandwidth_kbps = 500.0;
+  low.avg_bandwidth_kbps = 300.0;
+  ComboView high;
+  high.video_id = "V2";
+  high.audio_id = "A1";
+  high.bandwidth_kbps = 900.0;
+  high.avg_bandwidth_kbps = 600.0;
+  combos = {low, high};
+
+  JointAbrConfig with_avg;
+  with_avg.use_average_bandwidth = true;
+  JointAbrController abr_avg(combos, with_avg);
+  // 0.85 * 800 = 680 >= 600 (avg) although < 900 (peak).
+  EXPECT_EQ(abr_avg.decide(0.0, 800.0, 0.0), 1u);
+
+  JointAbrConfig peak_only;
+  peak_only.use_average_bandwidth = false;
+  JointAbrController abr_peak(combos, peak_only);
+  EXPECT_EQ(abr_peak.decide(0.0, 800.0, 0.0), 0u);
+  EXPECT_DOUBLE_EQ(abr_peak.requirement_kbps(1), 900.0);
+}
+
+TEST(JointAbr, DecisionIsStableUnderConstantInputs) {
+  JointAbrController abr(drama_combos());
+  (void)abr.decide(0.0, 700.0, 10.0);
+  const std::size_t index = abr.current_index();
+  for (double t = 4.0; t < 100.0; t += 4.0) {
+    EXPECT_EQ(abr.decide(t, 700.0, 15.0), index) << t;
+  }
+}
+
+class JointAbrEstimateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(JointAbrEstimateSweep, ChoiceFitsBudgetOrIsLowest) {
+  JointAbrController abr(drama_combos());
+  const double estimate = GetParam();
+  const std::size_t index = abr.decide(0.0, estimate, 15.0);
+  if (index > 0) {
+    EXPECT_LE(abr.requirement_kbps(index), 0.85 * estimate + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimates, JointAbrEstimateSweep,
+                         ::testing::Values(100.0, 300.0, 500.0, 700.0, 1000.0, 2000.0,
+                                           5000.0));
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,106 @@
+#include "core/balanced_prefetch.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+PlayerContext context(double audio_buffer, double video_buffer, int next_audio = 0,
+                      int next_video = 0, int total = 75, bool audio_busy = false,
+                      bool video_busy = false) {
+  PlayerContext ctx;
+  ctx.audio_buffer_s = audio_buffer;
+  ctx.video_buffer_s = video_buffer;
+  ctx.next_audio_chunk = next_audio;
+  ctx.next_video_chunk = next_video;
+  ctx.total_chunks = total;
+  ctx.audio_downloading = audio_busy;
+  ctx.video_downloading = video_busy;
+  return ctx;
+}
+
+TEST(BalancedPrefetch, PicksLaggingType) {
+  BalancedPrefetcher prefetcher;
+  EXPECT_EQ(prefetcher.next_type(context(2.0, 8.0)).value(), MediaType::kAudio);
+  EXPECT_EQ(prefetcher.next_type(context(8.0, 2.0)).value(), MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, TiePrefersVideo) {
+  BalancedPrefetcher prefetcher;
+  EXPECT_EQ(prefetcher.next_type(context(4.0, 4.0)).value(), MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, IdlesWhenBothAtTarget) {
+  BalancedPrefetchConfig config;
+  config.buffer_target_s = 30.0;
+  BalancedPrefetcher prefetcher(config);
+  EXPECT_FALSE(prefetcher.next_type(context(30.0, 30.0)).has_value());
+  EXPECT_TRUE(prefetcher.next_type(context(29.0, 30.0)).has_value());
+}
+
+TEST(BalancedPrefetch, SkipsBusyType) {
+  // Audio is busy and video is only 2 s ahead (within the imbalance cap):
+  // the free slot goes to video.
+  BalancedPrefetcher prefetcher;
+  const auto type = prefetcher.next_type(
+      context(6.0, 8.0, 0, 0, 75, /*audio_busy=*/true, /*video_busy=*/false));
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, SkipsFinishedType) {
+  BalancedPrefetcher prefetcher;
+  // Audio fully downloaded: only video remains even though audio lags.
+  const auto type = prefetcher.next_type(context(0.0, 10.0, 75, 50));
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, RefusesToWorsenExcessiveImbalance) {
+  BalancedPrefetchConfig config;
+  config.max_imbalance_s = 4.0;
+  BalancedPrefetcher prefetcher(config);
+  // Audio busy, video already 6 s ahead of audio: wait instead of widening.
+  const auto type = prefetcher.next_type(
+      context(2.0, 8.0, 10, 12, 75, /*audio_busy=*/true, /*video_busy=*/false));
+  EXPECT_FALSE(type.has_value());
+}
+
+TEST(BalancedPrefetch, AllowsSoloFetchWithinImbalanceCap) {
+  BalancedPrefetchConfig config;
+  config.max_imbalance_s = 4.0;
+  BalancedPrefetcher prefetcher(config);
+  // Video only 2 s ahead: fine to continue video while audio is busy.
+  const auto type = prefetcher.next_type(
+      context(4.0, 6.0, 10, 12, 75, /*audio_busy=*/true, /*video_busy=*/false));
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, AllowsRunaheadWhenOtherTypeIsFinished) {
+  BalancedPrefetchConfig config;
+  config.max_imbalance_s = 4.0;
+  BalancedPrefetcher prefetcher(config);
+  // Audio done downloading entirely: video may run ahead without limit.
+  const auto type = prefetcher.next_type(context(0.0, 20.0, 75, 40));
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MediaType::kVideo);
+}
+
+TEST(BalancedPrefetch, NothingLeftToFetch) {
+  BalancedPrefetcher prefetcher;
+  EXPECT_FALSE(prefetcher.next_type(context(1.0, 1.0, 75, 75)).has_value());
+}
+
+TEST(BalancedPrefetch, ConfigurableImbalance) {
+  BalancedPrefetcher prefetcher;
+  prefetcher.set_max_imbalance_s(10.0);
+  EXPECT_DOUBLE_EQ(prefetcher.config().max_imbalance_s, 10.0);
+  // 8 s imbalance now tolerated.
+  const auto type = prefetcher.next_type(
+      context(2.0, 10.0, 10, 12, 75, /*audio_busy=*/true, /*video_busy=*/false));
+  EXPECT_TRUE(type.has_value());
+}
+
+}  // namespace
+}  // namespace demuxabr

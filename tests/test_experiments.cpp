@@ -1,0 +1,141 @@
+// The experiments harness itself: every figure factory must produce the
+// setup its figure requires (protocol, manifest shape, trace statistics),
+// and the table renderers must emit the paper's values.
+#include <gtest/gtest.h>
+
+#include "experiments/scenarios.h"
+#include "experiments/tables.h"
+#include "players/dashjs.h"
+
+namespace demuxabr {
+namespace {
+
+namespace ex = demuxabr::experiments;
+
+TEST(Scenarios, Fig2SetupsSwapTheAudioLadder) {
+  const auto a = ex::fig2a_exo_dash_audio_b();
+  EXPECT_EQ(a.view.protocol, Protocol::kDash);
+  EXPECT_NE(a.content.ladder().find("B2"), nullptr);
+  EXPECT_EQ(a.content.ladder().find("A2"), nullptr);
+  EXPECT_DOUBLE_EQ(a.trace.rate_kbps(0.0), 900.0);
+
+  const auto b = ex::fig2b_exo_dash_audio_c();
+  EXPECT_NE(b.content.ladder().find("C3"), nullptr);
+  EXPECT_DOUBLE_EQ(b.content.ladder().find("C3")->declared_kbps, 768.0);
+}
+
+TEST(Scenarios, Fig3SetupListsA3First) {
+  const auto setup = ex::fig3_exo_hls_a3_first();
+  EXPECT_EQ(setup.view.protocol, Protocol::kHls);
+  ASSERT_FALSE(setup.view.audio_tracks.empty());
+  EXPECT_EQ(setup.view.audio_tracks.front().id, "A3");
+  EXPECT_EQ(setup.view.combos.size(), 6u);  // H_sub
+  EXPECT_EQ(setup.allowed.size(), 6u);
+  // 600 kbps average trace.
+  EXPECT_NEAR(setup.trace.average_kbps(0.0, 160.0), 600.0, 1.0);
+}
+
+TEST(Scenarios, Fig3xSetupListsA1FirstAt5Mbps) {
+  const auto setup = ex::fig3x_exo_hls_a1_first_5mbps();
+  EXPECT_EQ(setup.view.audio_tracks.front().id, "A1");
+  EXPECT_DOUBLE_EQ(setup.trace.rate_kbps(100.0), 5000.0);
+}
+
+TEST(Scenarios, Fig4SetupsUseHall) {
+  const auto a = ex::fig4a_shaka_hall_1mbps();
+  EXPECT_EQ(a.view.combos.size(), 18u);
+  EXPECT_DOUBLE_EQ(a.trace.rate_kbps(0.0), 1000.0);
+
+  const auto b = ex::fig4b_shaka_hall_varying();
+  EXPECT_NEAR(b.trace.average_kbps(0.0, 60.0), 605.0, 5.0);
+  // The high phase must clear Shaka's 16 KB / 0.125 s filter for a solo flow.
+  EXPECT_GE(b.trace.rate_kbps(50.0), 16384.0 * 8.0 / 1000.0 / 0.125);
+}
+
+TEST(Scenarios, Fig5SetupIsPlainDashAt700) {
+  const auto setup = ex::fig5_dashjs_700();
+  EXPECT_EQ(setup.view.protocol, Protocol::kDash);
+  EXPECT_FALSE(setup.view.has_combination_list);
+  EXPECT_DOUBLE_EQ(setup.trace.rate_kbps(10.0), 700.0);
+}
+
+TEST(Scenarios, BestPracticeDashCarriesStaircase) {
+  const auto setup = ex::bestpractice_dash(BandwidthTrace::constant(900.0), "t");
+  EXPECT_TRUE(setup.view.has_combination_list);
+  EXPECT_EQ(setup.view.combos.size(), 8u);  // TV staircase over Table 1
+  EXPECT_EQ(setup.allowed.size(), 8u);
+  for (const ComboView& combo : setup.view.combos) {
+    EXPECT_TRUE(combo.components_known()) << combo.label();
+  }
+}
+
+TEST(Scenarios, BestPracticeHlsRevealsPerTrackBitrates) {
+  const auto setup = ex::bestpractice_hls(BandwidthTrace::constant(900.0), "t");
+  EXPECT_EQ(setup.view.protocol, Protocol::kHls);
+  for (const TrackView& t : setup.view.audio_tracks) {
+    EXPECT_TRUE(t.bitrate_known) << t.id;
+  }
+}
+
+TEST(Scenarios, SplitPathSetupUsesSeparateTraces) {
+  const auto setup = ex::split_path_dash(BandwidthTrace::constant(1500.0),
+                                         BandwidthTrace::constant(200.0), "t");
+  ASSERT_TRUE(setup.audio_trace.has_value());
+  EXPECT_DOUBLE_EQ(setup.trace.rate_kbps(0.0), 1500.0);
+  EXPECT_DOUBLE_EQ(setup.audio_trace->rate_kbps(0.0), 200.0);
+}
+
+TEST(Scenarios, ComparisonTracesAreNamedAndDistinct) {
+  const auto traces = ex::comparison_traces();
+  EXPECT_GE(traces.size(), 7u);
+  for (const auto& named : traces) {
+    EXPECT_FALSE(named.name.empty());
+    EXPECT_GT(named.trace.rate_kbps(0.0), 0.0);
+  }
+}
+
+TEST(Tables, Table1RenderingContainsDeclaredValues) {
+  const std::string table = ex::render_table1(make_drama_content());
+  EXPECT_NE(table.find("V3"), std::string::npos);
+  EXPECT_NE(table.find("473"), std::string::npos);   // V3 declared
+  EXPECT_NE(table.find("4447"), std::string::npos);  // V6 peak
+}
+
+TEST(Tables, CombinationTableContainsTable2Rows) {
+  const std::string table = ex::render_combination_table(
+      "t2", all_combinations(youtube_drama_ladder()));
+  EXPECT_NE(table.find("V2+A2"), std::string::npos);
+  EXPECT_NE(table.find("460"), std::string::npos);   // V2+A2 peak
+  EXPECT_NE(table.find("4838"), std::string::npos);  // V6+A3 peak
+}
+
+TEST(Tables, SelectionTimelineCompressesRuns) {
+  SessionLog log;
+  log.video_selection = {"V1", "V1", "V2", "V2", "V2"};
+  log.audio_selection = {"A1", "A1", "A1", "A1", "A1"};
+  EXPECT_EQ(ex::render_selection_timeline(log), "0-1:V1+A1 2-4:V2+A1 ");
+}
+
+TEST(Tables, ComparisonTableFlagsIncompleteRows) {
+  ex::ComparisonRow row;
+  row.player = "p";
+  row.trace = "t";
+  row.completed = false;
+  const std::string table = ex::render_comparison_table({row});
+  EXPECT_NE(table.find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(Scenarios, RunIsDeterministicAcrossSetupCopies) {
+  const auto s1 = ex::fig5_dashjs_700();
+  const auto s2 = ex::fig5_dashjs_700();
+  DashJsPlayerModel p1;
+  DashJsPlayerModel p2;
+  const SessionLog a = ex::run(s1, p1);
+  const SessionLog b = ex::run(s2, p2);
+  EXPECT_EQ(a.video_selection, b.video_selection);
+  EXPECT_EQ(a.audio_selection, b.audio_selection);
+  EXPECT_DOUBLE_EQ(a.end_time_s, b.end_time_s);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "httpsim/catalog.h"
+#include "httpsim/cdn.h"
+#include "httpsim/lru_cache.h"
+#include "httpsim/workload.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+TEST(LruCache, BasicHitMiss) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.get("a"));
+  cache.put("a", 10);
+  EXPECT_TRUE(cache.get("a"));
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_EQ(cache.used_bytes(), 10);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.put("a", 10);
+  cache.put("b", 10);
+  cache.put("c", 10);
+  cache.get("a");       // touch a: b becomes LRU
+  cache.put("d", 10);   // evicts b
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(LruCache, UnboundedNeverEvicts) {
+  LruCache cache(0);
+  for (int i = 0; i < 1000; ++i) cache.put("k" + std::to_string(i), 1000);
+  EXPECT_EQ(cache.object_count(), 1000u);
+  EXPECT_EQ(cache.eviction_count(), 0u);
+}
+
+TEST(LruCache, ObjectLargerThanCapacityIgnored) {
+  LruCache cache(10);
+  cache.put("big", 100);
+  EXPECT_FALSE(cache.contains("big"));
+  EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(LruCache, DuplicatePutTouchesWithoutDoubleCount) {
+  LruCache cache(100);
+  cache.put("a", 10);
+  cache.put("a", 10);
+  EXPECT_EQ(cache.used_bytes(), 10);
+  EXPECT_EQ(cache.object_count(), 1u);
+}
+
+TEST(LruCache, ClearResets) {
+  LruCache cache(100);
+  cache.put("a", 10);
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0);
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Content content_ = make_drama_content();
+};
+
+TEST_F(CatalogTest, DemuxedObjectCount) {
+  const ObjectCatalog catalog = build_demuxed_catalog(content_);
+  // (6 video + 3 audio) tracks x 75 chunks.
+  EXPECT_EQ(catalog.object_count(), 9u * 75u);
+  EXPECT_EQ(catalog.total_bytes(), content_.total_bytes());
+}
+
+TEST_F(CatalogTest, MuxedObjectCount) {
+  const ObjectCatalog catalog = build_muxed_catalog(content_);
+  // 6 x 3 combinations x 75 chunks.
+  EXPECT_EQ(catalog.object_count(), 18u * 75u);
+}
+
+TEST_F(CatalogTest, MuxedObjectIsSumOfComponents) {
+  const ObjectCatalog muxed = build_muxed_catalog(content_);
+  const std::int64_t expected =
+      content_.chunk("V2", 5).size_bytes + content_.chunk("A3", 5).size_bytes;
+  EXPECT_EQ(muxed.size_of(chunk_object_key("V2+A3", 5)), expected);
+}
+
+TEST_F(CatalogTest, StorageComparisonFavorsDemuxed) {
+  // §1: M x N muxed tracks vs M + N demuxed tracks.
+  const StorageReport report = compare_storage(content_);
+  EXPECT_GT(report.muxed_bytes, report.demuxed_bytes);
+  EXPECT_GT(report.muxed_to_demuxed_ratio(), 1.5);
+  EXPECT_EQ(report.demuxed_objects, 675u);
+  EXPECT_EQ(report.muxed_objects, 1350u);
+}
+
+TEST_F(CatalogTest, UnknownKeyReportsNegative) {
+  const ObjectCatalog catalog = build_demuxed_catalog(content_);
+  EXPECT_EQ(catalog.size_of("nope/00000"), -1);
+  EXPECT_FALSE(catalog.contains("nope/00000"));
+}
+
+TEST_F(CatalogTest, CdnServesHitsFromCacheAfterFirstFetch) {
+  const ObjectCatalog catalog = build_demuxed_catalog(content_);
+  CdnNode cdn(&catalog, 0);
+  const std::string key = chunk_object_key("V1", 0);
+  const auto first = cdn.fetch(key);
+  EXPECT_TRUE(first.found);
+  EXPECT_FALSE(first.from_cache);
+  const auto second = cdn.fetch(key);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(cdn.stats().hits, 1);
+  EXPECT_EQ(cdn.stats().misses, 1);
+  EXPECT_EQ(cdn.stats().bytes_from_origin, first.bytes);
+}
+
+TEST_F(CatalogTest, CdnUnknownObject) {
+  const ObjectCatalog catalog = build_demuxed_catalog(content_);
+  CdnNode cdn(&catalog, 0);
+  const auto result = cdn.fetch("missing/object");
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(cdn.stats().requests, 0);
+}
+
+// The paper's CDN argument (§1): with users differing only in the *other*
+// component, demuxed storage turns those requests into cache hits.
+TEST_F(CatalogTest, DemuxedModeImprovesCacheHitRatio) {
+  WorkloadConfig config;
+  config.num_users = 100;
+  const auto results = run_cdn_comparison(content_, config);
+  ASSERT_EQ(results.size(), 2u);
+  const WorkloadResult& demuxed = results[0];
+  const WorkloadResult& muxed = results[1];
+  EXPECT_EQ(demuxed.mode, StorageMode::kDemuxed);
+  EXPECT_GT(demuxed.cdn.hit_ratio(), muxed.cdn.hit_ratio());
+  EXPECT_LT(demuxed.origin_storage_bytes, muxed.origin_storage_bytes);
+}
+
+TEST_F(CatalogTest, DemuxedModeReducesOriginEgressWithBoundedCache) {
+  WorkloadConfig config;
+  config.num_users = 150;
+  config.cache_fraction = 0.5;
+  const auto results = run_cdn_comparison(content_, config);
+  EXPECT_LT(results[0].cdn.bytes_from_origin, results[1].cdn.bytes_from_origin);
+}
+
+TEST_F(CatalogTest, WorkloadDeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_users = 50;
+  const auto a = run_cdn_workload(content_, StorageMode::kDemuxed, config);
+  const auto b = run_cdn_workload(content_, StorageMode::kDemuxed, config);
+  EXPECT_EQ(a.cdn.hits, b.cdn.hits);
+  EXPECT_EQ(a.cdn.bytes_from_origin, b.cdn.bytes_from_origin);
+}
+
+TEST(CdnStats, RatiosHandleZeroRequests) {
+  CdnStats stats;
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.byte_hit_ratio(), 0.0);
+}
+
+TEST(ChunkObjectKey, Format) {
+  EXPECT_EQ(chunk_object_key("V3", 42), "V3/00042");
+  EXPECT_EQ(chunk_object_key("V3+A1", 0), "V3+A1/00000");
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,137 @@
+#include "manifest/dash_mpd.h"
+
+#include <gtest/gtest.h>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+TEST(Iso8601, FormatsDurations) {
+  EXPECT_EQ(to_iso8601_duration(300.0), "PT5M0.000S");
+  EXPECT_EQ(to_iso8601_duration(12.5), "PT12.500S");
+}
+
+TEST(Iso8601, ParsesDurations) {
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT5M0.000S").value(), 300.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT1H2M3S").value(), 3723.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT0.5S").value(), 0.5);
+}
+
+TEST(Iso8601, RejectsMalformed) {
+  EXPECT_FALSE(parse_iso8601_duration("5M").has_value());
+  EXPECT_FALSE(parse_iso8601_duration("PT5X").has_value());
+  EXPECT_FALSE(parse_iso8601_duration("PT5").has_value());
+}
+
+TEST(Iso8601, RoundTripsArbitraryDurations) {
+  for (double seconds : {0.25, 4.0, 59.999, 61.0, 300.0, 3600.0}) {
+    const auto parsed = parse_iso8601_duration(to_iso8601_duration(seconds));
+    ASSERT_TRUE(parsed.has_value()) << seconds;
+    EXPECT_NEAR(*parsed, seconds, 0.001);
+  }
+}
+
+class DashMpdTest : public ::testing::Test {
+ protected:
+  Content content_ = make_drama_content();
+};
+
+TEST_F(DashMpdTest, BuilderCreatesTwoAdaptationSets) {
+  const MpdDocument mpd = build_dash_mpd(content_);
+  ASSERT_EQ(mpd.adaptation_sets.size(), 2u);
+  const MpdAdaptationSet* video = mpd.adaptation_set("video");
+  const MpdAdaptationSet* audio = mpd.adaptation_set("audio");
+  ASSERT_NE(video, nullptr);
+  ASSERT_NE(audio, nullptr);
+  EXPECT_EQ(video->representations.size(), 6u);
+  EXPECT_EQ(audio->representations.size(), 3u);
+}
+
+TEST_F(DashMpdTest, DeclaredBandwidthMatchesTable1) {
+  const MpdDocument mpd = build_dash_mpd(content_);
+  const MpdAdaptationSet* video = mpd.adaptation_set("video");
+  EXPECT_EQ(video->representations[2].id, "V3");
+  EXPECT_EQ(video->representations[2].bandwidth_bps, 473000);
+  const MpdAdaptationSet* audio = mpd.adaptation_set("audio");
+  EXPECT_EQ(audio->representations[2].bandwidth_bps, 384000);
+}
+
+TEST_F(DashMpdTest, SerializeParseRoundTrip) {
+  const MpdDocument original = build_dash_mpd(content_);
+  const auto reparsed = parse_mpd(serialize_mpd(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_NEAR(reparsed->media_duration_s, 300.0, 0.01);
+  ASSERT_EQ(reparsed->adaptation_sets.size(), 2u);
+  const MpdAdaptationSet* video = reparsed->adaptation_set("video");
+  ASSERT_NE(video, nullptr);
+  ASSERT_EQ(video->representations.size(), 6u);
+  EXPECT_EQ(video->representations[5].id, "V6");
+  EXPECT_EQ(video->representations[5].bandwidth_bps, 3746000);
+  EXPECT_EQ(video->representations[5].width, 1920);
+  EXPECT_NEAR(video->segment_duration_s, 4.0, 1e-9);
+}
+
+TEST_F(DashMpdTest, AudioMetadataRoundTrips) {
+  const auto reparsed = parse_mpd(serialize_mpd(build_dash_mpd(content_)));
+  ASSERT_TRUE(reparsed.ok());
+  const MpdAdaptationSet* audio = reparsed->adaptation_set("audio");
+  EXPECT_EQ(audio->representations[1].audio_sampling_rate, 48000);
+  EXPECT_EQ(audio->representations[1].audio_channels, 6);
+}
+
+TEST_F(DashMpdTest, AllowedCombinationsExtensionRoundTrips) {
+  DashBuildOptions options;
+  options.allowed_combinations = curated_subset(content_.ladder());
+  const auto reparsed = parse_mpd(serialize_mpd(build_dash_mpd(content_, options)));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->allowed_combinations.size(), 6u);
+  EXPECT_EQ(reparsed->allowed_combinations[0], "V1+A1");
+  EXPECT_EQ(reparsed->allowed_combinations[2], "V3+A2");
+}
+
+TEST_F(DashMpdTest, PlainMpdHasNoCombinations) {
+  const auto reparsed = parse_mpd(serialize_mpd(build_dash_mpd(content_)));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->allowed_combinations.empty());
+}
+
+TEST(DashMpdParser, RejectsNonMpdRoot) {
+  EXPECT_FALSE(parse_mpd("<NotMPD/>").ok());
+}
+
+TEST(DashMpdParser, RejectsMissingPeriod) {
+  EXPECT_FALSE(parse_mpd("<MPD mediaPresentationDuration=\"PT5M0S\"/>").ok());
+}
+
+TEST(DashMpdParser, RejectsRepresentationWithoutBandwidth) {
+  const char* xml_text =
+      "<MPD mediaPresentationDuration=\"PT1M0S\"><Period>"
+      "<AdaptationSet contentType=\"video\"><Representation id=\"V1\"/>"
+      "</AdaptationSet></Period></MPD>";
+  const auto parsed = parse_mpd(xml_text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("bandwidth"), std::string::npos);
+}
+
+TEST(DashMpdParser, RejectsEmptyAdaptationSet) {
+  const char* xml_text =
+      "<MPD mediaPresentationDuration=\"PT1M0S\"><Period>"
+      "<AdaptationSet contentType=\"video\"/></Period></MPD>";
+  EXPECT_FALSE(parse_mpd(xml_text).ok());
+}
+
+TEST(DashMpdParser, ContentTypeInferredFromMimeType) {
+  const char* xml_text =
+      "<MPD mediaPresentationDuration=\"PT1M0S\"><Period>"
+      "<AdaptationSet mimeType=\"audio/mp4\">"
+      "<Representation id=\"A1\" bandwidth=\"128000\"/>"
+      "</AdaptationSet></Period></MPD>";
+  const auto parsed = parse_mpd(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->adaptation_sets[0].content_type, "audio");
+}
+
+}  // namespace
+}  // namespace demuxabr

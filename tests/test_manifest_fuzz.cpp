@@ -1,0 +1,151 @@
+// Parser robustness ("fuzz-lite"): deterministic mutations of valid manifest
+// text must never crash or hang the parsers — they either parse to something
+// or fail with an error. Also checks a set of specifically nasty inputs.
+#include <gtest/gtest.h>
+
+#include "manifest/builder.h"
+#include "manifest/dash_mpd.h"
+#include "manifest/hls_playlist.h"
+#include "manifest/xml.h"
+#include "media/content.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace demuxabr {
+namespace {
+
+std::string mutate(const std::string& text, Rng& rng, int edits) {
+  std::string out = text;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip a character
+        out[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a span
+        out.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+        break;
+      case 2:  // duplicate a span
+        out.insert(pos, out.substr(pos, static_cast<std::size_t>(rng.uniform_int(1, 8))));
+        break;
+      case 3:  // truncate
+        out.resize(pos);
+        break;
+    }
+  }
+  return out;
+}
+
+class MutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationSweep, MpdParserNeverCrashes) {
+  const Content content = make_drama_content();
+  const std::string valid = serialize_mpd(build_dash_mpd(content));
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = mutate(valid, rng, static_cast<int>(rng.uniform_int(1, 6)));
+    const auto result = parse_mpd(mutated);  // must return, not crash
+    if (result.ok()) {
+      // If it parsed, the invariants of the model hold.
+      EXPECT_FALSE(result->adaptation_sets.empty());
+    } else {
+      EXPECT_FALSE(result.error().empty());
+    }
+  }
+}
+
+TEST_P(MutationSweep, HlsMasterParserNeverCrashes) {
+  const Content content = make_drama_content();
+  const std::string valid = serialize_master(build_hall_master(content));
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = mutate(valid, rng, static_cast<int>(rng.uniform_int(1, 6)));
+    const auto result = parse_master(mutated);
+    if (result.ok()) {
+      EXPECT_FALSE(result->variants.empty());
+      for (const HlsVariant& v : result->variants) EXPECT_GT(v.bandwidth_bps, 0);
+    }
+  }
+}
+
+TEST_P(MutationSweep, HlsMediaParserNeverCrashes) {
+  const Content content = make_drama_content();
+  HlsMediaOptions options;
+  options.include_bitrate_tag = true;
+  const std::string valid = serialize_media(build_hls_media(content, "V3", options));
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = mutate(valid, rng, static_cast<int>(rng.uniform_int(1, 6)));
+    const auto result = parse_media(mutated);
+    if (result.ok()) {
+      EXPECT_FALSE(result->segments.empty());
+      for (const HlsSegment& s : result->segments) EXPECT_GT(s.duration_s, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Values(1u, 7u, 42u, 1337u));
+
+TEST(NastyInputs, EmptyAndWhitespace) {
+  EXPECT_FALSE(parse_mpd("").ok());
+  EXPECT_FALSE(parse_mpd("   \n\t ").ok());
+  EXPECT_FALSE(parse_master("").ok());
+  EXPECT_FALSE(parse_media("\n\n\n").ok());
+}
+
+TEST(NastyInputs, DeeplyNestedXml) {
+  std::string xml_text = "<?xml version=\"1.0\"?>";
+  for (int i = 0; i < 2000; ++i) xml_text += "<a>";
+  for (int i = 0; i < 2000; ++i) xml_text += "</a>";
+  // Recursion depth: must return (ok or error), not smash the stack.
+  const auto result = xml::parse(xml_text);
+  (void)result;
+  SUCCEED();
+}
+
+TEST(NastyInputs, HugeAttributeValue) {
+  std::string xml_text = "<MPD mediaPresentationDuration=\"PT1M0S\" junk=\"";
+  xml_text.append(1 << 20, 'x');
+  xml_text += "\"><Period><AdaptationSet contentType=\"video\">"
+              "<Representation id=\"V1\" bandwidth=\"100\"/>"
+              "</AdaptationSet></Period></MPD>";
+  const auto result = parse_mpd(xml_text);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+}
+
+TEST(NastyInputs, NegativeAndOverflowingNumbers) {
+  EXPECT_FALSE(parse_master("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=-5\nv.m3u8\n").ok());
+  EXPECT_FALSE(parse_master("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=999999999999999999999"
+                            "\nv.m3u8\n")
+                   .ok());
+  EXPECT_FALSE(parse_media("#EXTM3U\n#EXTINF:-4.0,\ns.ts\n").ok());
+}
+
+TEST(NastyInputs, AttributeListEdgeCases) {
+  // Unterminated quote, trailing comma, '=' without key.
+  const auto a = parse_attribute_list("KEY=\"unterminated");
+  EXPECT_FALSE(a.empty());
+  const auto b = parse_attribute_list("A=1,,B=2,");
+  EXPECT_GE(b.size(), 2u);
+  const auto c = parse_attribute_list("=value");
+  (void)c;
+  SUCCEED();
+}
+
+TEST(NastyInputs, MixedLineEndings) {
+  const Content content = make_drama_content();
+  std::string text = serialize_master(build_hsub_master(content));
+  // Convert to CRLF.
+  std::string crlf;
+  for (char ch : text) {
+    if (ch == '\n') crlf += '\r';
+    crlf += ch;
+  }
+  const auto result = parse_master(crlf);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result->variants.size(), 6u);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,210 @@
+#include "manifest/hls_playlist.h"
+
+#include <gtest/gtest.h>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+#include "util/strings.h"
+
+namespace demuxabr {
+namespace {
+
+class HlsTest : public ::testing::Test {
+ protected:
+  Content content_ = make_drama_content();
+};
+
+TEST_F(HlsTest, HallListsAll18Variants) {
+  const HlsMasterPlaylist master = build_hall_master(content_);
+  EXPECT_EQ(master.variants.size(), 18u);
+  EXPECT_EQ(master.audio_renditions.size(), 3u);
+}
+
+TEST_F(HlsTest, HsubListsCuratedSixVariants) {
+  const HlsMasterPlaylist master = build_hsub_master(content_);
+  ASSERT_EQ(master.variants.size(), 6u);
+  // Table 3 aggregate peak bitrates, in bps.
+  EXPECT_EQ(master.variants[0].bandwidth_bps, 253000);
+  EXPECT_EQ(master.variants[2].bandwidth_bps, 840000);
+  EXPECT_EQ(master.variants[5].bandwidth_bps, 4838000);
+  // And aggregate averages.
+  EXPECT_EQ(master.variants[2].average_bandwidth_bps, 558000);
+}
+
+TEST_F(HlsTest, VariantReferencesAudioGroup) {
+  const HlsMasterPlaylist master = build_hsub_master(content_);
+  EXPECT_EQ(master.variants[0].audio_group, "audio-A1");
+  EXPECT_EQ(master.variants[2].audio_group, "audio-A2");
+  EXPECT_EQ(master.variants[5].audio_group, "audio-A3");
+  EXPECT_EQ(master.variants[0].uri, "video/V1.m3u8");
+}
+
+TEST_F(HlsTest, AudioOrderControlsRenditionList) {
+  const HlsMasterPlaylist master = build_hsub_master(content_, {"A3", "A2", "A1"});
+  ASSERT_EQ(master.audio_renditions.size(), 3u);
+  EXPECT_EQ(master.audio_renditions[0].name, "A3");
+  EXPECT_TRUE(master.audio_renditions[0].is_default);
+  EXPECT_EQ(master.audio_renditions[2].name, "A1");
+}
+
+TEST_F(HlsTest, MasterSerializeParseRoundTrip) {
+  const HlsMasterPlaylist original = build_hall_master(content_);
+  const auto reparsed = parse_master(serialize_master(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  ASSERT_EQ(reparsed->variants.size(), 18u);
+  ASSERT_EQ(reparsed->audio_renditions.size(), 3u);
+  EXPECT_EQ(reparsed->variants[0].bandwidth_bps, original.variants[0].bandwidth_bps);
+  EXPECT_EQ(reparsed->variants[7].audio_group, original.variants[7].audio_group);
+  EXPECT_EQ(reparsed->variants[7].uri, original.variants[7].uri);
+  EXPECT_EQ(reparsed->audio_renditions[1].group_id, "audio-A2");
+}
+
+TEST_F(HlsTest, CodecsAttributeQuotedCommaSurvives) {
+  const std::string text = serialize_master(build_hsub_master(content_));
+  const auto reparsed = parse_master(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->variants[0].codecs, "avc1.4d401f,mp4a.40.2");
+}
+
+TEST_F(HlsTest, MediaPlaylistSeparateFiles) {
+  const HlsMediaPlaylist playlist = build_hls_media(content_, "V2");
+  ASSERT_EQ(playlist.segments.size(), 75u);
+  EXPECT_FALSE(playlist.segments[0].has_byterange());
+  EXPECT_EQ(playlist.segments[0].uri, "seg/V2/00000.m4s");
+  EXPECT_TRUE(playlist.ended);
+  EXPECT_NEAR(playlist.total_duration_s(), 300.0, 1e-9);
+}
+
+TEST_F(HlsTest, MediaPlaylistByteRangePackaging) {
+  HlsMediaOptions options;
+  options.packaging = PackagingMode::kSingleFileByteRange;
+  const HlsMediaPlaylist playlist = build_hls_media(content_, "V2", options);
+  EXPECT_TRUE(playlist.segments[0].has_byterange());
+  EXPECT_EQ(playlist.segments[0].byterange_offset, 0);
+  // Offsets are cumulative and contiguous.
+  for (std::size_t i = 1; i < playlist.segments.size(); ++i) {
+    EXPECT_EQ(playlist.segments[i].byterange_offset,
+              playlist.segments[i - 1].byterange_offset +
+                  playlist.segments[i - 1].byterange_length);
+  }
+  EXPECT_EQ(playlist.segments[0].uri, "V2.mp4");
+}
+
+TEST_F(HlsTest, ByteRangesRecoverTrackBitrate) {
+  // §4.1 case (i): byte ranges let a client compute per-track bitrates.
+  HlsMediaOptions options;
+  options.packaging = PackagingMode::kSingleFileByteRange;
+  const HlsMediaPlaylist playlist = build_hls_media(content_, "V3", options);
+  const double avg = playlist.average_bitrate_from_byteranges_kbps();
+  EXPECT_NEAR(avg, 362.0, 362.0 * 0.02);
+  EXPECT_NEAR(playlist.peak_bitrate_kbps(), 641.0, 641.0 * 0.02);
+}
+
+TEST_F(HlsTest, BitrateTagsRecoverTrackBitrate) {
+  // §4.1 case (ii): EXT-X-BITRATE tags in separate-file packaging.
+  HlsMediaOptions options;
+  options.include_bitrate_tag = true;
+  const HlsMediaPlaylist playlist = build_hls_media(content_, "A3", options);
+  EXPECT_NEAR(playlist.average_bitrate_from_tags_kbps(), 384.0, 384.0 * 0.02);
+}
+
+TEST_F(HlsTest, MediaPlaylistRoundTripSeparateFiles) {
+  HlsMediaOptions options;
+  options.include_bitrate_tag = true;
+  const HlsMediaPlaylist original = build_hls_media(content_, "V4", options);
+  const auto reparsed = parse_media(serialize_media(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  ASSERT_EQ(reparsed->segments.size(), original.segments.size());
+  EXPECT_TRUE(reparsed->ended);
+  EXPECT_NEAR(reparsed->segments[10].duration_s, 4.0, 1e-9);
+  EXPECT_NEAR(reparsed->segments[10].bitrate_kbps, original.segments[10].bitrate_kbps,
+              1.0);
+}
+
+TEST_F(HlsTest, MediaPlaylistRoundTripByteRanges) {
+  HlsMediaOptions options;
+  options.packaging = PackagingMode::kSingleFileByteRange;
+  const HlsMediaPlaylist original = build_hls_media(content_, "A1", options);
+  const auto reparsed = parse_media(serialize_media(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  for (std::size_t i = 0; i < original.segments.size(); ++i) {
+    EXPECT_EQ(reparsed->segments[i].byterange_length,
+              original.segments[i].byterange_length);
+    EXPECT_EQ(reparsed->segments[i].byterange_offset,
+              original.segments[i].byterange_offset);
+  }
+}
+
+TEST(HlsParser, RejectsMissingHeader) {
+  EXPECT_FALSE(parse_master("#EXT-X-VERSION:6\n").ok());
+  EXPECT_FALSE(parse_media("not a playlist").ok());
+}
+
+TEST(HlsParser, RejectsStreamInfWithoutUri) {
+  EXPECT_FALSE(parse_master("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1000\n").ok());
+}
+
+TEST(HlsParser, RejectsUriWithoutStreamInf) {
+  EXPECT_FALSE(parse_master("#EXTM3U\nvideo/V1.m3u8\n").ok());
+}
+
+TEST(HlsParser, RejectsMissingBandwidth) {
+  EXPECT_FALSE(
+      parse_master("#EXTM3U\n#EXT-X-STREAM-INF:CODECS=\"x\"\nvideo/V1.m3u8\n").ok());
+}
+
+TEST(HlsParser, RejectsInvalidExtInf) {
+  EXPECT_FALSE(parse_media("#EXTM3U\n#EXTINF:bad,\nseg0.ts\n").ok());
+}
+
+TEST(HlsParser, RejectsByteRangeWithoutOffset) {
+  const char* text =
+      "#EXTM3U\n#EXTINF:4.0,\n#EXT-X-BYTERANGE:1000\nfile.mp4\n#EXT-X-ENDLIST\n";
+  EXPECT_FALSE(parse_media(text).ok());
+}
+
+TEST(HlsParser, BitrateTagAppliesUntilChanged) {
+  // Per RFC 8216bis, EXT-X-BITRATE applies to subsequent segments.
+  const char* text =
+      "#EXTM3U\n#EXT-X-TARGETDURATION:4\n"
+      "#EXT-X-BITRATE:100\n#EXTINF:4.0,\ns0.ts\n"
+      "#EXTINF:4.0,\ns1.ts\n"
+      "#EXT-X-BITRATE:200\n#EXTINF:4.0,\ns2.ts\n#EXT-X-ENDLIST\n";
+  const auto playlist = parse_media(text);
+  ASSERT_TRUE(playlist.ok()) << playlist.error();
+  EXPECT_DOUBLE_EQ(playlist->segments[0].bitrate_kbps, 100.0);
+  EXPECT_DOUBLE_EQ(playlist->segments[1].bitrate_kbps, 100.0);
+  EXPECT_DOUBLE_EQ(playlist->segments[2].bitrate_kbps, 200.0);
+}
+
+TEST(HlsParser, MissingEndlistMeansLive) {
+  const char* text = "#EXTM3U\n#EXTINF:4.0,\ns0.ts\n";
+  const auto playlist = parse_media(text);
+  ASSERT_TRUE(playlist.ok());
+  EXPECT_FALSE(playlist->ended);
+}
+
+TEST(HlsMaster, FirstVariantWithUri) {
+  HlsMasterPlaylist master;
+  HlsVariant v1;
+  v1.bandwidth_bps = 100;
+  v1.uri = "a.m3u8";
+  HlsVariant v2;
+  v2.bandwidth_bps = 200;
+  v2.uri = "a.m3u8";
+  master.variants = {v1, v2};
+  EXPECT_EQ(master.first_variant_with_uri("a.m3u8")->bandwidth_bps, 100);
+  EXPECT_EQ(master.first_variant_with_uri("b.m3u8"), nullptr);
+  EXPECT_EQ(master.video_uris().size(), 1u);
+}
+
+TEST(TrackIdFromUri, HandlesConventions) {
+  EXPECT_EQ(track_id_from_uri("video/V3.m3u8"), "V3");
+  EXPECT_EQ(track_id_from_uri("audio/A1.m3u8"), "A1");
+  EXPECT_EQ(track_id_from_uri("seg/A1/00042.m4s"), "A1");
+  EXPECT_EQ(track_id_from_uri("V2.mp4"), "V2");
+  EXPECT_EQ(track_id_from_uri("video/V3.m3u8?token=x"), "V3");
+}
+
+}  // namespace
+}  // namespace demuxabr

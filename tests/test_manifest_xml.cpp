@@ -1,0 +1,130 @@
+#include "manifest/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr::xml {
+namespace {
+
+TEST(XmlWriter, SelfClosingElement) {
+  Element el("Empty");
+  el.set_attribute("a", "1");
+  EXPECT_EQ(el.to_string(), "<Empty a=\"1\"/>\n");
+}
+
+TEST(XmlWriter, NestedChildrenIndented) {
+  Element root("Root");
+  root.add_child("Child").set_attribute("k", std::int64_t{5});
+  const std::string text = root.to_string();
+  EXPECT_NE(text.find("<Root>"), std::string::npos);
+  EXPECT_NE(text.find("  <Child k=\"5\"/>"), std::string::npos);
+  EXPECT_NE(text.find("</Root>"), std::string::npos);
+}
+
+TEST(XmlWriter, EscapesAttributeValues) {
+  Element el("E");
+  el.set_attribute("v", "a<b&\"c\"");
+  EXPECT_NE(el.to_string().find("a&lt;b&amp;&quot;c&quot;"), std::string::npos);
+}
+
+TEST(XmlWriter, DoubleAttributeTrimsZeros) {
+  Element el("E");
+  el.set_attribute("x", 2.5);
+  el.set_attribute("y", 3.0);
+  const std::string text = el.to_string();
+  EXPECT_NE(text.find("x=\"2.5\""), std::string::npos);
+  EXPECT_NE(text.find("y=\"3\""), std::string::npos);
+}
+
+TEST(XmlWriter, SetAttributeOverwrites) {
+  Element el("E");
+  el.set_attribute("k", "1");
+  el.set_attribute("k", "2");
+  EXPECT_EQ(*el.attribute("k"), "2");
+  EXPECT_EQ(el.attributes().size(), 1u);
+}
+
+TEST(XmlParser, SimpleDocument) {
+  const auto doc = parse("<?xml version=\"1.0\"?><Root a=\"x\"><Child/></Root>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ((*doc)->name(), "Root");
+  EXPECT_EQ(*(*doc)->attribute("a"), "x");
+  ASSERT_NE((*doc)->first_child("Child"), nullptr);
+}
+
+TEST(XmlParser, TextContent) {
+  const auto doc = parse("<T>hello &amp; goodbye</T>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->text(), "hello & goodbye");
+}
+
+TEST(XmlParser, SkipsComments) {
+  const auto doc = parse("<R><!-- a comment --><C/></R>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->children().size(), 1u);
+}
+
+TEST(XmlParser, SingleQuotedAttributes) {
+  const auto doc = parse("<R k='v'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*(*doc)->attribute("k"), "v");
+}
+
+TEST(XmlParser, RejectsMismatchedTags) {
+  const auto doc = parse("<A><B></A></B>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParser, RejectsTrailingContent) {
+  EXPECT_FALSE(parse("<A/><B/>").ok());
+}
+
+TEST(XmlParser, RejectsUnterminatedAttribute) {
+  EXPECT_FALSE(parse("<A k=\"v>").ok());
+}
+
+TEST(XmlParser, RejectsUnterminatedElement) {
+  EXPECT_FALSE(parse("<A><B>").ok());
+}
+
+TEST(XmlParser, ErrorsCarryLineNumbers) {
+  const auto doc = parse("<A>\n<B>\n</C>\n</A>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().find("line 3"), std::string::npos);
+}
+
+TEST(XmlRoundTrip, NestedStructureSurvives) {
+  Element root("MPD");
+  root.set_attribute("profiles", "urn:x");
+  Element& period = root.add_child("Period");
+  period.add_child("AdaptationSet").set_attribute("contentType", "video");
+  period.add_child("AdaptationSet").set_attribute("contentType", "audio");
+
+  const auto reparsed = parse(serialize_document(root));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  const Element* p = (*reparsed)->first_child("Period");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->children_named("AdaptationSet").size(), 2u);
+}
+
+TEST(XmlRoundTrip, EscapedCharactersSurvive) {
+  Element root("R");
+  root.set_attribute("v", "<&>\"'");
+  const auto reparsed = parse(serialize_document(root));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*(*reparsed)->attribute("v"), "<&>\"'");
+}
+
+TEST(ChildrenNamed, FiltersCorrectly) {
+  Element root("R");
+  root.add_child("A");
+  root.add_child("B");
+  root.add_child("A");
+  EXPECT_EQ(root.children_named("A").size(), 2u);
+  EXPECT_EQ(root.children_named("C").size(), 0u);
+  EXPECT_EQ(root.first_child("B")->name(), "B");
+  EXPECT_EQ(root.first_child("C"), nullptr);
+}
+
+}  // namespace
+}  // namespace demuxabr::xml

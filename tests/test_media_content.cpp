@@ -1,0 +1,85 @@
+#include "media/content.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+TEST(Content, DramaContentDimensions) {
+  const Content content = make_drama_content();
+  EXPECT_EQ(content.num_chunks(), 75);  // 300 s / 4 s
+  EXPECT_DOUBLE_EQ(content.chunk_duration_s(), 4.0);
+  EXPECT_DOUBLE_EQ(content.duration_s(), 300.0);
+}
+
+TEST(Content, EveryTrackHasChunks) {
+  const Content content = make_drama_content();
+  for (const auto* list : {&content.ladder().audio(), &content.ladder().video()}) {
+    for (const TrackInfo& track : *list) {
+      EXPECT_EQ(content.chunks(track.id).size(), 75u) << track.id;
+    }
+  }
+}
+
+TEST(Content, ChunkLookupByIndex) {
+  const Content content = make_drama_content();
+  const ChunkInfo& chunk = content.chunk("V3", 10);
+  EXPECT_EQ(chunk.index, 10);
+  EXPECT_DOUBLE_EQ(chunk.duration_s, 4.0);
+  EXPECT_GT(chunk.size_bytes, 0);
+}
+
+TEST(Content, TrackStatsMatchDeclared) {
+  const Content content = make_drama_content();
+  for (const TrackInfo& track : content.ladder().video()) {
+    const ChunkStats stats = content.track_stats(track.id);
+    EXPECT_NEAR(stats.avg_kbps, track.avg_kbps, track.avg_kbps * 0.01) << track.id;
+    EXPECT_NEAR(stats.peak_kbps, track.peak_kbps, track.peak_kbps * 0.01) << track.id;
+  }
+}
+
+TEST(Content, TotalBytesIsSumOfTracks) {
+  const Content content = make_drama_content();
+  std::int64_t expected = 0;
+  for (const auto* list : {&content.ladder().audio(), &content.ladder().video()}) {
+    for (const TrackInfo& track : *list) {
+      expected += content.track_stats(track.id).total_bytes;
+    }
+  }
+  EXPECT_EQ(content.total_bytes(), expected);
+  EXPECT_GT(content.total_bytes(), 0);
+}
+
+TEST(ContentBuilder, RoundsChunkCount) {
+  const Content content =
+      ContentBuilder(youtube_drama_ladder()).duration_s(10.0).chunk_duration_s(4.0).build();
+  EXPECT_EQ(content.num_chunks(), 3);  // round(10/4) = 3
+}
+
+TEST(ContentBuilder, CustomChunkDuration) {
+  const Content content =
+      ContentBuilder(youtube_drama_ladder()).duration_s(60.0).chunk_duration_s(2.0).build();
+  EXPECT_EQ(content.num_chunks(), 30);
+  EXPECT_DOUBLE_EQ(content.chunk("A1", 0).duration_s, 2.0);
+}
+
+TEST(ContentBuilder, SeedChangesChunkSizes) {
+  VbrModelParams p1;
+  p1.seed = 1;
+  VbrModelParams p2;
+  p2.seed = 2;
+  const Content a = ContentBuilder(youtube_drama_ladder()).vbr_params(p1).build();
+  const Content b = ContentBuilder(youtube_drama_ladder()).vbr_params(p2).build();
+  EXPECT_NE(a.chunk("V4", 0).size_bytes, b.chunk("V4", 0).size_bytes);
+}
+
+TEST(ContentBuilder, DeterministicForSameInputs) {
+  const Content a = make_drama_content(4.0, 42);
+  const Content b = make_drama_content(4.0, 42);
+  for (int i = 0; i < a.num_chunks(); ++i) {
+    EXPECT_EQ(a.chunk("V5", i).size_bytes, b.chunk("V5", i).size_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,131 @@
+#include "media/ladder.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+TEST(DramaLadder, MatchesTable1Exactly) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  ASSERT_EQ(ladder.audio_count(), 3u);
+  ASSERT_EQ(ladder.video_count(), 6u);
+
+  struct Expected {
+    const char* id;
+    double avg, peak, declared;
+  };
+  const Expected audio[] = {{"A1", 128, 134, 128}, {"A2", 196, 199, 196},
+                            {"A3", 384, 391, 384}};
+  const Expected video[] = {{"V1", 111, 119, 111},   {"V2", 246, 261, 246},
+                            {"V3", 362, 641, 473},   {"V4", 734, 1190, 914},
+                            {"V5", 1421, 2382, 1852}, {"V6", 2728, 4447, 3746}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ladder.audio()[i].id, audio[i].id);
+    EXPECT_DOUBLE_EQ(ladder.audio()[i].avg_kbps, audio[i].avg);
+    EXPECT_DOUBLE_EQ(ladder.audio()[i].peak_kbps, audio[i].peak);
+    EXPECT_DOUBLE_EQ(ladder.audio()[i].declared_kbps, audio[i].declared);
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ladder.video()[i].id, video[i].id);
+    EXPECT_DOUBLE_EQ(ladder.video()[i].avg_kbps, video[i].avg);
+    EXPECT_DOUBLE_EQ(ladder.video()[i].peak_kbps, video[i].peak);
+    EXPECT_DOUBLE_EQ(ladder.video()[i].declared_kbps, video[i].declared);
+  }
+}
+
+TEST(DramaLadder, Table1AudioMetadata) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  EXPECT_EQ(ladder.find("A1")->channels, 2);
+  EXPECT_EQ(ladder.find("A1")->sample_rate_hz, 44100);
+  EXPECT_EQ(ladder.find("A2")->channels, 6);
+  EXPECT_EQ(ladder.find("A3")->sample_rate_hz, 48000);
+}
+
+TEST(DramaLadder, Table1VideoResolutions) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  EXPECT_EQ(ladder.find("V1")->height, 144);
+  EXPECT_EQ(ladder.find("V3")->height, 360);
+  EXPECT_EQ(ladder.find("V6")->height, 1080);
+  EXPECT_EQ(ladder.find("V6")->width, 1920);
+}
+
+TEST(DramaLadder, IsValid) {
+  std::string why;
+  EXPECT_TRUE(youtube_drama_ladder().valid(&why)) << why;
+}
+
+TEST(AudioSets, DeclaredBitratesMatchSection32) {
+  const auto b = audio_set_b();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0].declared_kbps, 32);
+  EXPECT_DOUBLE_EQ(b[1].declared_kbps, 64);
+  EXPECT_DOUBLE_EQ(b[2].declared_kbps, 128);
+  const auto c = audio_set_c();
+  EXPECT_DOUBLE_EQ(c[0].declared_kbps, 196);
+  EXPECT_DOUBLE_EQ(c[1].declared_kbps, 384);
+  EXPECT_DOUBLE_EQ(c[2].declared_kbps, 768);
+}
+
+TEST(AudioSets, SwappedLaddersAreValid) {
+  std::string why;
+  EXPECT_TRUE(drama_with_audio_set_b().valid(&why)) << why;
+  EXPECT_TRUE(drama_with_audio_set_c().valid(&why)) << why;
+  EXPECT_EQ(drama_with_audio_set_b().video_count(), 6u);
+  EXPECT_NE(drama_with_audio_set_b().find("B2"), nullptr);
+  EXPECT_EQ(drama_with_audio_set_b().find("A2"), nullptr);
+}
+
+TEST(LadderLookup, FindAndIndexOf) {
+  const BitrateLadder ladder = youtube_drama_ladder();
+  EXPECT_EQ(ladder.find("V3")->id, "V3");
+  EXPECT_EQ(ladder.find("missing"), nullptr);
+  EXPECT_EQ(ladder.index_of("A2").value(), 1u);
+  EXPECT_EQ(ladder.index_of("V6").value(), 5u);
+  EXPECT_FALSE(ladder.index_of("nope").has_value());
+}
+
+TEST(LadderValidation, RejectsEmptySides) {
+  BitrateLadder empty_audio({}, youtube_drama_ladder().video());
+  std::string why;
+  EXPECT_FALSE(empty_audio.valid(&why));
+  EXPECT_NE(why.find(">=1"), std::string::npos);
+}
+
+TEST(LadderValidation, RejectsDuplicateIds) {
+  auto audio = youtube_drama_ladder().audio();
+  audio[1].id = "A1";
+  // keep sorted-by-declared
+  BitrateLadder ladder(audio, youtube_drama_ladder().video());
+  std::string why;
+  EXPECT_FALSE(ladder.valid(&why));
+  EXPECT_NE(why.find("duplicate"), std::string::npos);
+}
+
+TEST(LadderValidation, RejectsAvgAbovePeak) {
+  auto audio = youtube_drama_ladder().audio();
+  audio[0].avg_kbps = audio[0].peak_kbps + 1;
+  BitrateLadder ladder(audio, youtube_drama_ladder().video());
+  EXPECT_FALSE(ladder.valid());
+}
+
+TEST(LadderValidation, RejectsUnsortedTracks) {
+  auto video = youtube_drama_ladder().video();
+  std::swap(video[0], video[1]);
+  BitrateLadder ladder(youtube_drama_ladder().audio(), video);
+  std::string why;
+  EXPECT_FALSE(ladder.valid(&why));
+  EXPECT_NE(why.find("sorted"), std::string::npos);
+}
+
+TEST(MakeLadder, GeneratesRequestedRungs) {
+  const BitrateLadder ladder = make_ladder({64, 128}, {300, 800, 2000});
+  EXPECT_EQ(ladder.audio_count(), 2u);
+  EXPECT_EQ(ladder.video_count(), 3u);
+  EXPECT_DOUBLE_EQ(ladder.video()[1].declared_kbps, 800);
+  EXPECT_DOUBLE_EQ(ladder.video()[1].peak_kbps, 800 * 1.6);
+  std::string why;
+  EXPECT_TRUE(ladder.valid(&why)) << why;
+}
+
+}  // namespace
+}  // namespace demuxabr

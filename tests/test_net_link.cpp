@@ -1,0 +1,58 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+TEST(Link, ProcessorSharingSplitsCapacity) {
+  Link link(BandwidthTrace::constant(1000.0));
+  EXPECT_DOUBLE_EQ(link.per_flow_kbps(0.0), 1000.0);  // idle: quoted full rate
+  link.add_flow();
+  EXPECT_DOUBLE_EQ(link.per_flow_kbps(0.0), 1000.0);
+  link.add_flow();
+  EXPECT_DOUBLE_EQ(link.per_flow_kbps(0.0), 500.0);
+  link.remove_flow();
+  EXPECT_DOUBLE_EQ(link.per_flow_kbps(0.0), 1000.0);
+}
+
+TEST(Link, RemoveBelowZeroIsSafe) {
+  Link link(BandwidthTrace::constant(1000.0));
+  link.remove_flow();
+  EXPECT_EQ(link.active_flows(), 0);
+}
+
+TEST(Link, CapacityFollowsTrace) {
+  Link link(BandwidthTrace::square_wave(300.0, 900.0, 10.0, 10.0));
+  EXPECT_DOUBLE_EQ(link.capacity_kbps(5.0), 300.0);
+  EXPECT_DOUBLE_EQ(link.capacity_kbps(15.0), 900.0);
+  EXPECT_DOUBLE_EQ(link.next_change_after(5.0), 10.0);
+}
+
+TEST(Network, SharedLinkIsSameObject) {
+  const Network net = Network::shared(BandwidthTrace::constant(700.0));
+  EXPECT_TRUE(net.is_shared());
+  EXPECT_EQ(&net.link_for(true), &net.link_for(false));
+  net.link_for(true).add_flow();
+  EXPECT_EQ(net.link_for(false).active_flows(), 1);
+}
+
+TEST(Network, SplitLinksAreIndependent) {
+  const Network net = Network::split(BandwidthTrace::constant(700.0),
+                                     BandwidthTrace::constant(200.0));
+  EXPECT_FALSE(net.is_shared());
+  net.link_for(true).add_flow();
+  EXPECT_EQ(net.link_for(false).active_flows(), 0);
+  EXPECT_DOUBLE_EQ(net.link_for(true).capacity_kbps(0.0), 700.0);
+  EXPECT_DOUBLE_EQ(net.link_for(false).capacity_kbps(0.0), 200.0);
+}
+
+TEST(Network, DefaultRtt) {
+  const Network net = Network::shared(BandwidthTrace::constant(700.0));
+  EXPECT_DOUBLE_EQ(net.rtt_s, 0.05);
+  const Network custom = Network::shared(BandwidthTrace::constant(700.0), 0.2);
+  EXPECT_DOUBLE_EQ(custom.rtt_s, 0.2);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,170 @@
+#include "net/bandwidth_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace demuxabr {
+namespace {
+
+TEST(ConstantTrace, RateEverywhere) {
+  const auto trace = BandwidthTrace::constant(900.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(0.0), 900.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(1e6), 900.0);
+  EXPECT_TRUE(std::isinf(trace.next_change_after(0.0)));
+  EXPECT_DOUBLE_EQ(trace.average_kbps(0.0, 100.0), 900.0);
+}
+
+TEST(SquareWave, PhasesAndPeriodicity) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 30.0, 30.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(29.999), 300.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(30.0), 900.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(60.0), 300.0);   // wraps
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(125.0), 300.0);  // 125 mod 60 = 5 -> low phase
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(95.0), 900.0);   // 95 mod 60 = 35 -> high phase
+}
+
+TEST(SquareWave, StartHigh) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 30.0, 30.0, true);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(0.0), 900.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(30.0), 300.0);
+}
+
+TEST(SquareWave, AverageMatchesDutyCycle) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 30.0, 30.0);
+  EXPECT_NEAR(trace.average_kbps(0.0, 60.0), 600.0, 1e-9);
+  EXPECT_NEAR(trace.average_kbps(0.0, 600.0), 600.0, 1e-9);
+  const auto uneven = BandwidthTrace::square_wave(350.0, 1200.0, 42.0, 18.0);
+  EXPECT_NEAR(uneven.average_kbps(0.0, 60.0), (350.0 * 42 + 1200.0 * 18) / 60.0, 1e-9);
+}
+
+TEST(SquareWave, NextChangeAfterWrapsAcrossPeriods) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 30.0, 30.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(30.0), 60.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(59.0), 60.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(60.0), 90.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(100.0), 120.0);
+}
+
+TEST(Steps, NonRepeatingHoldsLastRate) {
+  const auto trace =
+      BandwidthTrace::steps({{10.0, 500.0}, {10.0, 1000.0}}, /*repeat=*/false);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(5.0), 500.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(15.0), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(1000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.next_change_after(5.0), 10.0);
+  EXPECT_TRUE(std::isinf(trace.next_change_after(10.0)));
+}
+
+TEST(Steps, RepeatingWraps) {
+  const auto trace =
+      BandwidthTrace::steps({{10.0, 500.0}, {10.0, 1000.0}}, /*repeat=*/true);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(25.0), 500.0);
+  EXPECT_DOUBLE_EQ(trace.period_s(), 20.0);
+}
+
+TEST(RandomWalk, StaysWithinBounds) {
+  const auto trace = BandwidthTrace::random_walk(300.0, 1500.0, 2.0, 300.0, 200.0, 7);
+  for (double t = 0.0; t < 600.0; t += 1.7) {
+    const double rate = trace.rate_kbps(t);
+    EXPECT_GE(rate, 300.0);
+    EXPECT_LE(rate, 1500.0);
+  }
+}
+
+TEST(RandomWalk, DeterministicPerSeed) {
+  const auto a = BandwidthTrace::random_walk(300.0, 1500.0, 2.0, 100.0, 200.0, 7);
+  const auto b = BandwidthTrace::random_walk(300.0, 1500.0, 2.0, 100.0, 200.0, 7);
+  const auto c = BandwidthTrace::random_walk(300.0, 1500.0, 2.0, 100.0, 200.0, 8);
+  EXPECT_DOUBLE_EQ(a.rate_kbps(50.0), b.rate_kbps(50.0));
+  bool any_different = false;
+  for (double t = 0.0; t < 100.0; t += 2.0) {
+    if (a.rate_kbps(t) != c.rate_kbps(t)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  const auto original = BandwidthTrace::steps({{10.0, 500.0}, {20.0, 800.0}}, false);
+  const auto reloaded = BandwidthTrace::from_csv(original.to_csv());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error();
+  EXPECT_DOUBLE_EQ(reloaded->rate_kbps(5.0), 500.0);
+  EXPECT_DOUBLE_EQ(reloaded->rate_kbps(15.0), 800.0);
+}
+
+TEST(TraceCsv, RejectsBadInput) {
+  EXPECT_FALSE(BandwidthTrace::from_csv("").ok());
+  EXPECT_FALSE(BandwidthTrace::from_csv("t,kbps\n1,500\n").ok());      // not at 0
+  EXPECT_FALSE(BandwidthTrace::from_csv("t,kbps\n0,500\n0,600\n").ok());  // dup time
+  EXPECT_FALSE(BandwidthTrace::from_csv("t,kbps\n0,-5\n").ok());       // negative
+  EXPECT_FALSE(BandwidthTrace::from_csv("t,kbps\n0,abc\n").ok());      // non-numeric
+}
+
+TEST(Trace, NegativeTimeClampsToZero) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 30.0, 30.0);
+  EXPECT_DOUBLE_EQ(trace.rate_kbps(-5.0), 300.0);
+}
+
+TEST(Markov, RatesStayWithinJitteredStateBand) {
+  const std::vector<BandwidthTrace::MarkovState> states = {{500.0, 5.0}, {2000.0, 5.0}};
+  const std::vector<std::vector<double>> transitions = {{0.5, 0.5}, {0.5, 0.5}};
+  const auto trace = BandwidthTrace::markov(states, transitions, 300.0, 0.1, 3);
+  for (const auto& segment : trace.segments()) {
+    EXPECT_GT(segment.kbps, 0.0);
+    EXPECT_LT(segment.kbps, 2000.0 * 4.1);  // jitter clamp upper bound
+  }
+  EXPECT_DOUBLE_EQ(trace.period_s(), 300.0);
+}
+
+TEST(Markov, DeterministicPerSeed) {
+  const auto a = BandwidthTrace::cellular(300.0, 5);
+  const auto b = BandwidthTrace::cellular(300.0, 5);
+  const auto c = BandwidthTrace::cellular(300.0, 6);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].kbps, b.segments()[i].kbps);
+  }
+  bool differs = a.segments().size() != c.segments().size();
+  for (std::size_t i = 0; !differs && i < a.segments().size(); ++i) {
+    differs = a.segments()[i].kbps != c.segments()[i].kbps;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Markov, CellularAverageIsPlausible) {
+  for (std::uint64_t seed : {1u, 7u, 21u}) {
+    const auto trace = BandwidthTrace::cellular(600.0, seed);
+    const double avg = trace.average_kbps(0.0, 600.0);
+    EXPECT_GT(avg, 300.0) << seed;
+    EXPECT_LT(avg, 9000.0) << seed;
+  }
+}
+
+TEST(Markov, StatesChangeOverTime) {
+  const auto trace = BandwidthTrace::cellular(300.0, 9);
+  EXPECT_GT(trace.segments().size(), 10u);
+  double min_rate = 1e18;
+  double max_rate = 0.0;
+  for (const auto& segment : trace.segments()) {
+    min_rate = std::min(min_rate, segment.kbps);
+    max_rate = std::max(max_rate, segment.kbps);
+  }
+  EXPECT_GT(max_rate / min_rate, 3.0);  // genuinely multi-state
+}
+
+class AverageWindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AverageWindowSweep, WholePeriodAverageIsInvariant) {
+  const auto trace = BandwidthTrace::square_wave(300.0, 900.0, 8.0, 8.0);
+  const double t0 = GetParam();
+  EXPECT_NEAR(trace.average_kbps(t0, t0 + 16.0), 600.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, AverageWindowSweep,
+                         ::testing::Values(0.0, 3.0, 8.0, 12.5, 100.0));
+
+}  // namespace
+}  // namespace demuxabr

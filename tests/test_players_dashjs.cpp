@@ -1,0 +1,156 @@
+#include "players/dashjs.h"
+
+#include <gtest/gtest.h>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+PlayerContext context(double audio_buffer, double video_buffer, int next_audio = 0,
+                      int next_video = 0, int total = 75) {
+  PlayerContext ctx;
+  ctx.audio_buffer_s = audio_buffer;
+  ctx.video_buffer_s = video_buffer;
+  ctx.next_audio_chunk = next_audio;
+  ctx.next_video_chunk = next_video;
+  ctx.total_chunks = total;
+  return ctx;
+}
+
+ChunkCompletion completion(MediaType type, double kbps, double seconds = 4.0) {
+  ChunkCompletion c;
+  c.type = type;
+  c.bytes = static_cast<std::int64_t>(kbps * 1000.0 / 8.0 * seconds);
+  c.start_t = 0.0;
+  c.end_t = seconds;
+  return c;
+}
+
+class DashJsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    content_ = make_drama_content();
+    player_.start(view_from_mpd(build_dash_mpd(content_)));
+  }
+  Content content_;
+  DashJsPlayerModel player_;
+};
+
+TEST_F(DashJsTest, StartsAtLowestQualityInThroughputMode) {
+  EXPECT_EQ(player_.current_index(MediaType::kVideo), 0u);
+  EXPECT_EQ(player_.current_index(MediaType::kAudio), 0u);
+  EXPECT_EQ(player_.rule_state(MediaType::kVideo),
+            DashJsPlayerModel::RuleState::kThroughput);
+  const auto request = player_.next_request(context(0, 0));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(request->track_id == "V1" || request->track_id == "A1");
+}
+
+TEST_F(DashJsTest, EstimatorsAreIndependentPerType) {
+  // Only video samples: the audio estimate must stay at zero (§3.4).
+  for (int i = 0; i < 5; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kVideo, 800.0), context(0, 0));
+  }
+  EXPECT_NEAR(player_.estimate_kbps(MediaType::kVideo), 800.0, 1.0);
+  EXPECT_DOUBLE_EQ(player_.estimate_kbps(MediaType::kAudio), 0.0);
+}
+
+TEST_F(DashJsTest, ThroughputRulePicksHighestUnderSafetyFactor) {
+  for (int i = 0; i < 5; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kVideo, 700.0), context(0, 0));
+  }
+  // 0.9 * 700 = 630 -> V3 (473) fits, V4 (914) does not. Low buffer keeps
+  // the THROUGHPUT rule active.
+  const auto request = player_.next_request(context(20.0, 2.0, 5, 5));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kVideo);
+  EXPECT_EQ(request->track_id, "V3");
+  EXPECT_EQ(player_.rule_state(MediaType::kVideo),
+            DashJsPlayerModel::RuleState::kThroughput);
+}
+
+TEST_F(DashJsTest, SwitchesToBolaWithComfortableBuffer) {
+  for (int i = 0; i < 5; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kVideo, 400.0), context(0, 0));
+  }
+  // Buffer 18 s: BOLA chooses at least as high as THROUGHPUT (V2 at 0.9*400)
+  // -> DYNAMIC hands control to BOLA.
+  const auto request = player_.next_request(context(30.0, 18.0, 5, 5));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(player_.rule_state(MediaType::kVideo), DashJsPlayerModel::RuleState::kBola);
+}
+
+TEST_F(DashJsTest, FallsBackToThroughputWhenBufferDrains) {
+  for (int i = 0; i < 5; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kVideo, 800.0), context(0, 0));
+  }
+  (void)player_.next_request(context(30.0, 18.0, 5, 5));  // into BOLA
+  ASSERT_EQ(player_.rule_state(MediaType::kVideo), DashJsPlayerModel::RuleState::kBola);
+  // Buffer collapses below 6 s and BOLA's choice (lowest) undercuts
+  // THROUGHPUT's (V4 at 0.9*800=720 -> V3): back to THROUGHPUT.
+  (void)player_.next_request(context(30.0, 2.0, 6, 6));
+  EXPECT_EQ(player_.rule_state(MediaType::kVideo),
+            DashJsPlayerModel::RuleState::kThroughput);
+}
+
+TEST_F(DashJsTest, IndependentSchedulingPrefersEmptierBuffer) {
+  const auto request = player_.next_request(context(10.0, 2.0));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kVideo);
+  const auto request2 = player_.next_request(context(2.0, 10.0));
+  ASSERT_TRUE(request2.has_value());
+  EXPECT_EQ(request2->type, MediaType::kAudio);
+}
+
+TEST_F(DashJsTest, StopsFetchingAtStableBufferTarget) {
+  // Below top quality the target is 20 s (fast-switch default).
+  EXPECT_FALSE(player_.next_request(context(21.0, 21.0)).has_value());
+  EXPECT_TRUE(player_.next_request(context(21.0, 19.0)).has_value());
+}
+
+TEST_F(DashJsTest, TopQualityRaisesBufferTarget) {
+  // Drive the audio pipeline to its top track (A3).
+  for (int i = 0; i < 6; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kAudio, 5000.0), context(0, 0));
+  }
+  (void)player_.next_request(context(2.0, 30.0, 1, 1));
+  ASSERT_EQ(player_.current_index(MediaType::kAudio), 2u);
+  // At top quality audio keeps fetching up to 30 s even though video stopped.
+  const auto request = player_.next_request(context(25.0, 30.0, 2, 2));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kAudio);
+}
+
+TEST_F(DashJsTest, UsesTwoConcurrentPipelines) {
+  EXPECT_EQ(player_.max_concurrent_downloads(), 2);
+}
+
+TEST_F(DashJsTest, RespectsInFlightDownloads) {
+  PlayerContext ctx = context(2.0, 2.0);
+  ctx.video_downloading = true;
+  const auto request = player_.next_request(ctx);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kAudio);
+  ctx.audio_downloading = true;
+  EXPECT_FALSE(player_.next_request(ctx).has_value());
+}
+
+TEST_F(DashJsTest, AudioCanOutrankVideoIndependently) {
+  // The §3.4 pathology: audio estimator sees solo downloads at 700 kbps and
+  // picks A3 (384 <= 630) while video sits at V2 — the undesirable V2+A3.
+  for (int i = 0; i < 4; ++i) {
+    player_.on_chunk_complete(completion(MediaType::kAudio, 700.0), context(0, 0));
+    player_.on_chunk_complete(completion(MediaType::kVideo, 350.0), context(0, 0));
+  }
+  const auto audio_request = player_.next_request(context(1.0, 30.0, 4, 4));
+  ASSERT_TRUE(audio_request.has_value());
+  EXPECT_EQ(audio_request->track_id, "A3");
+  const auto video_request = player_.next_request(context(30.0, 1.0, 5, 5));
+  ASSERT_TRUE(video_request.has_value());
+  EXPECT_EQ(video_request->track_id, "V2");
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,196 @@
+#include "players/estimators.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+ProgressSample sample(double t0, double t1, std::int64_t bytes,
+                      MediaType type = MediaType::kVideo) {
+  ProgressSample s;
+  s.type = type;
+  s.t0 = t0;
+  s.t1 = t1;
+  s.bytes = bytes;
+  return s;
+}
+
+// --- Shaka estimator: the §3.3 behaviours ---
+
+TEST(ShakaEstimator, DefaultEstimateUntilSamplesAccepted) {
+  ShakaBandwidthEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.estimate_kbps(), 500.0);
+  EXPECT_FALSE(estimator.has_good_estimate());
+}
+
+TEST(ShakaEstimator, FilterRejectsSmallIntervals) {
+  // 1 Mbps solo flow: 15625 B per 0.125 s < 16 KB -> every sample rejected,
+  // estimate pinned at the 500 kbps default (Fig 4(a)).
+  ShakaBandwidthEstimator estimator;
+  for (int i = 0; i < 400; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 15625));
+  }
+  EXPECT_EQ(estimator.accepted_samples(), 0u);
+  EXPECT_EQ(estimator.rejected_samples(), 400u);
+  EXPECT_DOUBLE_EQ(estimator.estimate_kbps(), 500.0);
+}
+
+TEST(ShakaEstimator, AcceptsLargeIntervals) {
+  // 1.2 Mbps solo flow: 18750 B per 0.125 s >= 16 KB -> accepted.
+  ShakaBandwidthEstimator estimator;
+  for (int i = 0; i < 40; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 18750));
+  }
+  EXPECT_GT(estimator.accepted_samples(), 0u);
+  EXPECT_TRUE(estimator.has_good_estimate());
+  EXPECT_NEAR(estimator.estimate_kbps(), 1200.0, 30.0);
+}
+
+TEST(ShakaEstimator, SharedBottleneckHalvesPerFlowSamples) {
+  // Two flows at 2.4 Mbps total: each flow's samples say 1.2 Mbps -> the
+  // estimator underestimates a shared bottleneck by ~2x (§3.3).
+  ShakaBandwidthEstimator estimator;
+  for (int i = 0; i < 40; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 18750, MediaType::kVideo));
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 18750, MediaType::kAudio));
+  }
+  EXPECT_NEAR(estimator.estimate_kbps(), 1200.0, 30.0);  // not 2400
+}
+
+TEST(ShakaEstimator, SelectiveFilteringOverestimatesVaryingLinks) {
+  // Low phase (400 kbps: 6250 B -> rejected), high phase (1.2 Mbps ->
+  // accepted): estimate tracks the high phase only (Fig 4(b)).
+  ShakaBandwidthEstimator estimator;
+  double t = 0.0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 160; ++i, t += 0.125) {
+      estimator.on_progress(sample(t, t + 0.125, 6250));
+    }
+    for (int i = 0; i < 80; ++i, t += 0.125) {
+      estimator.on_progress(sample(t, t + 0.125, 18750));
+    }
+  }
+  EXPECT_GT(estimator.estimate_kbps(), 1000.0);  // true average is ~667
+}
+
+TEST(ShakaEstimator, MinOfFastAndSlowIsConservative) {
+  ShakaBandwidthEstimator estimator;
+  // Saturate at high rate, then drop: fast EWMA falls quicker, min() takes it.
+  for (int i = 0; i < 200; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 40000));  // 2.56 Mbps
+  }
+  const double high = estimator.estimate_kbps();
+  for (int i = 200; i < 230; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 17000));  // 1.09 Mbps
+  }
+  EXPECT_LT(estimator.estimate_kbps(), high * 0.8);
+}
+
+TEST(ShakaEstimator, IgnoresZeroDurationSamples) {
+  ShakaBandwidthEstimator estimator;
+  estimator.on_progress(sample(1.0, 1.0, 50000));
+  EXPECT_EQ(estimator.accepted_samples() + estimator.rejected_samples(), 0u);
+}
+
+// --- ExoPlayer sliding-percentile meter ---
+
+TEST(ExoMeter, InitialEstimate) {
+  ExoBandwidthMeter meter;
+  EXPECT_DOUBLE_EQ(meter.estimate_kbps(), 1000.0);
+}
+
+TEST(ExoMeter, ConvergesToTransferRate) {
+  ExoBandwidthMeter meter;
+  for (int i = 0; i < 20; ++i) {
+    meter.on_transfer_end(450000, 4.0);  // 900 kbps chunks
+  }
+  EXPECT_NEAR(meter.estimate_kbps(), 900.0, 10.0);
+}
+
+TEST(ExoMeter, MedianResistsOutliers) {
+  ExoBandwidthMeter meter;
+  for (int i = 0; i < 9; ++i) meter.on_transfer_end(450000, 4.0);  // 900 kbps
+  meter.on_transfer_end(450000, 0.4);                              // one 9 Mbps burst
+  EXPECT_NEAR(meter.estimate_kbps(), 900.0, 50.0);
+}
+
+TEST(ExoMeter, IgnoresDegenerateTransfers) {
+  ExoBandwidthMeter meter;
+  meter.on_transfer_end(0, 1.0);
+  meter.on_transfer_end(1000, 0.0);
+  EXPECT_DOUBLE_EQ(meter.estimate_kbps(), 1000.0);
+}
+
+// --- dash.js per-type window ---
+
+TEST(WindowEstimator, DefaultUntilSamples) {
+  WindowThroughputEstimator estimator(4, 123.0);
+  EXPECT_DOUBLE_EQ(estimator.estimate_kbps(), 123.0);
+  EXPECT_FALSE(estimator.has_samples());
+}
+
+TEST(WindowEstimator, MeanOfLastFour) {
+  WindowThroughputEstimator estimator(4, 0.0);
+  for (double kbps : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    estimator.add_chunk_throughput(kbps);
+  }
+  EXPECT_DOUBLE_EQ(estimator.estimate_kbps(), (200.0 + 300.0 + 400.0 + 500.0) / 4.0);
+}
+
+TEST(WindowEstimator, IgnoresNonPositiveSamples) {
+  WindowThroughputEstimator estimator(4, 0.0);
+  estimator.add_chunk_throughput(-5.0);
+  estimator.add_chunk_throughput(0.0);
+  EXPECT_FALSE(estimator.has_samples());
+}
+
+// --- Aggregate (best-practice) estimator ---
+
+TEST(AggregateEstimator, SumsConcurrentFlows) {
+  // Two flows, each 600 kbps over the same intervals -> the estimator must
+  // report ~1200 kbps, fixing Shaka's halving problem.
+  AggregateThroughputEstimator estimator;
+  for (int i = 0; i < 100; ++i) {
+    const double t0 = i * 0.125;
+    const double t1 = t0 + 0.125;
+    estimator.on_progress(sample(t0, t1, 9375, MediaType::kVideo));
+    estimator.on_progress(sample(t0, t1, 9375, MediaType::kAudio));
+  }
+  EXPECT_NEAR(estimator.estimate_kbps(), 1200.0, 40.0);
+}
+
+TEST(AggregateEstimator, SingleFlowMatchesRate) {
+  AggregateThroughputEstimator estimator;
+  for (int i = 0; i < 100; ++i) {
+    estimator.on_progress(sample(i * 0.125, (i + 1) * 0.125, 9375));
+  }
+  EXPECT_NEAR(estimator.estimate_kbps(), 600.0, 20.0);
+}
+
+TEST(AggregateEstimator, NoSamplesMeansZero) {
+  AggregateThroughputEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.estimate_kbps(), 0.0);
+  EXPECT_FALSE(estimator.has_estimate());
+}
+
+TEST(AggregateEstimator, PartialFirstIntervalReportsRawThroughput) {
+  AggregateThroughputEstimator estimator;
+  estimator.on_progress(sample(0.0, 0.125, 12500));  // 800 kbps, not yet flushed
+  EXPECT_TRUE(estimator.has_estimate());
+  EXPECT_NEAR(estimator.estimate_kbps(), 800.0, 1.0);
+}
+
+TEST(AggregateEstimator, TracksRateChanges) {
+  AggregateThroughputEstimator estimator;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i, t += 0.125) {
+    estimator.on_progress(sample(t, t + 0.125, 18750));  // 1.2 Mbps
+  }
+  for (int i = 0; i < 200; ++i, t += 0.125) {
+    estimator.on_progress(sample(t, t + 0.125, 4688));  // 300 kbps
+  }
+  EXPECT_NEAR(estimator.estimate_kbps(), 300.0, 60.0);
+}
+
+}  // namespace
+}  // namespace demuxabr

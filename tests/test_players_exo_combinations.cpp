@@ -1,0 +1,134 @@
+// The §3.2 crown-jewel check: the switch-point reconstruction of ExoPlayer's
+// getAllocationCheckpoints must reproduce, exactly, all three predetermined
+// combination sequences the paper reports (Table-1 audio, set B, set C).
+#include "players/exo_combinations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+std::vector<std::string> labels(const std::vector<AvCombination>& combos) {
+  std::vector<std::string> out;
+  for (const AvCombination& c : combos) out.push_back(c.label());
+  return out;
+}
+
+TEST(ExoCombinations, Table1AudioSequenceMatchesPaper) {
+  const auto combos = exo_predetermined_combinations(youtube_drama_ladder());
+  const std::vector<std::string> expected = {"V1+A1", "V2+A1", "V2+A2", "V3+A2",
+                                             "V4+A2", "V4+A3", "V5+A3", "V6+A3"};
+  EXPECT_EQ(labels(combos), expected);
+}
+
+TEST(ExoCombinations, AudioSetBSequenceMatchesPaper) {
+  const auto combos = exo_predetermined_combinations(drama_with_audio_set_b());
+  const std::vector<std::string> expected = {"V1+B1", "V2+B1", "V2+B2", "V3+B2",
+                                             "V4+B2", "V5+B2", "V5+B3", "V6+B3"};
+  EXPECT_EQ(labels(combos), expected);
+}
+
+TEST(ExoCombinations, AudioSetCSequenceMatchesPaper) {
+  const auto combos = exo_predetermined_combinations(drama_with_audio_set_c());
+  const std::vector<std::string> expected = {"V1+C1", "V2+C1", "V2+C2", "V3+C2",
+                                             "V4+C2", "V5+C2", "V5+C3", "V6+C3"};
+  EXPECT_EQ(labels(combos), expected);
+}
+
+TEST(ExoCombinations, PathHasExpectedLength) {
+  // |V| + |A| - 1 combinations for any ladder.
+  const auto path = exo_allocation_path({100, 200, 400}, {32, 64});
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<std::size_t, std::size_t>{2, 1}));
+}
+
+TEST(ExoCombinations, AdjacentCombosDifferInExactlyOneComponent) {
+  const auto combos = exo_predetermined_combinations(youtube_drama_ladder());
+  const BitrateLadder ladder = youtube_drama_ladder();
+  for (std::size_t i = 1; i < combos.size(); ++i) {
+    const bool video_changed = combos[i].video_id != combos[i - 1].video_id;
+    const bool audio_changed = combos[i].audio_id != combos[i - 1].audio_id;
+    EXPECT_TRUE(video_changed != audio_changed) << i;
+  }
+}
+
+TEST(ExoCombinations, BandwidthMonotone) {
+  const auto combos = exo_predetermined_combinations(youtube_drama_ladder());
+  for (std::size_t i = 1; i < combos.size(); ++i) {
+    EXPECT_GT(combos[i].declared_kbps, combos[i - 1].declared_kbps);
+  }
+}
+
+TEST(ExoCombinations, SingleTrackPerRendererDegenerates) {
+  const auto path = exo_allocation_path({500}, {64});
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+  const auto video_only = exo_allocation_path({100, 200}, {64});
+  EXPECT_EQ(video_only.size(), 2u);
+}
+
+TEST(ExoCombinations, ViewOverloadUsesDeclaredBitrates) {
+  const Content content = make_drama_content();
+  const ManifestView view = view_from_mpd(build_dash_mpd(content));
+  const auto combos = exo_predetermined_combinations(view);
+  ASSERT_EQ(combos.size(), 8u);
+  EXPECT_EQ(combos[0].video_id, "V1");
+  EXPECT_EQ(combos[0].audio_id, "A1");
+  EXPECT_DOUBLE_EQ(combos[0].bandwidth_kbps, 111.0 + 128.0);
+  EXPECT_EQ(combos[3].video_id, "V3");
+  EXPECT_EQ(combos[3].audio_id, "A2");
+}
+
+TEST(ExoCombinations, ViewOverloadSortsUnorderedTracks) {
+  // Manifest order is not bitrate order: the algorithm must sort first.
+  const Content content = make_drama_content();
+  ManifestView view = view_from_mpd(build_dash_mpd(content));
+  std::swap(view.video_tracks[0], view.video_tracks[5]);
+  std::swap(view.audio_tracks[0], view.audio_tracks[2]);
+  const auto combos = exo_predetermined_combinations(view);
+  EXPECT_EQ(combos.front().video_id, "V1");
+  EXPECT_EQ(combos.front().audio_id, "A1");
+  EXPECT_EQ(combos.back().video_id, "V6");
+  EXPECT_EQ(combos.back().audio_id, "A3");
+}
+
+class ExoPathProperties
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ExoPathProperties, PathIsMonotoneStaircase) {
+  const auto [num_video, num_audio] = GetParam();
+  std::vector<double> video_kbps;
+  std::vector<double> audio_kbps;
+  for (std::size_t i = 0; i < num_video; ++i) {
+    video_kbps.push_back(100.0 * std::pow(1.9, static_cast<double>(i)));
+  }
+  for (std::size_t i = 0; i < num_audio; ++i) {
+    audio_kbps.push_back(32.0 * std::pow(2.0, static_cast<double>(i)));
+  }
+  const auto path = exo_allocation_path(video_kbps, audio_kbps);
+  ASSERT_EQ(path.size(), num_video + num_audio - 1);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto step_video = path[i].first - path[i - 1].first;
+    const auto step_audio = path[i].second - path[i - 1].second;
+    EXPECT_EQ(step_video + step_audio, 1u);  // exactly one upgrade per step
+  }
+  EXPECT_EQ(path.back().first, num_video - 1);
+  EXPECT_EQ(path.back().second, num_audio - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExoPathProperties,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{6, 3},
+                      std::pair<std::size_t, std::size_t>{3, 6},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{10, 4}));
+
+}  // namespace
+}  // namespace demuxabr

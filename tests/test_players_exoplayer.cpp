@@ -1,0 +1,191 @@
+#include "players/exoplayer.h"
+
+#include <gtest/gtest.h>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+PlayerContext context(double audio_buffer, double video_buffer, int next_audio = 0,
+                      int next_video = 0, int total = 75) {
+  PlayerContext ctx;
+  ctx.audio_buffer_s = audio_buffer;
+  ctx.video_buffer_s = video_buffer;
+  ctx.next_audio_chunk = next_audio;
+  ctx.next_video_chunk = next_video;
+  ctx.total_chunks = total;
+  return ctx;
+}
+
+ChunkCompletion transfer(std::int64_t bytes, double seconds) {
+  ChunkCompletion c;
+  c.bytes = bytes;
+  c.start_t = 0.0;
+  c.end_t = seconds;
+  return c;
+}
+
+class ExoDashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    content_ = make_drama_content();
+    view_ = view_from_mpd(build_dash_mpd(content_));
+    player_.start(view_);
+  }
+  void feed_rate(double kbps, int chunks = 10) {
+    // 4-second transfers at the given rate.
+    player_.on_chunk_complete(
+        transfer(static_cast<std::int64_t>(kbps * 1000.0 / 8.0 * 4.0), 4.0), context(0, 0));
+    for (int i = 1; i < chunks; ++i) {
+      player_.on_chunk_complete(
+          transfer(static_cast<std::int64_t>(kbps * 1000.0 / 8.0 * 4.0), 4.0),
+          context(0, 0));
+    }
+  }
+  Content content_;
+  ManifestView view_;
+  ExoPlayerModel player_;
+};
+
+TEST_F(ExoDashTest, BuildsPredeterminedCombinations) {
+  ASSERT_EQ(player_.combinations().size(), 8u);
+  EXPECT_EQ(player_.combinations()[0].label(), "V1+A1");
+  EXPECT_EQ(player_.combinations()[3].label(), "V3+A2");
+  EXPECT_EQ(player_.combinations()[7].label(), "V6+A3");
+  EXPECT_EQ(player_.name(), "exoplayer-dash");
+}
+
+TEST_F(ExoDashTest, SelectsHighestComboUnderBandwidthFraction) {
+  feed_rate(900.0);
+  const auto request = player_.next_request(context(0, 0));
+  ASSERT_TRUE(request.has_value());
+  // 0.75 * 900 = 675 -> V3+A2 (669) fits, V4+A2 (1110) does not.
+  EXPECT_EQ(player_.combinations()[player_.current_combination_index()].label(),
+            "V3+A2");
+}
+
+TEST_F(ExoDashTest, ChunkLevelSyncPicksLaggingType) {
+  feed_rate(900.0);
+  // Video is one chunk behind audio: next request must be video.
+  const auto request = player_.next_request(context(8.0, 4.0, 2, 1));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kVideo);
+  EXPECT_EQ(request->chunk_index, 1);
+  // Audio behind: next request must be audio.
+  const auto request2 = player_.next_request(context(4.0, 8.0, 1, 2));
+  ASSERT_TRUE(request2.has_value());
+  EXPECT_EQ(request2->type, MediaType::kAudio);
+}
+
+TEST_F(ExoDashTest, IdlesWhenBuffersFull) {
+  EXPECT_FALSE(player_.next_request(context(31.0, 31.0)).has_value());
+}
+
+TEST_F(ExoDashTest, NoUpSwitchWithoutBufferCushion) {
+  feed_rate(300.0);  // locks selection low
+  (void)player_.next_request(context(0.0, 0.0));
+  const std::size_t low = player_.current_combination_index();
+  feed_rate(5000.0, 30);  // estimate now very high
+  // Buffer below minDurationForQualityIncrease (10 s): stay put.
+  (void)player_.next_request(context(5.0, 5.0, 1, 1));
+  EXPECT_EQ(player_.current_combination_index(), low);
+  // With >= 10 s buffered, switch up.
+  (void)player_.next_request(context(12.0, 12.0, 2, 2));
+  EXPECT_GT(player_.current_combination_index(), low);
+}
+
+TEST_F(ExoDashTest, NoDownSwitchWithComfortableBuffer) {
+  feed_rate(5000.0, 30);
+  (void)player_.next_request(context(12.0, 12.0));
+  const std::size_t high = player_.current_combination_index();
+  ASSERT_GT(high, 0u);
+  feed_rate(300.0, 30);  // estimate collapses
+  // Buffer >= maxDurationForQualityDecrease (25 s): ride it out.
+  (void)player_.next_request(context(26.0, 26.0, 1, 1));
+  EXPECT_EQ(player_.current_combination_index(), high);
+  // Below 25 s: drop.
+  (void)player_.next_request(context(10.0, 10.0, 2, 2));
+  EXPECT_LT(player_.current_combination_index(), high);
+}
+
+TEST_F(ExoDashTest, RequestsTracksFromCurrentCombination) {
+  feed_rate(900.0);
+  const auto video_request = player_.next_request(context(0.0, 0.0));
+  ASSERT_TRUE(video_request.has_value());
+  EXPECT_EQ(video_request->track_id, "V3");
+  const auto audio_request = player_.next_request(context(0.0, 4.0, 0, 1));
+  ASSERT_TRUE(audio_request.has_value());
+  EXPECT_EQ(audio_request->track_id, "A2");
+}
+
+class ExoHlsTest : public ::testing::Test {
+ protected:
+  Content content_ = make_drama_content();
+};
+
+TEST_F(ExoHlsTest, PinsFirstListedAudioRendition) {
+  // A3 listed first (the Fig 3 setup): every combo uses A3.
+  ExoPlayerModel player;
+  player.start(view_from_hls(build_hsub_master(content_, {"A3", "A2", "A1"}), nullptr));
+  EXPECT_EQ(player.name(), "exoplayer-hls");
+  for (const ComboView& combo : player.combinations()) {
+    EXPECT_EQ(combo.audio_id, "A3");
+  }
+}
+
+TEST_F(ExoHlsTest, PinsLowQualityAudioWhenListedFirst) {
+  // A1 first + 5 Mbps (§3.2 second experiment): audio stays A1.
+  ExoPlayerModel player;
+  player.start(view_from_hls(build_hsub_master(content_, {"A1", "A2", "A3"}), nullptr));
+  for (const ComboView& combo : player.combinations()) {
+    EXPECT_EQ(combo.audio_id, "A1");
+  }
+}
+
+TEST_F(ExoHlsTest, VideoPricedAtFirstVariantAggregate) {
+  ExoPlayerModel player;
+  player.start(view_from_hls(build_hsub_master(content_), nullptr));
+  const auto& combos = player.combinations();
+  ASSERT_EQ(combos.size(), 6u);
+  // V3's only H_sub variant is V3+A2 with BANDWIDTH 840 kbps -> the model
+  // must price V3 at 840, an overestimate of the track's 473 kbps.
+  bool found_v3 = false;
+  for (const ComboView& combo : combos) {
+    if (combo.video_id == "V3") {
+      found_v3 = true;
+      EXPECT_DOUBLE_EQ(combo.bandwidth_kbps, 840.0);
+    }
+  }
+  EXPECT_TRUE(found_v3);
+}
+
+TEST_F(ExoHlsTest, CanProduceOffManifestPairs) {
+  // With A3 pinned, selecting V1's variant yields V1+A3 — not in H_sub.
+  ExoPlayerModel player;
+  player.start(view_from_hls(build_hsub_master(content_, {"A3", "A2", "A1"}), nullptr));
+  const auto request = player.next_request(context(0.0, 0.0));
+  ASSERT_TRUE(request.has_value());
+  const ComboView& combo = player.combinations()[player.current_combination_index()];
+  EXPECT_EQ(combo.audio_id, "A3");
+}
+
+TEST_F(ExoHlsTest, HallUsesFirstVariantContainingEachVideo) {
+  // In H_all (sorted by aggregate peak), the first variant containing V1 is
+  // V1+A1 (253 kbps).
+  ExoPlayerModel player;
+  player.start(view_from_hls(build_hall_master(content_), nullptr));
+  const auto& combos = player.combinations();
+  bool found_v1 = false;
+  for (const ComboView& combo : combos) {
+    if (combo.video_id == "V1") {
+      found_v1 = true;
+      EXPECT_DOUBLE_EQ(combo.bandwidth_kbps, 253.0);
+    }
+  }
+  EXPECT_TRUE(found_v1);
+}
+
+}  // namespace
+}  // namespace demuxabr

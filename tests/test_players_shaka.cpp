@@ -1,0 +1,147 @@
+#include "players/shaka.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "manifest/builder.h"
+#include "media/content.h"
+
+namespace demuxabr {
+namespace {
+
+PlayerContext context(double audio_buffer, double video_buffer, int next_audio = 0,
+                      int next_video = 0, int total = 75) {
+  PlayerContext ctx;
+  ctx.audio_buffer_s = audio_buffer;
+  ctx.video_buffer_s = video_buffer;
+  ctx.next_audio_chunk = next_audio;
+  ctx.next_video_chunk = next_video;
+  ctx.total_chunks = total;
+  return ctx;
+}
+
+class ShakaHlsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    content_ = make_drama_content();
+    player_.start(view_from_hls(build_hall_master(content_), nullptr));
+  }
+  Content content_;
+  ShakaPlayerModel player_;
+};
+
+TEST_F(ShakaHlsTest, UsesAllListedCombinationsSorted) {
+  ASSERT_EQ(player_.combinations().size(), 18u);
+  for (std::size_t i = 1; i < player_.combinations().size(); ++i) {
+    EXPECT_LE(player_.combinations()[i - 1].bandwidth_kbps,
+              player_.combinations()[i].bandwidth_kbps);
+  }
+  EXPECT_EQ(player_.name(), "shaka-hls");
+}
+
+TEST_F(ShakaHlsTest, DefaultEstimateSelectsV2A2) {
+  // The Fig 4(a) selection: 500 kbps default -> V2+A2 (460) is the highest
+  // fitting combination (V1+A3 is 510).
+  const std::size_t index = player_.select_for_estimate(500.0);
+  EXPECT_EQ(player_.combinations()[index].label(), "V2+A2");
+  EXPECT_DOUBLE_EQ(player_.bandwidth_estimate_kbps(), 500.0);
+}
+
+TEST_F(ShakaHlsTest, SelectionBoundaries) {
+  EXPECT_EQ(player_.combinations()[player_.select_for_estimate(100.0)].label(),
+            "V1+A1");  // nothing fits -> lowest
+  EXPECT_EQ(player_.combinations()[player_.select_for_estimate(253.0)].label(),
+            "V1+A1");
+  EXPECT_EQ(player_.combinations()[player_.select_for_estimate(1100.0)].label(),
+            "V3+A3");
+  EXPECT_EQ(player_.combinations()[player_.select_for_estimate(1e6)].label(), "V6+A3");
+}
+
+TEST_F(ShakaHlsTest, MemorylessSelectionFluctuates) {
+  // §3.3: estimates wandering in [300, 700] flip among five combinations.
+  std::set<std::string> selected;
+  for (double estimate : {320.0, 400.0, 470.0, 520.0, 660.0, 390.0, 510.0}) {
+    selected.insert(player_.combinations()[player_.select_for_estimate(estimate)].label());
+  }
+  EXPECT_GE(selected.size(), 4u);
+  EXPECT_TRUE(selected.count("V1+A2"));
+  EXPECT_TRUE(selected.count("V2+A1"));
+  EXPECT_TRUE(selected.count("V2+A2"));
+  EXPECT_TRUE(selected.count("V1+A3"));
+}
+
+TEST_F(ShakaHlsTest, FetchesUpToBufferingGoal) {
+  EXPECT_TRUE(player_.next_request(context(0.0, 0.0)).has_value());
+  EXPECT_FALSE(player_.next_request(context(10.5, 10.5)).has_value());
+}
+
+TEST_F(ShakaHlsTest, PrefersEmptierBuffer) {
+  const auto request = player_.next_request(context(2.0, 8.0));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, MediaType::kAudio);
+}
+
+TEST_F(ShakaHlsTest, RequestsTracksOfSelectedCombination) {
+  // With the default 500 kbps estimate, downloads come from V2+A2.
+  const auto video_request = player_.next_request(context(8.0, 0.0));
+  ASSERT_TRUE(video_request.has_value());
+  EXPECT_EQ(video_request->track_id, "V2");
+  const auto audio_request = player_.next_request(context(0.0, 8.0));
+  ASSERT_TRUE(audio_request.has_value());
+  EXPECT_EQ(audio_request->track_id, "A2");
+}
+
+TEST_F(ShakaHlsTest, EstimatorFiltersSmallProgressSamples) {
+  // 0.125 s intervals at 1 Mbps (15625 B) are all rejected: the estimate
+  // remains the 500 kbps default no matter how long this continues.
+  for (int i = 0; i < 1000; ++i) {
+    ProgressSample sample;
+    sample.t0 = i * 0.125;
+    sample.t1 = sample.t0 + 0.125;
+    sample.bytes = 15625;
+    player_.on_progress(sample);
+  }
+  EXPECT_DOUBLE_EQ(player_.bandwidth_estimate_kbps(), 500.0);
+}
+
+TEST_F(ShakaHlsTest, EstimatorAcceptsFastSamples) {
+  for (int i = 0; i < 100; ++i) {
+    ProgressSample sample;
+    sample.t0 = i * 0.125;
+    sample.t1 = sample.t0 + 0.125;
+    sample.bytes = 18750;  // 1.2 Mbps
+    player_.on_progress(sample);
+  }
+  EXPECT_NEAR(player_.bandwidth_estimate_kbps(), 1200.0, 40.0);
+}
+
+TEST_F(ShakaHlsTest, ConcurrencyIsTwo) {
+  EXPECT_EQ(player_.max_concurrent_downloads(), 2);
+}
+
+TEST(ShakaDashTest, RecreatesAllCombinationsFromMpd) {
+  // §3.3 DASH: no combination list -> the player builds all 18 pairs from
+  // per-track declared bitrates.
+  const Content content = make_drama_content();
+  ShakaPlayerModel player;
+  player.start(view_from_mpd(build_dash_mpd(content)));
+  EXPECT_EQ(player.name(), "shaka-dash");
+  ASSERT_EQ(player.combinations().size(), 18u);
+  // DASH prices combinations by declared-bitrate sums (not the peak sums of
+  // Table 2): V1+A3 = 111+384 = 495 is the highest <= 500.
+  EXPECT_EQ(player.combinations()[player.select_for_estimate(500.0)].label(), "V1+A3");
+}
+
+TEST(ShakaConfigTest, CustomDefaultEstimate) {
+  ShakaConfig config;
+  config.estimator.default_estimate_kbps = 900.0;
+  ShakaPlayerModel player(config);
+  const Content content = make_drama_content();
+  player.start(view_from_hls(build_hall_master(content), nullptr));
+  EXPECT_DOUBLE_EQ(player.bandwidth_estimate_kbps(), 900.0);
+  EXPECT_EQ(player.combinations()[player.select_for_estimate(900.0)].label(), "V3+A2");
+}
+
+}  // namespace
+}  // namespace demuxabr

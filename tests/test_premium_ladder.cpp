@@ -1,0 +1,127 @@
+// Generality checks on a ladder wider than Table 1: 4K video rungs and a
+// 16-channel object-audio track. Device caps, curation, the ExoPlayer
+// predetermination algorithm and full sessions must all hold.
+#include <gtest/gtest.h>
+
+#include "core/compliance.h"
+#include "core/coordinated_player.h"
+#include "manifest/builder.h"
+#include "media/content.h"
+#include "players/exo_combinations.h"
+#include "players/exoplayer.h"
+#include "sim/session.h"
+
+namespace demuxabr {
+namespace {
+
+Content sports_content() {
+  return ContentBuilder(premium_sports_ladder())
+      .duration_s(120.0)
+      .chunk_duration_s(4.0)
+      .build();
+}
+
+TEST(PremiumLadder, IsValid) {
+  std::string why;
+  EXPECT_TRUE(premium_sports_ladder().valid(&why)) << why;
+  EXPECT_EQ(premium_sports_ladder().video_count(), 7u);
+  EXPECT_EQ(premium_sports_ladder().find("V7")->height, 2160);
+  EXPECT_EQ(premium_sports_ladder().find("A3")->channels, 16);
+}
+
+TEST(PremiumLadder, DeviceCapsFilterTopRungs) {
+  CurationPolicy phone;  // defaults: phone screen, stereo sound
+  phone.genre = ContentGenre::kSports;
+  const auto phone_combos = curate_combinations(premium_sports_ladder(), phone);
+  for (const AvCombination& combo : phone_combos) {
+    // Phone: nothing above 720p; stereo: no 16-channel Atmos track.
+    EXPECT_LE(premium_sports_ladder().find(combo.video_id)->height, 720);
+    EXPECT_NE(combo.audio_id, "A3");
+  }
+
+  CurationPolicy tv;
+  tv.genre = ContentGenre::kSports;
+  tv.device.screen = DeviceProfile::Screen::kTv;
+  tv.device.sound = DeviceProfile::Sound::kSurround;
+  const auto tv_combos = curate_combinations(premium_sports_ladder(), tv);
+  EXPECT_EQ(tv_combos.back().video_id, "V7");
+  EXPECT_EQ(tv_combos.back().audio_id, "A3");
+}
+
+TEST(PremiumLadder, ExoPredeterminationScales) {
+  const auto combos = exo_predetermined_combinations(premium_sports_ladder());
+  EXPECT_EQ(combos.size(), 7u + 3u - 1u);
+  for (std::size_t i = 1; i < combos.size(); ++i) {
+    EXPECT_GT(combos[i].declared_kbps, combos[i - 1].declared_kbps);
+  }
+  EXPECT_EQ(combos.front().label(), "V1+A1");
+  EXPECT_EQ(combos.back().label(), "V7+A3");
+}
+
+TEST(PremiumLadder, ContentGenerationHonorsBitrates) {
+  const Content content = sports_content();
+  for (const TrackInfo& track : content.ladder().video()) {
+    const ChunkStats stats = content.track_stats(track.id);
+    EXPECT_NEAR(stats.avg_kbps, track.avg_kbps, track.avg_kbps * 0.01) << track.id;
+    EXPECT_NEAR(stats.peak_kbps, track.peak_kbps, track.peak_kbps * 0.01) << track.id;
+  }
+}
+
+TEST(PremiumLadder, CoordinatedSessionAt25Mbps) {
+  const Content content = sports_content();
+  CurationPolicy policy;
+  policy.genre = ContentGenre::kSports;
+  policy.device.screen = DeviceProfile::Screen::kTv;
+  policy.device.sound = DeviceProfile::Sound::kSurround;
+  DashBuildOptions options;
+  options.allowed_combinations = curate_staircase(content.ladder(), policy);
+  const auto mpd = parse_mpd(serialize_mpd(build_dash_mpd(content, options)));
+  ASSERT_TRUE(mpd.ok());
+  CoordinatedPlayer player;
+  const Network network = Network::shared(BandwidthTrace::constant(25000.0));
+  const SessionLog log = run_session(content, view_from_mpd(*mpd), network, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_EQ(log.stall_count(), 0u);
+  // Reaches the 4K rung.
+  EXPECT_EQ(log.video_selection.back(), "V7");
+}
+
+TEST(PremiumLadder, ExoPlayerSessionAt5Mbps) {
+  const Content content = sports_content();
+  const auto mpd = parse_mpd(serialize_mpd(build_dash_mpd(content)));
+  ASSERT_TRUE(mpd.ok());
+  ExoPlayerModel player;
+  const Network network = Network::shared(BandwidthTrace::constant(5000.0));
+  const SessionLog log = run_session(content, view_from_mpd(*mpd), network, player);
+  EXPECT_TRUE(log.completed);
+  // 0.75 * 5000 = 3750 -> the V4-class combos; never the 4K rungs.
+  for (const std::string& id : log.video_selection) {
+    EXPECT_NE(id, "V7");
+    EXPECT_NE(id, "V6");
+  }
+}
+
+TEST(PremiumLadder, AchievedThroughputSeriesIsBounded) {
+  const Content content = sports_content();
+  const auto mpd = parse_mpd(serialize_mpd(build_dash_mpd(content)));
+  CoordinatedPlayer player;
+  const Network network = Network::shared(BandwidthTrace::constant(8000.0));
+  const SessionLog log = run_session(content, view_from_mpd(*mpd), network, player);
+  ASSERT_FALSE(log.achieved_throughput_kbps.empty());
+  for (const auto& point : log.achieved_throughput_kbps.points()) {
+    EXPECT_GE(point.value, 0.0);
+    EXPECT_LE(point.value, 8000.0 * 1.01) << point.t;
+  }
+  // Delivered bytes match the series integral.
+  double integral_bits = 0.0;
+  const auto& points = log.achieved_throughput_kbps.points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    integral_bits += points[i].value * 1000.0 * (points[i].t - points[i - 1].t);
+  }
+  const double downloaded_bits =
+      static_cast<double>(log.total_downloaded_bytes() + log.wasted_bytes()) * 8.0;
+  EXPECT_NEAR(integral_bits, downloaded_bits, downloaded_bits * 0.02);
+}
+
+}  // namespace
+}  // namespace demuxabr

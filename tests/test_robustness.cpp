@@ -1,0 +1,161 @@
+// Failure injection and boundary conditions: outages, degenerate ladders,
+// extreme RTTs, minimal content. Every player must survive (no crashes, no
+// invariant violations) even when QoE is necessarily terrible.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "manifest/builder.h"
+#include "players/dashjs.h"
+#include "players/exoplayer.h"
+#include "players/shaka.h"
+
+namespace demuxabr {
+namespace {
+
+namespace ex = demuxabr::experiments;
+
+BandwidthTrace outage_trace() {
+  // Healthy, then a 40 s near-outage (5 kbps), then recovery.
+  return BandwidthTrace::steps({{60.0, 1200.0}, {40.0, 5.0}, {600.0, 1200.0}},
+                               /*repeat=*/false);
+}
+
+TEST(Robustness, PlayersSurviveMidSessionOutage) {
+  for (int which = 0; which < 3; ++which) {
+    std::unique_ptr<PlayerAdapter> player;
+    ex::ExperimentSetup setup;
+    switch (which) {
+      case 0:
+        setup = ex::plain_dash(outage_trace(), "outage");
+        player = std::make_unique<ExoPlayerModel>();
+        break;
+      case 1:
+        setup = ex::plain_dash(outage_trace(), "outage");
+        player = std::make_unique<DashJsPlayerModel>();
+        break;
+      case 2:
+        setup = ex::bestpractice_dash(outage_trace(), "outage");
+        player = std::make_unique<CoordinatedPlayer>();
+        break;
+    }
+    setup.session.max_sim_time_s = 2000.0;
+    const SessionLog log = ex::run(setup, *player);
+    EXPECT_TRUE(log.completed) << which;
+    // Playback accounting stays consistent through the outage.
+    EXPECT_NEAR(log.end_time_s,
+                log.startup_delay_s + log.content_duration_s + log.total_stall_s(),
+                0.1)
+        << which;
+  }
+}
+
+TEST(Robustness, OutageCausesStallsNotCorruption) {
+  auto setup = ex::bestpractice_dash(outage_trace(), "outage");
+  setup.session.max_sim_time_s = 2000.0;
+  CoordinatedPlayer player;
+  const SessionLog log = ex::run(setup, player);
+  // A 40 s hole in a 300 s stream must stall (the buffer holds at most 30 s).
+  EXPECT_GE(log.total_stall_s(), 5.0);
+  for (const auto& point : log.video_buffer_s.points()) EXPECT_GE(point.value, -1e-9);
+}
+
+TEST(Robustness, SingleTrackLadder) {
+  const Content content = ContentBuilder(make_ladder({96}, {400}))
+                              .duration_s(60.0)
+                              .chunk_duration_s(4.0)
+                              .build();
+  const ManifestView view = view_from_mpd(build_dash_mpd(content));
+  for (int which = 0; which < 3; ++which) {
+    std::unique_ptr<PlayerAdapter> player;
+    switch (which) {
+      case 0: player = std::make_unique<ExoPlayerModel>(); break;
+      case 1: player = std::make_unique<DashJsPlayerModel>(); break;
+      case 2: player = std::make_unique<CoordinatedPlayer>(); break;
+    }
+    const Network network = Network::shared(BandwidthTrace::constant(1000.0));
+    const SessionLog log = run_session(content, view, network, *player);
+    EXPECT_TRUE(log.completed) << which;
+    for (const std::string& id : log.video_selection) EXPECT_EQ(id, "V1") << which;
+    for (const std::string& id : log.audio_selection) EXPECT_EQ(id, "A1") << which;
+  }
+}
+
+TEST(Robustness, SingleChunkContent) {
+  const Content content = ContentBuilder(youtube_drama_ladder())
+                              .duration_s(4.0)
+                              .chunk_duration_s(4.0)
+                              .build();
+  ASSERT_EQ(content.num_chunks(), 1);
+  const ManifestView view = view_from_mpd(build_dash_mpd(content));
+  CoordinatedPlayer player;
+  const Network network = Network::shared(BandwidthTrace::constant(800.0));
+  const SessionLog log = run_session(content, view, network, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_EQ(log.downloads.size(), 2u);  // one audio + one video chunk
+}
+
+TEST(Robustness, RttLongerThanChunkDuration) {
+  const Content content = ContentBuilder(make_ladder({64}, {200}))
+                              .duration_s(40.0)
+                              .chunk_duration_s(2.0)
+                              .build();
+  const ManifestView view = view_from_mpd(build_dash_mpd(content));
+  CoordinatedPlayer player;
+  // 3 s RTT on 2 s chunks: serial fetching cannot keep up -> stalls, but the
+  // session must still complete.
+  const Network network = Network::shared(BandwidthTrace::constant(10000.0), 3.0);
+  const SessionLog log = run_session(content, view, network, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_GT(log.total_stall_s(), 10.0);
+}
+
+TEST(Robustness, ShakaSurvivesOutageDespitePinnedEstimate) {
+  auto setup = ex::fig4a_shaka_hall_1mbps();
+  setup.trace = outage_trace();
+  setup.session.max_sim_time_s = 2000.0;
+  ShakaPlayerModel player;
+  const SessionLog log = ex::run(setup, player);
+  EXPECT_TRUE(log.completed);
+}
+
+TEST(Robustness, TinyChunksLargeCount) {
+  const Content content = ContentBuilder(make_ladder({64, 128}, {200, 600}))
+                              .duration_s(120.0)
+                              .chunk_duration_s(0.5)
+                              .build();
+  ASSERT_EQ(content.num_chunks(), 240);
+  const ManifestView view = view_from_mpd(build_dash_mpd(content));
+  CoordinatedPlayer player;
+  const Network network = Network::shared(BandwidthTrace::constant(2000.0));
+  const SessionLog log = run_session(content, view, network, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_EQ(log.downloads.size(), 480u);
+}
+
+TEST(Robustness, VeryHighBandwidthNoOverflow) {
+  auto setup = ex::bestpractice_dash(BandwidthTrace::constant(1e7), "10gbps");
+  CoordinatedPlayer player;
+  const SessionLog log = ex::run(setup, player);
+  EXPECT_TRUE(log.completed);
+  EXPECT_EQ(log.stall_count(), 0u);
+  EXPECT_EQ(log.video_selection.back(), "V6");
+  EXPECT_EQ(log.audio_selection.back(), "A3");
+}
+
+TEST(Robustness, TraceFromCsvDrivesSession) {
+  // End-to-end: trace -> CSV -> parsed trace -> session.
+  const std::string csv = ex::varying_600_trace().to_csv();
+  auto trace = BandwidthTrace::from_csv(csv);
+  ASSERT_TRUE(trace.ok()) << trace.error();
+  // CSV loses periodicity (aperiodic last-rate-holds): still valid input.
+  auto setup = ex::bestpractice_dash(*trace, "csv");
+  CoordinatedPlayer player;
+  const SessionLog log = ex::run(setup, player);
+  EXPECT_TRUE(log.completed);
+}
+
+}  // namespace
+}  // namespace demuxabr

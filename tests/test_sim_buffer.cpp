@@ -1,0 +1,96 @@
+#include "sim/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace demuxabr {
+namespace {
+
+TEST(MediaBuffer, StartsEmpty) {
+  MediaBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 0.0);
+  EXPECT_EQ(buffer.chunk_count(), 0u);
+  EXPECT_EQ(buffer.end_index(), 0);
+}
+
+TEST(MediaBuffer, PushAccumulatesLevel) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  buffer.push(1, 4.0, "V2");
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 8.0);
+  EXPECT_EQ(buffer.chunk_count(), 2u);
+  EXPECT_EQ(buffer.end_index(), 2);
+  EXPECT_FALSE(buffer.empty());
+}
+
+TEST(MediaBuffer, ConsumeWithinFrontChunk) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.consume(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 2.5);
+  EXPECT_EQ(buffer.chunk_count(), 1u);
+}
+
+TEST(MediaBuffer, ConsumeAcrossChunkBoundary) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  buffer.push(1, 4.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.consume(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 3.0);
+  EXPECT_EQ(buffer.chunk_count(), 1u);
+}
+
+TEST(MediaBuffer, ConsumeMoreThanAvailable) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.consume(10.0), 4.0);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_DOUBLE_EQ(buffer.consume(1.0), 0.0);
+}
+
+TEST(MediaBuffer, ExactDrainLeavesCleanState) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.consume(4.0), 4.0);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.chunk_count(), 0u);
+  buffer.push(1, 4.0, "V2");  // can refill after drain
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 4.0);
+}
+
+TEST(MediaBuffer, ManySmallConsumesSumExactly) {
+  MediaBuffer buffer;
+  for (int i = 0; i < 10; ++i) buffer.push(i, 4.0, "A1");
+  double consumed = 0.0;
+  while (!buffer.empty()) consumed += buffer.consume(0.125);
+  EXPECT_NEAR(consumed, 40.0, 1e-9);
+}
+
+TEST(MediaBuffer, ZeroConsumeIsNoop) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.consume(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 4.0);
+}
+
+TEST(MediaBuffer, ClearResetsEverything) {
+  MediaBuffer buffer;
+  buffer.push(0, 4.0, "V1");
+  buffer.consume(1.0);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.end_index(), 0);
+}
+
+TEST(MediaBuffer, MixedDurations) {
+  MediaBuffer buffer;
+  buffer.push(0, 2.0, "V1");
+  buffer.push(1, 6.0, "V1");
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 8.0);
+  buffer.consume(3.0);  // consumes chunk 0 entirely + 1s of chunk 1
+  EXPECT_DOUBLE_EQ(buffer.level_s(), 5.0);
+  EXPECT_EQ(buffer.chunk_count(), 1u);
+}
+
+}  // namespace
+}  // namespace demuxabr

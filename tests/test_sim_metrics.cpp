@@ -1,0 +1,152 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "media/ladder.h"
+
+namespace demuxabr {
+namespace {
+
+SessionLog make_log() {
+  SessionLog log;
+  log.player_name = "test";
+  log.content_duration_s = 16.0;
+  log.chunk_duration_s = 4.0;
+  log.total_chunks = 4;
+  log.startup_delay_s = 1.0;
+  log.end_time_s = 20.0;
+  log.completed = true;
+  log.video_selection = {"V1", "V1", "V2", "V2"};
+  log.audio_selection = {"A1", "A2", "A2", "A2"};
+  log.stalls.push_back({5.0, 7.5});
+  return log;
+}
+
+TEST(SessionLogHelpers, TotalStall) {
+  SessionLog log = make_log();
+  log.stalls.push_back({10.0, 11.0});
+  EXPECT_DOUBLE_EQ(log.total_stall_s(), 3.5);
+  EXPECT_EQ(log.stall_count(), 2u);
+}
+
+TEST(SessionLogHelpers, CombinationLabelsFirstUseOrder) {
+  const SessionLog log = make_log();
+  const auto labels = log.selected_combination_labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "V1+A1");
+  EXPECT_EQ(labels[1], "V1+A2");
+  EXPECT_EQ(labels[2], "V2+A2");
+}
+
+TEST(SessionLogHelpers, TotalDownloadedBytes) {
+  SessionLog log;
+  DownloadRecord d;
+  d.bytes = 100;
+  log.downloads.push_back(d);
+  d.bytes = 250;
+  log.downloads.push_back(d);
+  EXPECT_EQ(log.total_downloaded_bytes(), 350);
+}
+
+TEST(DownloadRecord, ThroughputComputation) {
+  DownloadRecord d;
+  d.bytes = 125000;  // 1,000,000 bits
+  d.start_t = 1.0;
+  d.end_t = 2.0;
+  EXPECT_DOUBLE_EQ(d.throughput_kbps(), 1000.0);
+  d.end_t = 1.0;  // degenerate
+  EXPECT_DOUBLE_EQ(d.throughput_kbps(), 0.0);
+}
+
+TEST(Qoe, AverageBitratesAreChunkWeighted) {
+  const SessionLog log = make_log();
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder());
+  // V1=111 x2, V2=246 x2 -> 178.5; A1=128, A2=196 x3 -> 179.
+  EXPECT_NEAR(report.avg_video_kbps, (111.0 * 2 + 246.0 * 2) / 4.0, 1e-9);
+  EXPECT_NEAR(report.avg_audio_kbps, (128.0 + 196.0 * 3) / 4.0, 1e-9);
+}
+
+TEST(Qoe, CountsSwitchesPerComponent) {
+  const SessionLog log = make_log();
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder());
+  EXPECT_EQ(report.video_switches, 1);
+  EXPECT_EQ(report.audio_switches, 1);
+  EXPECT_EQ(report.combo_switches, 2);
+}
+
+TEST(Qoe, StallAccounting) {
+  const SessionLog log = make_log();
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder());
+  EXPECT_EQ(report.stall_count, 1);
+  EXPECT_DOUBLE_EQ(report.total_stall_s, 2.5);
+  EXPECT_DOUBLE_EQ(report.startup_delay_s, 1.0);
+}
+
+TEST(Qoe, OffManifestCounting) {
+  const SessionLog log = make_log();
+  const auto allowed = curated_subset(youtube_drama_ladder());
+  // Allowed: V1+A1, V2+A1, V3+A2, ... -> V1+A2 and V2+A2 are violations.
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder(), &allowed);
+  EXPECT_EQ(report.off_manifest_chunks, 3);
+}
+
+TEST(Qoe, NoAllowedListMeansZeroViolations) {
+  const QoeReport report = compute_qoe(make_log(), youtube_drama_ladder(), nullptr);
+  EXPECT_EQ(report.off_manifest_chunks, 0);
+}
+
+TEST(Qoe, StallsReduceScore) {
+  SessionLog clean = make_log();
+  clean.stalls.clear();
+  SessionLog stalled = make_log();
+  const auto ladder = youtube_drama_ladder();
+  EXPECT_GT(compute_qoe(clean, ladder).qoe_score, compute_qoe(stalled, ladder).qoe_score);
+}
+
+TEST(Qoe, HigherBitrateRaisesScore) {
+  SessionLog low = make_log();
+  low.stalls.clear();
+  SessionLog high = low;
+  high.video_selection = {"V4", "V4", "V4", "V4"};
+  const auto ladder = youtube_drama_ladder();
+  EXPECT_GT(compute_qoe(high, ladder).qoe_score, compute_qoe(low, ladder).qoe_score);
+}
+
+TEST(Qoe, AudioWeightScalesAudioContribution) {
+  SessionLog log = make_log();
+  log.stalls.clear();
+  QoeConfig heavy;
+  heavy.audio_weight = 2.0;
+  QoeConfig none;
+  none.audio_weight = 0.0;
+  const auto ladder = youtube_drama_ladder();
+  EXPECT_GT(compute_qoe(log, ladder, nullptr, heavy).qoe_score,
+            compute_qoe(log, ladder, nullptr, none).qoe_score);
+}
+
+TEST(Qoe, EmptyLogIsAllZero) {
+  SessionLog log;
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder());
+  EXPECT_DOUBLE_EQ(report.avg_video_kbps, 0.0);
+  EXPECT_EQ(report.video_switches, 0);
+  EXPECT_DOUBLE_EQ(report.qoe_score, 0.0);
+}
+
+TEST(SelectionCsv, RendersRows) {
+  const std::string csv = selection_csv(make_log());
+  EXPECT_NE(csv.find("chunk,video,audio,combo"), std::string::npos);
+  EXPECT_NE(csv.find("0,V1,A1,V1+A1"), std::string::npos);
+  EXPECT_NE(csv.find("3,V2,A2,V2+A2"), std::string::npos);
+}
+
+TEST(Summarize, MentionsKeyNumbers) {
+  const SessionLog log = make_log();
+  const QoeReport report = compute_qoe(log, youtube_drama_ladder());
+  const std::string text = summarize(log, report);
+  EXPECT_NE(text.find("player=test"), std::string::npos);
+  EXPECT_NE(text.find("stalls=1"), std::string::npos);
+  EXPECT_NE(text.find("V1+A1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,173 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace demuxabr {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.clear();
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma ewma(0.3);
+  ewma.add(0.0);
+  for (int i = 0; i < 60; ++i) ewma.add(100.0);
+  EXPECT_NEAR(ewma.value(), 100.0, 1e-6);
+}
+
+TEST(HalfLifeEwma, BiasCorrectedEstimateMatchesConstantInput) {
+  HalfLifeEwma ewma(2.0);
+  ewma.add(0.125, 500.0);
+  // With bias correction, a single constant-valued sample already reports
+  // that value (this is how Shaka's estimator behaves).
+  EXPECT_NEAR(ewma.estimate(), 500.0, 1e-9);
+  for (int i = 0; i < 100; ++i) ewma.add(0.125, 500.0);
+  EXPECT_NEAR(ewma.estimate(), 500.0, 1e-9);
+}
+
+TEST(HalfLifeEwma, HalfLifeSemantics) {
+  HalfLifeEwma ewma(2.0);
+  // Saturate at 1000, then feed 0 for exactly one half-life of weight:
+  // the *uncorrected* mass halves; the estimate lands between.
+  for (int i = 0; i < 400; ++i) ewma.add(0.125, 1000.0);
+  ewma.add(2.0, 0.0);
+  EXPECT_LT(ewma.estimate(), 600.0);
+  EXPECT_GT(ewma.estimate(), 300.0);
+}
+
+TEST(HalfLifeEwma, IgnoresNonPositiveWeight) {
+  HalfLifeEwma ewma(2.0);
+  ewma.add(0.0, 1000.0);
+  ewma.add(-1.0, 1000.0);
+  EXPECT_DOUBLE_EQ(ewma.total_weight(), 0.0);
+}
+
+TEST(HalfLifeEwma, RecencyWeighting) {
+  HalfLifeEwma ewma(1.0);
+  for (int i = 0; i < 10; ++i) ewma.add(1.0, 100.0);
+  for (int i = 0; i < 10; ++i) ewma.add(1.0, 900.0);
+  // Recent 900s dominate a 1 s half-life.
+  EXPECT_GT(ewma.estimate(), 850.0);
+}
+
+TEST(SlidingPercentile, MedianOfEqualWeights) {
+  SlidingPercentile sp(100.0);
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) sp.add(1.0, v);
+  EXPECT_DOUBLE_EQ(sp.percentile(0.5, -1.0), 30.0);
+  EXPECT_DOUBLE_EQ(sp.percentile(0.0, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(sp.percentile(1.0, -1.0), 50.0);
+}
+
+TEST(SlidingPercentile, FallbackWhenEmpty) {
+  SlidingPercentile sp(10.0);
+  EXPECT_DOUBLE_EQ(sp.percentile(0.5, 1234.0), 1234.0);
+}
+
+TEST(SlidingPercentile, EvictsOldestWhenOverWeight) {
+  SlidingPercentile sp(2.0);
+  sp.add(1.0, 100.0);
+  sp.add(1.0, 200.0);
+  sp.add(1.0, 300.0);  // evicts the 100 sample
+  EXPECT_DOUBLE_EQ(sp.percentile(0.0, -1.0), 200.0);
+}
+
+TEST(SlidingPercentile, WeightSkewsPercentile) {
+  SlidingPercentile sp(100.0);
+  sp.add(9.0, 100.0);
+  sp.add(1.0, 1000.0);
+  // 90% of the weight sits at 100.
+  EXPECT_DOUBLE_EQ(sp.percentile(0.5, -1.0), 100.0);
+  EXPECT_DOUBLE_EQ(sp.percentile(0.99, -1.0), 1000.0);
+}
+
+TEST(SlidingWindow, MeanAndHarmonicMean) {
+  SlidingWindow window(4);
+  window.add(100.0);
+  window.add(400.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 250.0);
+  EXPECT_DOUBLE_EQ(window.harmonic_mean(), 2.0 / (1.0 / 100.0 + 1.0 / 400.0));
+}
+
+TEST(SlidingWindow, EvictsBeyondCapacity) {
+  SlidingWindow window(2);
+  window.add(1.0);
+  window.add(2.0);
+  window.add(3.0);
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(window.last(), 3.0);
+}
+
+TEST(SlidingWindow, EmptyReturnsZero) {
+  SlidingWindow window(4);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(window.harmonic_mean(), 0.0);
+  EXPECT_FALSE(window.full());
+}
+
+TEST(PercentileOf, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(percentile_of({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_of({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
+}
+
+class EwmaAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaAlphaSweep, StaysWithinInputRange) {
+  Ewma ewma(GetParam());
+  for (int i = 0; i < 100; ++i) ewma.add(i % 2 == 0 ? 10.0 : 20.0);
+  EXPECT_GE(ewma.value(), 10.0);
+  EXPECT_LE(ewma.value(), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwmaAlphaSweep,
+                         ::testing::Values(0.01, 0.1, 0.3, 0.5, 0.9, 1.0));
+
+class HalfLifeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HalfLifeSweep, ConstantInputIsFixedPoint) {
+  HalfLifeEwma ewma(GetParam());
+  for (int i = 0; i < 50; ++i) ewma.add(0.5, 777.0);
+  EXPECT_NEAR(ewma.estimate(), 777.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfLives, HalfLifeSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace demuxabr
