@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_best_practices.dir/bench_best_practices.cpp.o"
+  "CMakeFiles/bench_best_practices.dir/bench_best_practices.cpp.o.d"
+  "bench_best_practices"
+  "bench_best_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_best_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

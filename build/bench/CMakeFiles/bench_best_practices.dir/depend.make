@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_best_practices.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdn_cache.dir/bench_cdn_cache.cpp.o"
+  "CMakeFiles/bench_cdn_cache.dir/bench_cdn_cache.cpp.o.d"
+  "bench_cdn_cache"
+  "bench_cdn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_exoplayer_dash.dir/bench_fig2_exoplayer_dash.cpp.o"
+  "CMakeFiles/bench_fig2_exoplayer_dash.dir/bench_fig2_exoplayer_dash.cpp.o.d"
+  "bench_fig2_exoplayer_dash"
+  "bench_fig2_exoplayer_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_exoplayer_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_exoplayer_hls.dir/bench_fig3_exoplayer_hls.cpp.o"
+  "CMakeFiles/bench_fig3_exoplayer_hls.dir/bench_fig3_exoplayer_hls.cpp.o.d"
+  "bench_fig3_exoplayer_hls"
+  "bench_fig3_exoplayer_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_exoplayer_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_shaka.dir/bench_fig4_shaka.cpp.o"
+  "CMakeFiles/bench_fig4_shaka.dir/bench_fig4_shaka.cpp.o.d"
+  "bench_fig4_shaka"
+  "bench_fig4_shaka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_shaka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dashjs.dir/bench_fig5_dashjs.cpp.o"
+  "CMakeFiles/bench_fig5_dashjs.dir/bench_fig5_dashjs.cpp.o.d"
+  "bench_fig5_dashjs"
+  "bench_fig5_dashjs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dashjs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

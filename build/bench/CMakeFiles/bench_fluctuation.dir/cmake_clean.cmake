@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fluctuation.dir/bench_fluctuation.cpp.o"
+  "CMakeFiles/bench_fluctuation.dir/bench_fluctuation.cpp.o.d"
+  "bench_fluctuation"
+  "bench_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

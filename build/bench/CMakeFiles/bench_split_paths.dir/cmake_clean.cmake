@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_split_paths.dir/bench_split_paths.cpp.o"
+  "CMakeFiles/bench_split_paths.dir/bench_split_paths.cpp.o.d"
+  "bench_split_paths"
+  "bench_split_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_split_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

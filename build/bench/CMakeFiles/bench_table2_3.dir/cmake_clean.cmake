@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_3.dir/bench_table2_3.cpp.o"
+  "CMakeFiles/bench_table2_3.dir/bench_table2_3.cpp.o.d"
+  "bench_table2_3"
+  "bench_table2_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

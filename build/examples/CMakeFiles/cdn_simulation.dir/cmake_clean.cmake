@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_simulation.dir/cdn_simulation.cpp.o"
+  "CMakeFiles/cdn_simulation.dir/cdn_simulation.cpp.o.d"
+  "cdn_simulation"
+  "cdn_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_data.dir/figure_data.cpp.o"
+  "CMakeFiles/figure_data.dir/figure_data.cpp.o.d"
+  "figure_data"
+  "figure_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_tools.dir/manifest_tools.cpp.o"
+  "CMakeFiles/manifest_tools.dir/manifest_tools.cpp.o.d"
+  "manifest_tools"
+  "manifest_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

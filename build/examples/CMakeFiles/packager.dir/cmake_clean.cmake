@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packager.dir/packager.cpp.o"
+  "CMakeFiles/packager.dir/packager.cpp.o.d"
+  "packager"
+  "packager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

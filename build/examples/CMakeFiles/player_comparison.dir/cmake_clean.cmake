@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_comparison.dir/player_comparison.cpp.o"
+  "CMakeFiles/player_comparison.dir/player_comparison.cpp.o.d"
+  "player_comparison"
+  "player_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

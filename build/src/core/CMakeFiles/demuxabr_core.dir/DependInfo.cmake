@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allowed_combinations.cpp" "src/core/CMakeFiles/demuxabr_core.dir/allowed_combinations.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/allowed_combinations.cpp.o.d"
+  "/root/repo/src/core/balanced_prefetch.cpp" "src/core/CMakeFiles/demuxabr_core.dir/balanced_prefetch.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/balanced_prefetch.cpp.o.d"
+  "/root/repo/src/core/bba_abr.cpp" "src/core/CMakeFiles/demuxabr_core.dir/bba_abr.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/bba_abr.cpp.o.d"
+  "/root/repo/src/core/compliance.cpp" "src/core/CMakeFiles/demuxabr_core.dir/compliance.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/compliance.cpp.o.d"
+  "/root/repo/src/core/coordinated_player.cpp" "src/core/CMakeFiles/demuxabr_core.dir/coordinated_player.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/coordinated_player.cpp.o.d"
+  "/root/repo/src/core/joint_abr.cpp" "src/core/CMakeFiles/demuxabr_core.dir/joint_abr.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/joint_abr.cpp.o.d"
+  "/root/repo/src/core/mpc_abr.cpp" "src/core/CMakeFiles/demuxabr_core.dir/mpc_abr.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/mpc_abr.cpp.o.d"
+  "/root/repo/src/core/muxed_player.cpp" "src/core/CMakeFiles/demuxabr_core.dir/muxed_player.cpp.o" "gcc" "src/core/CMakeFiles/demuxabr_core.dir/muxed_player.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/players/CMakeFiles/demuxabr_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demuxabr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/demuxabr_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demuxabr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

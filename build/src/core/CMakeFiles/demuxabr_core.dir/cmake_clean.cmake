@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_core.dir/allowed_combinations.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/allowed_combinations.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/balanced_prefetch.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/balanced_prefetch.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/bba_abr.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/bba_abr.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/compliance.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/compliance.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/coordinated_player.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/coordinated_player.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/joint_abr.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/joint_abr.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/mpc_abr.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/mpc_abr.cpp.o.d"
+  "CMakeFiles/demuxabr_core.dir/muxed_player.cpp.o"
+  "CMakeFiles/demuxabr_core.dir/muxed_player.cpp.o.d"
+  "libdemuxabr_core.a"
+  "libdemuxabr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

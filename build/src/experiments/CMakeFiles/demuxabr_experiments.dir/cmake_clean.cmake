@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_experiments.dir/scenarios.cpp.o"
+  "CMakeFiles/demuxabr_experiments.dir/scenarios.cpp.o.d"
+  "CMakeFiles/demuxabr_experiments.dir/tables.cpp.o"
+  "CMakeFiles/demuxabr_experiments.dir/tables.cpp.o.d"
+  "libdemuxabr_experiments.a"
+  "libdemuxabr_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/httpsim/catalog.cpp" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/catalog.cpp.o" "gcc" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/catalog.cpp.o.d"
+  "/root/repo/src/httpsim/cdn.cpp" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/cdn.cpp.o" "gcc" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/cdn.cpp.o.d"
+  "/root/repo/src/httpsim/cdn_chain.cpp" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/cdn_chain.cpp.o" "gcc" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/cdn_chain.cpp.o.d"
+  "/root/repo/src/httpsim/lru_cache.cpp" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/lru_cache.cpp.o" "gcc" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/httpsim/workload.cpp" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/workload.cpp.o" "gcc" "src/httpsim/CMakeFiles/demuxabr_httpsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_httpsim.dir/catalog.cpp.o"
+  "CMakeFiles/demuxabr_httpsim.dir/catalog.cpp.o.d"
+  "CMakeFiles/demuxabr_httpsim.dir/cdn.cpp.o"
+  "CMakeFiles/demuxabr_httpsim.dir/cdn.cpp.o.d"
+  "CMakeFiles/demuxabr_httpsim.dir/cdn_chain.cpp.o"
+  "CMakeFiles/demuxabr_httpsim.dir/cdn_chain.cpp.o.d"
+  "CMakeFiles/demuxabr_httpsim.dir/lru_cache.cpp.o"
+  "CMakeFiles/demuxabr_httpsim.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/demuxabr_httpsim.dir/workload.cpp.o"
+  "CMakeFiles/demuxabr_httpsim.dir/workload.cpp.o.d"
+  "libdemuxabr_httpsim.a"
+  "libdemuxabr_httpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_httpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemuxabr_httpsim.a"
+)

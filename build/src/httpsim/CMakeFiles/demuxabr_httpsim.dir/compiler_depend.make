@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for demuxabr_httpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manifest/builder.cpp" "src/manifest/CMakeFiles/demuxabr_manifest.dir/builder.cpp.o" "gcc" "src/manifest/CMakeFiles/demuxabr_manifest.dir/builder.cpp.o.d"
+  "/root/repo/src/manifest/dash_mpd.cpp" "src/manifest/CMakeFiles/demuxabr_manifest.dir/dash_mpd.cpp.o" "gcc" "src/manifest/CMakeFiles/demuxabr_manifest.dir/dash_mpd.cpp.o.d"
+  "/root/repo/src/manifest/hls_playlist.cpp" "src/manifest/CMakeFiles/demuxabr_manifest.dir/hls_playlist.cpp.o" "gcc" "src/manifest/CMakeFiles/demuxabr_manifest.dir/hls_playlist.cpp.o.d"
+  "/root/repo/src/manifest/view.cpp" "src/manifest/CMakeFiles/demuxabr_manifest.dir/view.cpp.o" "gcc" "src/manifest/CMakeFiles/demuxabr_manifest.dir/view.cpp.o.d"
+  "/root/repo/src/manifest/xml.cpp" "src/manifest/CMakeFiles/demuxabr_manifest.dir/xml.cpp.o" "gcc" "src/manifest/CMakeFiles/demuxabr_manifest.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_manifest.dir/builder.cpp.o"
+  "CMakeFiles/demuxabr_manifest.dir/builder.cpp.o.d"
+  "CMakeFiles/demuxabr_manifest.dir/dash_mpd.cpp.o"
+  "CMakeFiles/demuxabr_manifest.dir/dash_mpd.cpp.o.d"
+  "CMakeFiles/demuxabr_manifest.dir/hls_playlist.cpp.o"
+  "CMakeFiles/demuxabr_manifest.dir/hls_playlist.cpp.o.d"
+  "CMakeFiles/demuxabr_manifest.dir/view.cpp.o"
+  "CMakeFiles/demuxabr_manifest.dir/view.cpp.o.d"
+  "CMakeFiles/demuxabr_manifest.dir/xml.cpp.o"
+  "CMakeFiles/demuxabr_manifest.dir/xml.cpp.o.d"
+  "libdemuxabr_manifest.a"
+  "libdemuxabr_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for demuxabr_manifest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/combination.cpp" "src/media/CMakeFiles/demuxabr_media.dir/combination.cpp.o" "gcc" "src/media/CMakeFiles/demuxabr_media.dir/combination.cpp.o.d"
+  "/root/repo/src/media/content.cpp" "src/media/CMakeFiles/demuxabr_media.dir/content.cpp.o" "gcc" "src/media/CMakeFiles/demuxabr_media.dir/content.cpp.o.d"
+  "/root/repo/src/media/ladder.cpp" "src/media/CMakeFiles/demuxabr_media.dir/ladder.cpp.o" "gcc" "src/media/CMakeFiles/demuxabr_media.dir/ladder.cpp.o.d"
+  "/root/repo/src/media/vbr_model.cpp" "src/media/CMakeFiles/demuxabr_media.dir/vbr_model.cpp.o" "gcc" "src/media/CMakeFiles/demuxabr_media.dir/vbr_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

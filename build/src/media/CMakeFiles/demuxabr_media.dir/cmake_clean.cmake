@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_media.dir/combination.cpp.o"
+  "CMakeFiles/demuxabr_media.dir/combination.cpp.o.d"
+  "CMakeFiles/demuxabr_media.dir/content.cpp.o"
+  "CMakeFiles/demuxabr_media.dir/content.cpp.o.d"
+  "CMakeFiles/demuxabr_media.dir/ladder.cpp.o"
+  "CMakeFiles/demuxabr_media.dir/ladder.cpp.o.d"
+  "CMakeFiles/demuxabr_media.dir/vbr_model.cpp.o"
+  "CMakeFiles/demuxabr_media.dir/vbr_model.cpp.o.d"
+  "libdemuxabr_media.a"
+  "libdemuxabr_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_net.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/demuxabr_net.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/demuxabr_net.dir/link.cpp.o"
+  "CMakeFiles/demuxabr_net.dir/link.cpp.o.d"
+  "libdemuxabr_net.a"
+  "libdemuxabr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

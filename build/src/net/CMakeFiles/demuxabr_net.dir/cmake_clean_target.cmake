@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemuxabr_net.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/players/bola.cpp" "src/players/CMakeFiles/demuxabr_players.dir/bola.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/bola.cpp.o.d"
+  "/root/repo/src/players/dashjs.cpp" "src/players/CMakeFiles/demuxabr_players.dir/dashjs.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/dashjs.cpp.o.d"
+  "/root/repo/src/players/estimators.cpp" "src/players/CMakeFiles/demuxabr_players.dir/estimators.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/estimators.cpp.o.d"
+  "/root/repo/src/players/exo_combinations.cpp" "src/players/CMakeFiles/demuxabr_players.dir/exo_combinations.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/exo_combinations.cpp.o.d"
+  "/root/repo/src/players/exo_legacy.cpp" "src/players/CMakeFiles/demuxabr_players.dir/exo_legacy.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/exo_legacy.cpp.o.d"
+  "/root/repo/src/players/exoplayer.cpp" "src/players/CMakeFiles/demuxabr_players.dir/exoplayer.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/exoplayer.cpp.o.d"
+  "/root/repo/src/players/shaka.cpp" "src/players/CMakeFiles/demuxabr_players.dir/shaka.cpp.o" "gcc" "src/players/CMakeFiles/demuxabr_players.dir/shaka.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/demuxabr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/demuxabr_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demuxabr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_players.dir/bola.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/bola.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/dashjs.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/dashjs.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/estimators.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/estimators.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/exo_combinations.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/exo_combinations.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/exo_legacy.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/exo_legacy.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/exoplayer.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/exoplayer.cpp.o.d"
+  "CMakeFiles/demuxabr_players.dir/shaka.cpp.o"
+  "CMakeFiles/demuxabr_players.dir/shaka.cpp.o.d"
+  "libdemuxabr_players.a"
+  "libdemuxabr_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

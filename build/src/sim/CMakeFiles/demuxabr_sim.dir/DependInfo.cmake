@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer.cpp" "src/sim/CMakeFiles/demuxabr_sim.dir/buffer.cpp.o" "gcc" "src/sim/CMakeFiles/demuxabr_sim.dir/buffer.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/demuxabr_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/demuxabr_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/demuxabr_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/demuxabr_sim.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/demuxabr_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demuxabr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

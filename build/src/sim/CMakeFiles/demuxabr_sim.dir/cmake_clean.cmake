@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_sim.dir/buffer.cpp.o"
+  "CMakeFiles/demuxabr_sim.dir/buffer.cpp.o.d"
+  "CMakeFiles/demuxabr_sim.dir/metrics.cpp.o"
+  "CMakeFiles/demuxabr_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/demuxabr_sim.dir/session.cpp.o"
+  "CMakeFiles/demuxabr_sim.dir/session.cpp.o.d"
+  "libdemuxabr_sim.a"
+  "libdemuxabr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

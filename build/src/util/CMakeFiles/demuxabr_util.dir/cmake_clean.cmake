@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demuxabr_util.dir/csv.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/demuxabr_util.dir/logging.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/logging.cpp.o.d"
+  "CMakeFiles/demuxabr_util.dir/rng.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/demuxabr_util.dir/stats.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/demuxabr_util.dir/strings.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/strings.cpp.o.d"
+  "CMakeFiles/demuxabr_util.dir/time_series.cpp.o"
+  "CMakeFiles/demuxabr_util.dir/time_series.cpp.o.d"
+  "libdemuxabr_util.a"
+  "libdemuxabr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demuxabr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

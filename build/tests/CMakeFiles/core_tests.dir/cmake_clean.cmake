@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/test_core_bba.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_bba.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_combinations.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_combinations.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_compliance.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_compliance.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_coordinated.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_coordinated.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_joint_abr.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_joint_abr.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_mpc.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_mpc.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_core_prefetch.cpp.o"
+  "CMakeFiles/core_tests.dir/test_core_prefetch.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

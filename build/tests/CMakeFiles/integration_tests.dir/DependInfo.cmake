@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abandonment.cpp" "tests/CMakeFiles/integration_tests.dir/test_abandonment.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_abandonment.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/integration_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/integration_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_integration_figures.cpp" "tests/CMakeFiles/integration_tests.dir/test_integration_figures.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_integration_figures.cpp.o.d"
+  "/root/repo/tests/test_integration_properties.cpp" "tests/CMakeFiles/integration_tests.dir/test_integration_properties.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_integration_properties.cpp.o.d"
+  "/root/repo/tests/test_muxed_player.cpp" "tests/CMakeFiles/integration_tests.dir/test_muxed_player.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_muxed_player.cpp.o.d"
+  "/root/repo/tests/test_premium_ladder.cpp" "tests/CMakeFiles/integration_tests.dir/test_premium_ladder.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_premium_ladder.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/integration_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_seek.cpp" "tests/CMakeFiles/integration_tests.dir/test_seek.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_seek.cpp.o.d"
+  "/root/repo/tests/test_split_paths.cpp" "tests/CMakeFiles/integration_tests.dir/test_split_paths.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_split_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/demuxabr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/demuxabr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/players/CMakeFiles/demuxabr_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demuxabr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/demuxabr_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/demuxabr_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demuxabr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

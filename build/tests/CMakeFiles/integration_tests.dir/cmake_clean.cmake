@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/test_abandonment.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_abandonment.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_experiments.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_experiments.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_integration_figures.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_integration_figures.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_integration_properties.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_integration_properties.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_muxed_player.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_muxed_player.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_premium_ladder.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_premium_ladder.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_robustness.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_robustness.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_seek.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_seek.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_split_paths.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_split_paths.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_tests.dir/test_manifest_dash.cpp.o"
+  "CMakeFiles/manifest_tests.dir/test_manifest_dash.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/test_manifest_fuzz.cpp.o"
+  "CMakeFiles/manifest_tests.dir/test_manifest_fuzz.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/test_manifest_hls.cpp.o"
+  "CMakeFiles/manifest_tests.dir/test_manifest_hls.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/test_manifest_view.cpp.o"
+  "CMakeFiles/manifest_tests.dir/test_manifest_view.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/test_manifest_xml.cpp.o"
+  "CMakeFiles/manifest_tests.dir/test_manifest_xml.cpp.o.d"
+  "manifest_tests"
+  "manifest_tests.pdb"
+  "manifest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_tests.dir/test_media_combination.cpp.o"
+  "CMakeFiles/media_tests.dir/test_media_combination.cpp.o.d"
+  "CMakeFiles/media_tests.dir/test_media_content.cpp.o"
+  "CMakeFiles/media_tests.dir/test_media_content.cpp.o.d"
+  "CMakeFiles/media_tests.dir/test_media_ladder.cpp.o"
+  "CMakeFiles/media_tests.dir/test_media_ladder.cpp.o.d"
+  "CMakeFiles/media_tests.dir/test_media_vbr.cpp.o"
+  "CMakeFiles/media_tests.dir/test_media_vbr.cpp.o.d"
+  "media_tests"
+  "media_tests.pdb"
+  "media_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

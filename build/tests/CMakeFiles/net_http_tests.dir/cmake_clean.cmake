@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_http_tests.dir/test_cdn_chain.cpp.o"
+  "CMakeFiles/net_http_tests.dir/test_cdn_chain.cpp.o.d"
+  "CMakeFiles/net_http_tests.dir/test_httpsim.cpp.o"
+  "CMakeFiles/net_http_tests.dir/test_httpsim.cpp.o.d"
+  "CMakeFiles/net_http_tests.dir/test_net_link.cpp.o"
+  "CMakeFiles/net_http_tests.dir/test_net_link.cpp.o.d"
+  "CMakeFiles/net_http_tests.dir/test_net_trace.cpp.o"
+  "CMakeFiles/net_http_tests.dir/test_net_trace.cpp.o.d"
+  "net_http_tests"
+  "net_http_tests.pdb"
+  "net_http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/players_tests.dir/test_players_bola.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_bola.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_dashjs.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_dashjs.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_estimators.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_estimators.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_exo_combinations.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_exo_combinations.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_exo_legacy.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_exo_legacy.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_exoplayer.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_exoplayer.cpp.o.d"
+  "CMakeFiles/players_tests.dir/test_players_shaka.cpp.o"
+  "CMakeFiles/players_tests.dir/test_players_shaka.cpp.o.d"
+  "players_tests"
+  "players_tests.pdb"
+  "players_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/players_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util_csv.cpp" "tests/CMakeFiles/util_tests.dir/test_util_csv.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/test_util_csv.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/util_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/util_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_util_strings.cpp" "tests/CMakeFiles/util_tests.dir/test_util_strings.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/test_util_strings.cpp.o.d"
+  "/root/repo/tests/test_util_time_series.cpp" "tests/CMakeFiles/util_tests.dir/test_util_time_series.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/test_util_time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/demuxabr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/demuxabr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/players/CMakeFiles/demuxabr_players.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demuxabr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/demuxabr_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/demuxabr_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/demuxabr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demuxabr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/demuxabr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

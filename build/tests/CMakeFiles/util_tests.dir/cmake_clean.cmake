@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/test_util_csv.cpp.o"
+  "CMakeFiles/util_tests.dir/test_util_csv.cpp.o.d"
+  "CMakeFiles/util_tests.dir/test_util_rng.cpp.o"
+  "CMakeFiles/util_tests.dir/test_util_rng.cpp.o.d"
+  "CMakeFiles/util_tests.dir/test_util_stats.cpp.o"
+  "CMakeFiles/util_tests.dir/test_util_stats.cpp.o.d"
+  "CMakeFiles/util_tests.dir/test_util_strings.cpp.o"
+  "CMakeFiles/util_tests.dir/test_util_strings.cpp.o.d"
+  "CMakeFiles/util_tests.dir/test_util_time_series.cpp.o"
+  "CMakeFiles/util_tests.dir/test_util_time_series.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
