@@ -3,121 +3,50 @@
 // stalls, switches, and manifest compliance. The coordinated player should
 // be the only one with zero stalls, zero violations and low switch counts
 // across the board.
+//
+// The full grid runs through experiments::SweepRunner (the matrix and the
+// player list live in experiments/sweep.*, shared with bench_sweep and
+// examples/player_comparison); the per-cell benchmarks below time single
+// sessions.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "core/coordinated_player.h"
-#include "core/muxed_player.h"
-#include "experiments/scenarios.h"
+#include "experiments/sweep.h"
 #include "experiments/tables.h"
-#include "players/dashjs.h"
-#include "players/exo_legacy.h"
-#include "players/exoplayer.h"
-#include "players/shaka.h"
 
 namespace {
 
 using namespace demuxabr;
 namespace ex = demuxabr::experiments;
 
-enum class Kind { kExoLegacy, kExo, kShaka, kDashJs, kMuxed, kCoordinated, kMpc, kBba };
-
-const char* kind_label(Kind kind) {
-  switch (kind) {
-    case Kind::kExoLegacy: return "exo-legacy";
-    case Kind::kExo: return "exoplayer";
-    case Kind::kShaka: return "shaka";
-    case Kind::kDashJs: return "dashjs";
-    case Kind::kMuxed: return "muxed";
-    case Kind::kCoordinated: return "coordinated";
-    case Kind::kMpc: return "coordinated-mpc";
-    case Kind::kBba: return "coordinated-bba";
-  }
-  return "?";
-}
-
-ex::ExperimentSetup setup_for(Kind kind, const BandwidthTrace& trace,
-                              const std::string& name) {
-  switch (kind) {
-    case Kind::kExoLegacy:
-    case Kind::kExo:
-    case Kind::kDashJs:
-    case Kind::kMuxed:
-      return ex::plain_dash(trace, name);
-    case Kind::kShaka: {
-      auto setup = ex::fig4a_shaka_hall_1mbps();
-      setup.trace = trace;
-      return setup;
-    }
-    case Kind::kCoordinated:
-    case Kind::kMpc:
-    case Kind::kBba:
-      return ex::bestpractice_dash(trace, name);
-  }
-  return ex::plain_dash(trace, name);
-}
-
-std::unique_ptr<PlayerAdapter> player_for(Kind kind) {
-  switch (kind) {
-    case Kind::kExoLegacy: return std::make_unique<ExoLegacyPlayerModel>();
-    case Kind::kExo: return std::make_unique<ExoPlayerModel>();
-    case Kind::kShaka: return std::make_unique<ShakaPlayerModel>();
-    case Kind::kDashJs: return std::make_unique<DashJsPlayerModel>();
-    case Kind::kMuxed: return std::make_unique<MuxedPlayer>();
-    case Kind::kCoordinated: return std::make_unique<CoordinatedPlayer>();
-    case Kind::kMpc: {
-      CoordinatedConfig config;
-      config.algorithm = AbrAlgorithm::kMpc;
-      return std::make_unique<CoordinatedPlayer>(config);
-    }
-    case Kind::kBba: {
-      CoordinatedConfig config;
-      config.algorithm = AbrAlgorithm::kBufferBased;
-      return std::make_unique<CoordinatedPlayer>(config);
-    }
-  }
-  return nullptr;
-}
-
 void print_comparison_once() {
   static bool printed = false;
   if (printed) return;
   printed = true;
-  std::vector<ex::ComparisonRow> rows;
-  for (const auto& named : ex::comparison_traces()) {
-    for (Kind kind : {Kind::kExoLegacy, Kind::kExo, Kind::kShaka, Kind::kDashJs,
-                      Kind::kMuxed, Kind::kCoordinated, Kind::kMpc, Kind::kBba}) {
-      auto setup = setup_for(kind, named.trace, named.name);
-      auto player = player_for(kind);
-      const SessionLog log = ex::run(setup, *player);
-      ex::ComparisonRow row;
-      row.player = log.player_name;
-      row.trace = named.name;
-      row.qoe = compute_qoe(log, setup.content.ladder(),
-                            setup.allowed.empty() ? nullptr : &setup.allowed);
-      row.completed = log.completed;
-      rows.push_back(row);
-    }
-  }
+  // Default thread count: the table is identical at any thread count (the
+  // sweep determinism contract); parallelism only changes wall time.
+  const ex::SweepResult result = ex::SweepRunner().run(ex::comparison_matrix());
   std::printf("=== §4 best-practice comparison (all players x all traces) ===\n%s\n",
-              ex::render_comparison_table(rows).c_str());
+              ex::render_comparison_table(ex::comparison_rows(result)).c_str());
 }
 
 void BM_BestPractices_Session(benchmark::State& state) {
   print_comparison_once();
-  const Kind kind = static_cast<Kind>(state.range(0));
+  const auto player_index = static_cast<std::size_t>(state.range(0));
   const auto traces = ex::comparison_traces();
   const auto& named = traces[static_cast<std::size_t>(state.range(1))];
-  auto setup = setup_for(kind, named.trace, named.name);
+  const ex::ComparisonPlayer& spec = ex::comparison_players()[player_index];
+  const ex::ExperimentSetup setup =
+      ex::comparison_setup(player_index, named.trace, named.name);
   double qoe_score = 0.0;
   double rebuffer = 0.0;
   double switches = 0.0;
   double off_manifest = 0.0;
   for (auto _ : state) {
-    auto player = player_for(kind);
+    auto player = spec.factory();
     const SessionLog log = ex::run(setup, *player);
     const QoeReport report = compute_qoe(log, setup.content.ladder(),
                                          setup.allowed.empty() ? nullptr : &setup.allowed);
@@ -131,12 +60,13 @@ void BM_BestPractices_Session(benchmark::State& state) {
   state.counters["rebuffer_s"] = rebuffer;
   state.counters["combo_switches"] = switches;
   state.counters["off_manifest_chunks"] = off_manifest;
-  state.SetLabel(std::string(kind_label(kind)) + " on " + named.name);
+  state.SetLabel(spec.label + " on " + named.name);
 }
 BENCHMARK(BM_BestPractices_Session)
-    // {player kind, trace index}: the headline subset — the full grid is
-    // printed as the comparison table above. Kinds: 0 exo-legacy, 1 exo,
-    // 2 shaka, 3 dashjs, 4 muxed, 5 coordinated, 6 coordinated-mpc.
+    // {player index, trace index}: the headline subset — the full grid is
+    // printed as the comparison table above. Players follow
+    // ex::comparison_players() order: 0 exo-legacy, 1 exoplayer, 2 shaka,
+    // 3 dashjs, 4 muxed, 5 coordinated, 6 coordinated-mpc, 7 coordinated-bba.
     ->Args({1, 4})->Args({2, 4})->Args({3, 4})->Args({5, 4})->Args({6, 4})  // varying-600k
     ->Args({1, 5})->Args({2, 5})->Args({3, 5})->Args({5, 5})->Args({6, 5})  // bursty
     ->Args({0, 0})->Args({1, 0})->Args({3, 0})->Args({4, 0})->Args({5, 0})  // fixed-700k

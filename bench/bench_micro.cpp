@@ -96,6 +96,37 @@ void BM_Micro_BolaChoose(benchmark::State& state) {
 }
 BENCHMARK(BM_Micro_BolaChoose);
 
+// Before/after of the SessionLog preallocation: the sample_series() pattern
+// (four TimeSeries gaining one point per delta tick) against cold vectors
+// (Arg 0, the pre-reserve behaviour) vs. vectors reserved from the expected
+// sample count (Arg 1, what StreamingSession now does via
+// SessionLog::reserve_for). The delta is the allocation churn removed from
+// the session hot path.
+void BM_Micro_SessionLogReserve(benchmark::State& state) {
+  const bool reserve = state.range(0) != 0;
+  // A 300 s session sampled at the Shaka delta: 2400 ticks.
+  constexpr int kTicks = 2400;
+  constexpr double kDelta = 0.125;
+  for (auto _ : state) {
+    SessionLog log;
+    if (reserve) {
+      log.reserve_for(/*chunks=*/75, /*expected_duration_s=*/300.0, kDelta);
+    }
+    double t = 0.0;
+    for (int i = 0; i < kTicks; ++i) {
+      log.audio_buffer_s.add(t, 12.0);
+      log.video_buffer_s.add(t, 9.5);
+      log.bandwidth_estimate_kbps.add(t, 1432.0);
+      log.achieved_throughput_kbps.add(t, 880.0);
+      t += kDelta;
+    }
+    benchmark::DoNotOptimize(log.audio_buffer_s.size());
+  }
+  state.SetLabel(reserve ? "reserved" : "unreserved");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTicks * 4);
+}
+BENCHMARK(BM_Micro_SessionLogReserve)->Arg(0)->Arg(1);
+
 void BM_Micro_FullSession(benchmark::State& state) {
   const ex::ExperimentSetup setup =
       ex::bestpractice_dash(ex::varying_600_trace(), "micro");

@@ -1,0 +1,103 @@
+// Parallel sweep engine benchmark: the §4 comparison matrix (every player
+// model x every standard trace) executed by experiments::SweepRunner at
+// 1/2/4/8 threads. Reports sessions/sec, aggregate simulated-seconds per
+// wall-second, and the serial-relative speedup, and emits the same numbers
+// machine-readably to BENCH_sweep.json (cwd) so the perf trajectory is
+// tracked across PRs.
+//
+// Speedup scales with physical cores: on a single-core host every thread
+// count measures ~1.0x (the engine is still exercised — determinism under
+// interleaving is covered by tests/test_sweep.cpp).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "experiments/sweep.h"
+#include "util/csv.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+
+constexpr const char* kReportPath = "BENCH_sweep.json";
+
+/// One timed pass of the whole matrix per thread count, reported to
+/// stdout + BENCH_sweep.json. Runs once, before google-benchmark timing.
+void emit_report_once() {
+  static bool emitted = false;
+  if (emitted) return;
+  emitted = true;
+  const std::vector<ex::SweepJob> jobs = ex::comparison_matrix();
+  std::vector<ex::SweepSummary> summaries;
+  std::printf("=== sweep: §4 comparison matrix (%zu jobs), serial vs threads ===\n",
+              jobs.size());
+  for (const int threads : {1, 2, 4, 8}) {
+    ex::SweepOptions options;
+    options.threads = threads;
+    const ex::SweepResult result = ex::SweepRunner(options).run(jobs);
+    summaries.push_back(result.summary);
+    const double speedup = summaries.front().wall_s > 0.0
+                               ? summaries.front().wall_s / result.summary.wall_s
+                               : 0.0;
+    std::printf(
+        "  threads=%d  wall=%.3fs  sessions/s=%.1f  sim-s/wall-s=%.0f  "
+        "speedup=%.2fx\n",
+        threads, result.summary.wall_s, result.summary.sessions_per_s,
+        result.summary.simulated_per_wall, speedup);
+  }
+  const std::string json = ex::sweep_report_json("best-practice-comparison", summaries);
+  const Status written = write_file(kReportPath, json);
+  if (written.ok()) {
+    std::printf("  report written to %s\n\n", kReportPath);
+  } else {
+    std::fprintf(stderr, "  could not write %s: %s\n\n", kReportPath,
+                 written.error().c_str());
+  }
+}
+
+void BM_Sweep_ComparisonMatrix(benchmark::State& state) {
+  emit_report_once();
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<ex::SweepJob> jobs = ex::comparison_matrix();
+  ex::SweepOptions options;
+  options.threads = threads;
+  const ex::SweepRunner runner(options);
+  double sessions_per_s = 0.0;
+  double simulated_per_wall = 0.0;
+  for (auto _ : state) {
+    const ex::SweepResult result = runner.run(jobs);
+    sessions_per_s = result.summary.sessions_per_s;
+    simulated_per_wall = result.summary.simulated_per_wall;
+    benchmark::DoNotOptimize(result.jobs.size());
+  }
+  state.counters["threads"] = threads;
+  state.counters["sessions_per_s"] = sessions_per_s;
+  state.counters["sim_s_per_wall_s"] = simulated_per_wall;
+}
+BENCHMARK(BM_Sweep_ComparisonMatrix)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Pool overhead floor: submit trivial tasks and wait for the results.
+void BM_Sweep_PoolSubmitDrain(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ThreadPool pool(4);
+    std::vector<std::future<std::size_t>> futures;
+    futures.reserve(tasks);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+    std::size_t total = 0;
+    for (auto& future : futures) total += future.get();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(BM_Sweep_PoolSubmitDrain)->Arg(64)->Arg(1024);
+
+}  // namespace

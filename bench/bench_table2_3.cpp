@@ -1,13 +1,21 @@
 // Tables 2 and 3 reproduction: aggregate bitrates of the audio/video
-// combinations used by HLS manifests H_all (all 18) and H_sub (curated 6).
+// combinations used by HLS manifests H_all (all 18) and H_sub (curated 6),
+// plus a SweepRunner-driven session sweep contrasting the two manifests
+// end to end.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "experiments/scenarios.h"
+#include "experiments/sweep.h"
 #include "experiments/tables.h"
 #include "manifest/builder.h"
 #include "media/combination.h"
 #include "media/content.h"
+#include "players/exoplayer.h"
+#include "players/shaka.h"
 
 namespace {
 
@@ -66,5 +74,57 @@ void BM_Table3_BuildAndParseHsubMaster(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table3_BuildAndParseHsubMaster);
+
+// The Table 2/3 manifests exercised end to end: Shaka on H_all (all 18
+// combinations) and ExoPlayer on H_sub (the curated 6), each across the two
+// varying traces, fanned out by the sweep runner.
+void BM_Table2_3_ManifestSessionSweep(benchmark::State& state) {
+  namespace ex = demuxabr::experiments;
+  std::vector<ex::SweepJob> jobs;
+  const std::vector<ex::NamedTrace> traces = {
+      {"varying-600k", ex::varying_600_trace()},
+      {"varying-600k-bursty", ex::shaka_varying_600_trace()},
+  };
+  for (const ex::NamedTrace& named : traces) {
+    {
+      ex::ExperimentSetup hall = ex::fig4a_shaka_hall_1mbps();
+      hall.trace = named.trace;
+      ex::SweepJob job;
+      job.id = "shaka-hall/" + named.name;
+      job.player = "shaka";
+      job.trace = named.name;
+      job.setup = std::make_shared<const ex::ExperimentSetup>(std::move(hall));
+      job.make_player = []() -> std::unique_ptr<PlayerAdapter> {
+        return std::make_unique<ShakaPlayerModel>();
+      };
+      jobs.push_back(std::move(job));
+    }
+    {
+      ex::ExperimentSetup hsub = ex::fig3_exo_hls_a3_first();
+      hsub.trace = named.trace;
+      ex::SweepJob job;
+      job.id = "exo-hsub/" + named.name;
+      job.player = "exoplayer";
+      job.trace = named.name;
+      job.setup = std::make_shared<const ex::ExperimentSetup>(std::move(hsub));
+      job.make_player = []() -> std::unique_ptr<PlayerAdapter> {
+        return std::make_unique<ExoPlayerModel>();
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+  ex::SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  const ex::SweepRunner runner(options);
+  double sessions_per_s = 0.0;
+  for (auto _ : state) {
+    const ex::SweepResult result = runner.run(jobs);
+    sessions_per_s = result.summary.sessions_per_s;
+    benchmark::DoNotOptimize(result.jobs.size());
+  }
+  state.counters["sessions_per_s"] = sessions_per_s;
+}
+BENCHMARK(BM_Table2_3_ManifestSessionSweep)
+    ->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "core/compliance.h"
 #include "core/coordinated_player.h"
 #include "experiments/scenarios.h"
+#include "experiments/sweep.h"
 #include "experiments/tables.h"
 #include "players/dashjs.h"
 #include "players/exoplayer.h"
@@ -74,41 +75,14 @@ int main() {
     report(setup, ex::run(setup, player));
   }
 
-  // --- Cross-player sweep over the standard traces ---
-  std::vector<ex::ComparisonRow> rows;
-  for (const auto& named : ex::comparison_traces()) {
-    for (int which = 0; which < 4; ++which) {
-      std::unique_ptr<PlayerAdapter> player;
-      ex::ExperimentSetup setup;
-      switch (which) {
-        case 0:
-          setup = ex::plain_dash(named.trace, named.name);
-          player = std::make_unique<ExoPlayerModel>();
-          break;
-        case 1:
-          setup = ex::fig4a_shaka_hall_1mbps();
-          setup.trace = named.trace;
-          player = std::make_unique<ShakaPlayerModel>();
-          break;
-        case 2:
-          setup = ex::plain_dash(named.trace, named.name);
-          player = std::make_unique<DashJsPlayerModel>();
-          break;
-        case 3:
-          setup = ex::bestpractice_dash(named.trace, named.name);
-          player = std::make_unique<CoordinatedPlayer>();
-          break;
-      }
-      const SessionLog log = ex::run(setup, *player);
-      ex::ComparisonRow row;
-      row.player = log.player_name;
-      row.trace = named.name;
-      row.qoe = compute_qoe(log, setup.content.ladder(),
-                            setup.allowed.empty() ? nullptr : &setup.allowed);
-      row.completed = log.completed;
-      rows.push_back(row);
-    }
-  }
-  std::printf("%s\n", ex::render_comparison_table(rows).c_str());
+  // --- Cross-player sweep over the standard traces (parallel fan-out via
+  // --- SweepRunner; per-job results are identical at any thread count) ---
+  const ex::SweepResult sweep = ex::SweepRunner().run(ex::comparison_matrix());
+  std::printf("%s\n",
+              ex::render_comparison_table(ex::comparison_rows(sweep)).c_str());
+  std::printf("sweep: %zu sessions in %.2fs wall (%d threads, %.1f sessions/s, "
+              "%.0f sim-s per wall-s)\n",
+              sweep.summary.job_count, sweep.summary.wall_s, sweep.summary.threads,
+              sweep.summary.sessions_per_s, sweep.summary.simulated_per_wall);
   return 0;
 }

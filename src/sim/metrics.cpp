@@ -8,6 +8,24 @@
 
 namespace demuxabr {
 
+void SessionLog::reserve_for(int chunks, double expected_duration_s, double delta_s) {
+  const auto chunk_slots = static_cast<std::size_t>(std::max(0, chunks));
+  // Demuxed playback downloads one audio + one video record per position.
+  downloads.reserve(2 * chunk_slots + 8);
+  if (delta_s <= 0.0 || expected_duration_s <= 0.0) return;
+  // Series gain one point per delta tick; stalls stretch wall time past the
+  // content duration, so leave headroom rather than sizing exactly.
+  const auto samples = static_cast<std::size_t>(
+      std::min(expected_duration_s * 1.5 / delta_s + 64.0, 4.0e6));
+  audio_buffer_s.reserve(samples);
+  video_buffer_s.reserve(samples);
+  bandwidth_estimate_kbps.reserve(samples);
+  achieved_throughput_kbps.reserve(samples);
+  // Selection series gain a point per request, not per tick.
+  selected_video_kbps.reserve(chunk_slots + 8);
+  selected_audio_kbps.reserve(2 * chunk_slots + 8);
+}
+
 double SessionLog::total_stall_s() const {
   double total = 0.0;
   for (const StallEvent& s : stalls) total += s.duration_s();

@@ -72,6 +72,13 @@ struct SessionLog {
   TimeSeries selected_video_kbps;  ///< avg bitrate of the selected video track
   TimeSeries selected_audio_kbps;
 
+  /// Preallocate the record vectors and time series from the session shape:
+  /// `total_chunks` bounds the download/selection vectors, and the series
+  /// are sized for `expected_duration_s` of samples every `delta_s`. Purely
+  /// a capacity hint — logs grow past it (stalls extend wall time) without
+  /// reallocation churn on the common path.
+  void reserve_for(int chunks, double expected_duration_s, double delta_s);
+
   [[nodiscard]] double total_stall_s() const;
   [[nodiscard]] std::size_t stall_count() const { return stalls.size(); }
   [[nodiscard]] std::int64_t total_downloaded_bytes() const;

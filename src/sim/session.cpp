@@ -27,11 +27,15 @@ StreamingSession::StreamingSession(const Content& content, ManifestView view,
     view_.total_chunks = content_.num_chunks();
     view_.chunk_duration_s = content_.chunk_duration_s();
   }
-  log_.content_duration_s = content_.duration_s();
+  total_chunks_ = content_.num_chunks();
+  content_duration_s_ = content_.duration_s();
+  log_.content_duration_s = content_duration_s_;
   log_.chunk_duration_s = content_.chunk_duration_s();
-  log_.total_chunks = content_.num_chunks();
-  log_.video_selection.assign(static_cast<std::size_t>(content_.num_chunks()), "");
-  log_.audio_selection.assign(static_cast<std::size_t>(content_.num_chunks()), "");
+  log_.total_chunks = total_chunks_;
+  log_.video_selection.assign(static_cast<std::size_t>(total_chunks_), "");
+  log_.audio_selection.assign(static_cast<std::size_t>(total_chunks_), "");
+  log_.reserve_for(total_chunks_, content_duration_s_,
+                   config_.record_series ? config_.delta_s : 0.0);
 }
 
 PlayerContext StreamingSession::make_context() const {
@@ -41,7 +45,7 @@ PlayerContext StreamingSession::make_context() const {
   ctx.video_buffer_s = video_buffer_.level_s();
   ctx.next_audio_chunk = next_audio_chunk_;
   ctx.next_video_chunk = next_video_chunk_;
-  ctx.total_chunks = content_.num_chunks();
+  ctx.total_chunks = total_chunks_;
   ctx.audio_downloading =
       audio_flow_.active || (video_flow_.active && video_flow_.request.muxed);
   ctx.video_downloading = video_flow_.active;
@@ -59,34 +63,39 @@ double StreamingSession::flow_rate_bytes_per_s(const Flow& f) const {
 }
 
 bool StreamingSession::all_chunks_downloaded() const {
-  return next_audio_chunk_ >= content_.num_chunks() &&
-         next_video_chunk_ >= content_.num_chunks();
+  return next_audio_chunk_ >= total_chunks_ && next_video_chunk_ >= total_chunks_;
 }
 
 void StreamingSession::start_flow(const DownloadRequest& request) {
   Flow& f = flow(request.type);
   assert(!f.active);
   assert(request.chunk_index == next_chunk(request.type));
-  assert(request.chunk_index < content_.num_chunks());
-  [[maybe_unused]] const TrackInfo* track = content_.ladder().find(request.track_id);
+  assert(request.chunk_index < total_chunks_);
+  // Resolve ladder + chunk-map lookups once per request; the progress and
+  // completion paths reuse the cached pointers instead of re-searching.
+  const TrackInfo* track = content_.ladder().find(request.track_id);
   assert(track != nullptr);
   assert((request.type == MediaType::kAudio) == track->is_audio());
+  f.track_info = track;
+  f.chunk_info = &content_.chunk(request.track_id, request.chunk_index);
+  f.audio_track_info = nullptr;
+  f.audio_chunk_info = nullptr;
   if (request.muxed) {
     // Muxed chunks carry both components: positions must be aligned and the
     // audio slot must be free (the muxed flow occupies both).
     assert(request.type == MediaType::kVideo);
     assert(!audio_flow_.active);
     assert(next_audio_chunk_ == next_video_chunk_);
-    [[maybe_unused]] const TrackInfo* audio = content_.ladder().find(request.audio_track_id);
-    assert(audio != nullptr && audio->is_audio());
+    f.audio_track_info = content_.ladder().find(request.audio_track_id);
+    assert(f.audio_track_info != nullptr && f.audio_track_info->is_audio());
+    f.audio_chunk_info = &content_.chunk(request.audio_track_id, request.chunk_index);
   }
 
   f.active = true;
   f.request = request;
-  f.total_bytes = content_.chunk(request.track_id, request.chunk_index).size_bytes;
+  f.total_bytes = f.chunk_info->size_bytes;
   if (request.muxed) {
-    f.total_bytes +=
-        content_.chunk(request.audio_track_id, request.chunk_index).size_bytes;
+    f.total_bytes += f.audio_chunk_info->size_bytes;
   }
   f.request_t = now_;
   f.data_start_t = now_ + network_.rtt_s;
@@ -96,15 +105,13 @@ void StreamingSession::start_flow(const DownloadRequest& request) {
   f.on_link = false;
 
   if (config_.record_series) {
-    const TrackInfo* info = content_.ladder().find(request.track_id);
     if (request.type == MediaType::kVideo) {
-      log_.selected_video_kbps.add(now_, info->avg_kbps);
+      log_.selected_video_kbps.add(now_, track->avg_kbps);
     } else {
-      log_.selected_audio_kbps.add(now_, info->avg_kbps);
+      log_.selected_audio_kbps.add(now_, track->avg_kbps);
     }
     if (request.muxed) {
-      log_.selected_audio_kbps.add(
-          now_, content_.ladder().find(request.audio_track_id)->avg_kbps);
+      log_.selected_audio_kbps.add(now_, f.audio_track_info->avg_kbps);
     }
   }
   DMX_DEBUG << "t=" << now_ << " request " << media_type_name(request.type) << " "
@@ -159,62 +166,62 @@ void StreamingSession::complete_flow(Flow& f) {
   }
 
   // One component per record/completion; a muxed flow yields two of each.
+  // Fixed-size component array + cached chunk pointers: no allocation and
+  // no chunk-map lookups on this per-chunk path.
   struct Component {
     MediaType type;
-    std::string track_id;
-    std::int64_t bytes;
+    const std::string* track_id;
+    const ChunkInfo* chunk;
   };
-  std::vector<Component> components;
   const int chunk_index = f.request.chunk_index;
-  components.push_back(
-      {f.request.type, f.request.track_id,
-       content_.chunk(f.request.track_id, chunk_index).size_bytes});
+  Component components[2] = {{f.request.type, &f.request.track_id, f.chunk_info}, {}};
+  int component_count = 1;
   if (f.request.muxed) {
-    components.push_back(
-        {MediaType::kAudio, f.request.audio_track_id,
-         content_.chunk(f.request.audio_track_id, chunk_index).size_bytes});
+    components[component_count++] = {MediaType::kAudio, &f.request.audio_track_id,
+                                     f.audio_chunk_info};
   }
 
-  for (const Component& component : components) {
+  for (int i = 0; i < component_count; ++i) {
+    const Component& component = components[i];
     buffer(component.type)
-        .push(chunk_index, content_.chunk(component.track_id, chunk_index).duration_s,
-              component.track_id);
+        .push(chunk_index, component.chunk->duration_s, *component.track_id);
     next_chunk(component.type) = chunk_index + 1;
 
     DownloadRecord record;
     record.type = component.type;
-    record.track_id = component.track_id;
+    record.track_id = *component.track_id;
     record.chunk_index = chunk_index;
-    record.bytes = component.bytes;
+    record.bytes = component.chunk->size_bytes;
     record.start_t = f.request_t;
     record.end_t = now_;
-    log_.downloads.push_back(record);
+    log_.downloads.push_back(std::move(record));
     auto& selection = component.type == MediaType::kVideo ? log_.video_selection
                                                           : log_.audio_selection;
-    selection[static_cast<std::size_t>(chunk_index)] = component.track_id;
+    selection[static_cast<std::size_t>(chunk_index)] = *component.track_id;
   }
 
   const bool was_muxed = f.request.muxed;
   f.active = false;
-  for (const Component& component : components) {
+  for (int i = 0; i < component_count; ++i) {
+    const Component& component = components[i];
     ChunkCompletion completion;
     completion.type = component.type;
-    completion.track_id = component.track_id;
+    completion.track_id = *component.track_id;
     completion.chunk_index = chunk_index;
-    completion.bytes = component.bytes;
+    completion.bytes = component.chunk->size_bytes;
     completion.start_t = f.request_t;
     completion.end_t = now_;
     player_.on_chunk_complete(completion, make_context());
   }
   DMX_DEBUG << "t=" << now_ << " complete " << (was_muxed ? "muxed " : "")
-            << components.front().track_id << " chunk " << chunk_index;
+            << *components[0].track_id << " chunk " << chunk_index;
 }
 
 void StreamingSession::perform_seek(const SeekEvent& seek) {
   // Snap the target to a chunk boundary so audio and video restart aligned.
   const double chunk_s = content_.chunk_duration_s();
   int target_chunk = static_cast<int>(seek.to_position_s / chunk_s);
-  target_chunk = std::clamp(target_chunk, 0, content_.num_chunks() - 1);
+  target_chunk = std::clamp(target_chunk, 0, total_chunks_ - 1);
   const double target_position = static_cast<double>(target_chunk) * chunk_s;
 
   SeekRecord record;
@@ -259,8 +266,8 @@ void StreamingSession::poll_player() {
 }
 
 void StreamingSession::handle_playback_transitions() {
-  const bool audio_done = next_audio_chunk_ >= content_.num_chunks();
-  const bool video_done = next_video_chunk_ >= content_.num_chunks();
+  const bool audio_done = next_audio_chunk_ >= total_chunks_;
+  const bool video_done = next_video_chunk_ >= total_chunks_;
   const bool everything_downloaded = audio_done && video_done;
 
   if (!started_) {
@@ -352,7 +359,7 @@ SessionLog StreamingSession::run() {
       const double min_buffer =
           std::min(audio_buffer_.level_s(), video_buffer_.level_s());
       if (min_buffer > 0.0) dt = std::min(dt, min_buffer);
-      dt = std::min(dt, std::max(0.0, content_.duration_s() - playhead_s_));
+      dt = std::min(dt, std::max(0.0, content_duration_s_ - playhead_s_));
     }
     if (next_seek_ < config_.seeks.size()) {
       dt = std::min(dt, std::max(0.0, config_.seeks[next_seek_].at_time_s - now_));
@@ -405,7 +412,7 @@ SessionLog StreamingSession::run() {
     handle_playback_transitions();
     poll_player();
 
-    if (started_ && playhead_s_ + kEps >= content_.duration_s()) {
+    if (started_ && playhead_s_ + kEps >= content_duration_s_) {
       log_.completed = true;
       break;
     }
@@ -414,7 +421,7 @@ SessionLog StreamingSession::run() {
   log_.end_time_s = now_;
   if (!log_.completed) {
     DMX_WARN << "session hit the sim-time cap at t=" << now_ << " (playhead "
-             << playhead_s_ << "/" << content_.duration_s() << ")";
+             << playhead_s_ << "/" << content_duration_s_ << ")";
   }
   return log_;
 }

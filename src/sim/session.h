@@ -74,6 +74,12 @@ class StreamingSession {
     std::int64_t sampled_bytes = 0;  ///< bytes already reported via samples
     double last_sample_t = 0.0;
     bool on_link = false;
+    /// Ladder/chunk lookups resolved once at request time so the completion
+    /// path never re-searches the ladder or the chunk map (hot path).
+    const TrackInfo* track_info = nullptr;
+    const ChunkInfo* chunk_info = nullptr;
+    const TrackInfo* audio_track_info = nullptr;  ///< muxed requests only
+    const ChunkInfo* audio_chunk_info = nullptr;  ///< muxed requests only
   };
 
   [[nodiscard]] PlayerContext make_context() const;
@@ -110,6 +116,11 @@ class StreamingSession {
   Network network_;
   PlayerAdapter& player_;
   SessionConfig config_;
+
+  /// Content-derived constants hoisted out of the event loop (each was a
+  /// virtual-free but repeated call on every iteration).
+  int total_chunks_ = 0;
+  double content_duration_s_ = 0.0;
 
   double now_ = 0.0;
   double last_series_sample_t_ = 0.0;

@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace demuxabr {
+
+unsigned ThreadPool::default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  const unsigned n = thread_count > 0 ? thread_count : default_thread_count();
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ThreadPool::submit after shutdown");
+  }
+  WorkerQueue& queue =
+      *queues_[next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  {
+    // Ordered against the wait predicate so a parked worker cannot miss it.
+    std::lock_guard<std::mutex> sleep_lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wakeup_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t worker_index, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerQueue& queue = *queues_[(worker_index + i) % n];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (i == 0) {
+      // Own queue: FIFO front (preserves submission order per worker).
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    } else {
+      // Steal from the back of a sibling — the end its owner touches last.
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(worker_index, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wakeup_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wakeup_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace demuxabr

@@ -1,0 +1,83 @@
+// ThreadPool: a work-stealing task pool for fanning independent jobs
+// (e.g. whole streaming-session simulations) across CPU cores.
+//
+// Design: one deque per worker. submit() distributes tasks round-robin
+// across the deques; a worker pops from the front of its own deque and,
+// when empty, steals from the *back* of a sibling's. Tasks are opaque
+// callables; results and exceptions travel through the std::future that
+// submit() returns.
+//
+// Shutdown is graceful: shutdown() (or the destructor) lets workers drain
+// every task that was queued before the call, then joins them. submit()
+// after shutdown() throws.
+//
+// The pool makes no ordering promise between tasks on different workers —
+// callers that need deterministic output (SweepRunner) must key results by
+// submission index, not completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace demuxabr {
+
+class ThreadPool {
+ public:
+  /// `thread_count` 0 selects default_thread_count() (hardware concurrency).
+  explicit ThreadPool(unsigned thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Queue a callable; the returned future yields its result (or rethrows
+  /// the exception it raised). Throws std::runtime_error after shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Drain all queued work, then stop and join every worker. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static unsigned default_thread_count();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  bool try_pop(std::size_t worker_index, std::function<void()>& task);
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Guards the sleep/wake protocol; pending_ is mutated under it so a
+  /// worker checking the wait predicate cannot miss a wakeup.
+  std::mutex sleep_mutex_;
+  std::condition_variable wakeup_;
+  std::atomic<std::size_t> pending_{0};  ///< queued-but-unclaimed tasks
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace demuxabr

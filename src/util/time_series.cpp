@@ -15,6 +15,8 @@ void TimeSeries::add(double t, double value) {
 
 void TimeSeries::clear() { points_.clear(); }
 
+void TimeSeries::reserve(std::size_t points) { points_.reserve(points); }
+
 double TimeSeries::value_at(double t, double fallback) const {
   if (points_.empty() || t < points_.front().t) return fallback;
   // Binary search for the last point with point.t <= t.

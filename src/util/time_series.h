@@ -19,6 +19,11 @@ class TimeSeries {
   void add(double t, double value);
   void clear();
 
+  /// Preallocate capacity for `points` samples (hot-path sessions reserve
+  /// from the expected sample count so add() never reallocates mid-run).
+  void reserve(std::size_t points);
+  [[nodiscard]] std::size_t capacity() const { return points_.capacity(); }
+
   [[nodiscard]] bool empty() const { return points_.empty(); }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }
