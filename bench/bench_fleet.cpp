@@ -1,0 +1,210 @@
+// Fleet-scale benchmark: N demuxed-ABR clients contending on one shared
+// bottleneck, swept over fleet sizes {1, 2, 10, 50, 100} on the Table-2
+// drama content with per-capita-scaled paper traces (fixed 800 kbps/client
+// and the Fig-3 varying 600 kbps/client square wave). Reports wall time,
+// scheduler steps/s, aggregate simulated-seconds per wall-second and fleet
+// QoE/fairness, and emits the same numbers machine-readably to
+// BENCH_fleet.json (cwd) — extending the perf trajectory BENCH_sweep.json
+// started.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coordinated_player.h"
+#include "experiments/scenarios.h"
+#include "fleet/scheduler.h"
+#include "players/dashjs.h"
+#include "players/exoplayer.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+
+constexpr const char* kReportPath = "BENCH_fleet.json";
+
+/// 60% ExoPlayer, 25% dash.js, 15% coordinated — a plausible demuxed-ABR
+/// population on a plain DASH manifest.
+std::vector<fleet::PlayerShare> population_mix() {
+  std::vector<fleet::PlayerShare> mix;
+  mix.push_back({"exoplayer",
+                 [] { return std::make_unique<ExoPlayerModel>(); },
+                 0.60});
+  mix.push_back({"dashjs",
+                 [] { return std::make_unique<DashJsPlayerModel>(); },
+                 0.25});
+  mix.push_back({"coordinated",
+                 [] { return std::make_unique<CoordinatedPlayer>(); },
+                 0.15});
+  return mix;
+}
+
+fleet::FleetConfig fleet_config(int clients) {
+  fleet::FleetConfig config;
+  config.client_count = clients;
+  config.seed = 42;
+  config.arrivals = fleet::ArrivalProcess::kPoisson;
+  config.arrival_rate_per_s = 1.0;
+  config.players = population_mix();
+  config.churn.leave_probability = 0.1;
+  config.churn.min_watch_s = 30.0;
+  config.churn.max_watch_s = 120.0;
+  config.session.max_sim_time_s = 1800.0;  // per-client budget under starvation
+  return config;
+}
+
+struct TraceCase {
+  std::string name;
+  BandwidthTrace trace;
+};
+
+/// Paper traces scaled per capita so the fair share per client stays at the
+/// single-session operating point while contention dynamics still play out.
+std::vector<TraceCase> trace_cases(int clients) {
+  const double n = static_cast<double>(clients);
+  return {
+      {"fixed-800k-per-client", BandwidthTrace::constant(800.0 * n)},
+      {"varying-600k-per-client",
+       BandwidthTrace::square_wave(300.0 * n, 900.0 * n, 8.0, 8.0, true)},
+  };
+}
+
+struct FleetRunRecord {
+  std::string trace;
+  int clients = 0;
+  double wall_s = 0.0;
+  std::size_t steps = 0;
+  double simulated_s = 0.0;
+  fleet::FleetMetrics metrics;
+  double link_utilization = 0.0;
+  int peak_flows = 0;
+};
+
+FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
+                        int clients) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult result =
+      fleet::run_fleet(setup.content, setup.view, tc.trace, fleet_config(clients));
+  FleetRunRecord record;
+  record.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                      .count();
+  record.trace = tc.name;
+  record.clients = clients;
+  record.steps = result.steps;
+  for (const fleet::ClientResult& client : result.clients) {
+    record.simulated_s += client.log.end_time_s - client.arrival_s;
+  }
+  record.metrics = compute_fleet_metrics(result);
+  record.link_utilization = result.video_link.utilization();
+  record.peak_flows = result.video_link.peak_flows;
+  return record;
+}
+
+std::string fleet_report_json(const std::vector<FleetRunRecord>& records) {
+  std::string out;
+  out += "{\n  \"bench\": \"fleet\",\n  \"content\": \"drama-300s\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const FleetRunRecord& r = records[i];
+    out += format(
+        "    {\"trace\": \"%s\", \"clients\": %d, \"wall_s\": %.6f, "
+        "\"steps\": %zu, \"steps_per_s\": %.0f, \"sim_s\": %.1f, "
+        "\"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
+        "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
+        "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
+        "\"peak_flows\": %d}%s\n",
+        r.trace.c_str(), r.clients, r.wall_s, r.steps,
+        r.wall_s > 0.0 ? static_cast<double>(r.steps) / r.wall_s : 0.0,
+        r.simulated_s, r.wall_s > 0.0 ? r.simulated_s / r.wall_s : 0.0,
+        r.metrics.mean_qoe, r.metrics.jain_fairness_video,
+        r.metrics.stall_ratio.p90, r.metrics.video_kbps.p50, r.link_utilization,
+        r.peak_flows, i + 1 < records.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// One full sweep per process, before google-benchmark timing: fleet sizes
+/// {1, 2, 10, 50, 100} on both traces, printed and written to the report.
+void emit_report_once() {
+  static bool emitted = false;
+  if (emitted) return;
+  emitted = true;
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
+  std::vector<FleetRunRecord> records;
+  std::printf("=== fleet: shared-bottleneck sweep, drama content ===\n");
+  for (const int clients : {1, 2, 10, 50, 100}) {
+    for (const TraceCase& tc : trace_cases(clients)) {
+      const FleetRunRecord r = run_case(setup, tc, clients);
+      std::printf(
+          "  %-24s clients=%-3d wall=%6.2fs steps/s=%8.0f sim-s/wall-s=%7.1f "
+          "qoe=%7.1f jain=%.3f util=%.3f peak_flows=%d\n",
+          r.trace.c_str(), r.clients, r.wall_s,
+          r.wall_s > 0.0 ? static_cast<double>(r.steps) / r.wall_s : 0.0,
+          r.wall_s > 0.0 ? r.simulated_s / r.wall_s : 0.0, r.metrics.mean_qoe,
+          r.metrics.jain_fairness_video, r.link_utilization, r.peak_flows);
+      records.push_back(r);
+    }
+  }
+  const Status written = write_file(kReportPath, fleet_report_json(records));
+  if (written.ok()) {
+    std::printf("  report written to %s\n\n", kReportPath);
+  } else {
+    std::fprintf(stderr, "  could not write %s: %s\n\n", kReportPath,
+                 written.error().c_str());
+  }
+}
+
+void BM_Fleet_SharedBottleneck(benchmark::State& state) {
+  emit_report_once();
+  const int clients = static_cast<int>(state.range(0));
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
+  const TraceCase tc = trace_cases(clients)[0];
+  std::size_t steps = 0;
+  double simulated_s = 0.0;
+  for (auto _ : state) {
+    const fleet::FleetResult result =
+        fleet::run_fleet(setup.content, setup.view, tc.trace, fleet_config(clients));
+    steps = result.steps;
+    simulated_s = 0.0;
+    for (const fleet::ClientResult& client : result.clients) {
+      simulated_s += client.log.end_time_s - client.arrival_s;
+    }
+    benchmark::DoNotOptimize(result.clients.size());
+  }
+  state.counters["clients"] = clients;
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["sim_s"] = simulated_s;
+}
+BENCHMARK(BM_Fleet_SharedBottleneck)
+    ->Arg(1)->Arg(2)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Replication fan-out: the ThreadPool path (independent seeds).
+void BM_Fleet_Replications(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
+  fleet::ReplicationOptions options;
+  options.replications = 4;
+  options.threads = threads;
+  const fleet::FleetConfig config = fleet_config(2);
+  const TraceCase tc = trace_cases(2)[0];
+  for (auto _ : state) {
+    const auto reps = fleet::run_replications(setup.content, setup.view, tc.trace,
+                                              config, options);
+    benchmark::DoNotOptimize(reps.size());
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_Fleet_Replications)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "fleet/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace demuxabr::fleet {
+namespace {
+
+/// Time-weighted mean |audio - video| buffer level over the session's series
+/// samples (both series are sampled at the same instants by the engine).
+double mean_buffer_imbalance(const SessionLog& log) {
+  const auto& audio = log.audio_buffer_s.points();
+  const auto& video = log.video_buffer_s.points();
+  const std::size_t n = std::min(audio.size(), video.size());
+  if (n < 2) return 0.0;
+  double integral = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dt = audio[i].t - audio[i - 1].t;
+    if (dt <= 0.0) continue;
+    integral += std::abs(audio[i - 1].value - video[i - 1].value) * dt;
+    total += dt;
+  }
+  return total > 0.0 ? integral / total : 0.0;
+}
+
+}  // namespace
+
+FleetMetrics compute_fleet_metrics(const FleetResult& result) {
+  FleetMetrics metrics;
+  metrics.clients = static_cast<int>(result.clients.size());
+
+  std::vector<double> video_kbps;
+  std::vector<double> throughput;
+  std::vector<double> stall_ratio;
+  std::vector<double> startup;
+  std::vector<double> imbalance;
+  video_kbps.reserve(result.clients.size());
+  double qoe_sum = 0.0;
+  for (const ClientResult& client : result.clients) {
+    if (client.log.completed) ++metrics.completed;
+    if (client.departed_early) ++metrics.departed_early;
+    video_kbps.push_back(client.qoe.avg_video_kbps);
+    const double active_s = client.log.end_time_s - client.arrival_s;
+    throughput.push_back(
+        active_s > 0.0
+            ? static_cast<double>(client.log.total_downloaded_bytes()) / active_s
+            : 0.0);
+    stall_ratio.push_back(active_s > 0.0 ? client.log.total_stall_s() / active_s : 0.0);
+    startup.push_back(client.log.startup_delay_s);
+    imbalance.push_back(mean_buffer_imbalance(client.log));
+    qoe_sum += client.qoe.qoe_score;
+  }
+
+  metrics.jain_fairness_video = jain_fairness(video_kbps);
+  metrics.jain_fairness_throughput = jain_fairness(throughput);
+  metrics.video_kbps = summarize_percentiles(std::move(video_kbps));
+  metrics.stall_ratio = summarize_percentiles(std::move(stall_ratio));
+  metrics.startup_delay_s = summarize_percentiles(std::move(startup));
+  metrics.buffer_imbalance_s = summarize_percentiles(std::move(imbalance));
+  if (!result.clients.empty()) {
+    metrics.mean_qoe = qoe_sum / static_cast<double>(result.clients.size());
+  }
+  return metrics;
+}
+
+namespace {
+
+void fingerprint_link(std::ostringstream& out, const LinkStats& stats) {
+  out << "link " << stats.name << " "
+      << format("observed=%.17g busy=%.17g flow_s=%.17g offered=%.17g "
+                "delivered=%.17g peak=%d\n",
+                stats.observed_s, stats.busy_s, stats.flow_seconds,
+                stats.offered_kbit, stats.delivered_kbit, stats.peak_flows);
+}
+
+}  // namespace
+
+std::string fleet_fingerprint(const FleetResult& result) {
+  std::ostringstream out;
+  out << "clients:" << result.clients.size() << " steps:" << result.steps
+      << format(" end:%.17g", result.end_time_s)
+      << " split_audio:" << (result.split_audio ? 1 : 0) << "\n";
+  for (const ClientResult& client : result.clients) {
+    const SessionLog& log = client.log;
+    out << "client " << client.id << " " << client.player
+        << format(" arrival=%.17g", client.arrival_s)
+        << " departed=" << (client.departed_early ? 1 : 0)
+        << " completed=" << (log.completed ? 1 : 0)
+        << format(" startup=%.17g end=%.17g", log.startup_delay_s, log.end_time_s)
+        << " downloads=" << log.downloads.size()
+        << " bytes=" << log.total_downloaded_bytes()
+        << " abandoned=" << log.abandoned.size()
+        << " wasted=" << log.wasted_bytes() << " stalls=" << log.stall_count()
+        << format(" stall_s=%.17g", log.total_stall_s()) << "\nvsel:";
+    for (const std::string& id : log.video_selection) out << id << ";";
+    out << "\nasel:";
+    for (const std::string& id : log.audio_selection) out << id << ";";
+    out << "\n";
+  }
+  fingerprint_link(out, result.video_link);
+  if (result.split_audio) fingerprint_link(out, result.audio_link);
+  return out.str();
+}
+
+std::string summarize(const FleetResult& result, const FleetMetrics& metrics) {
+  std::ostringstream out;
+  out << format("fleet: %d clients, %d completed, %d churned, %zu steps, end t=%.1fs\n",
+                metrics.clients, metrics.completed, metrics.departed_early,
+                result.steps, result.end_time_s);
+  out << format("  jain fairness: video bitrate %.4f, throughput %.4f\n",
+                metrics.jain_fairness_video, metrics.jain_fairness_throughput);
+  out << format("  video kbps: p50=%.0f p90=%.0f min=%.0f max=%.0f mean=%.0f\n",
+                metrics.video_kbps.p50, metrics.video_kbps.p90, metrics.video_kbps.min,
+                metrics.video_kbps.max, metrics.video_kbps.mean);
+  out << format("  stall ratio: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+                metrics.stall_ratio.p50, metrics.stall_ratio.p90,
+                metrics.stall_ratio.p99, metrics.stall_ratio.max);
+  out << format("  startup delay s: p50=%.2f p90=%.2f max=%.2f\n",
+                metrics.startup_delay_s.p50, metrics.startup_delay_s.p90,
+                metrics.startup_delay_s.max);
+  out << format("  A/V buffer imbalance s: p50=%.2f p90=%.2f max=%.2f\n",
+                metrics.buffer_imbalance_s.p50, metrics.buffer_imbalance_s.p90,
+                metrics.buffer_imbalance_s.max);
+  out << format("  mean QoE: %.1f\n", metrics.mean_qoe);
+  const auto link_line = [&out](const LinkStats& stats) {
+    out << format(
+        "  link %s: utilization=%.3f busy=%.3f avg_flows=%.2f peak_flows=%d\n",
+        stats.name.c_str(), stats.utilization(), stats.busy_fraction(),
+        stats.avg_flows(), stats.peak_flows);
+  };
+  link_line(result.video_link);
+  if (result.split_audio) link_line(result.audio_link);
+  return out.str();
+}
+
+}  // namespace demuxabr::fleet

@@ -1,0 +1,71 @@
+// Fleet-level aggregate metrics: the cross-client view the paper's
+// single-session figures cannot show — fairness of the bitrate allocation,
+// the stall-ratio tail, link utilization and the A/V buffer-imbalance
+// distribution (§3.4) across a whole population.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/shared_link.h"
+#include "media/track.h"
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace demuxabr::fleet {
+
+/// Outcome of one client of a fleet run.
+struct ClientResult {
+  int id = 0;
+  std::string player;
+  double arrival_s = 0.0;
+  bool departed_early = false;  ///< churned out before content end
+  SessionLog log;
+  QoeReport qoe;
+};
+
+/// Outcome of one fleet run: per-client results (client-id order) plus
+/// shared-link accounting.
+struct FleetResult {
+  std::vector<ClientResult> clients;
+  LinkStats video_link;
+  LinkStats audio_link;  ///< duplicate of video_link when !split_audio
+  bool split_audio = false;
+  double end_time_s = 0.0;  ///< wall time at which the last client finished
+  std::size_t steps = 0;    ///< global scheduler barriers executed
+};
+
+/// Cross-client aggregates of one fleet run.
+struct FleetMetrics {
+  int clients = 0;
+  int completed = 0;       ///< playhead reached content end
+  int departed_early = 0;  ///< churned out
+
+  /// Jain fairness of per-client average selected video bitrate.
+  double jain_fairness_video = 0.0;
+  /// Jain fairness of per-client download throughput (bytes / active time).
+  double jain_fairness_throughput = 0.0;
+
+  PercentileSummary video_kbps;          ///< per-client avg selected video bitrate
+  PercentileSummary stall_ratio;         ///< per-client stall_s / session wall time
+  PercentileSummary startup_delay_s;     ///< per-client startup delay
+  PercentileSummary buffer_imbalance_s;  ///< per-client mean |audio - video| buffer
+
+  double mean_qoe = 0.0;
+};
+
+/// Aggregate a fleet run; per-client QoE must already be populated (the
+/// scheduler does this).
+FleetMetrics compute_fleet_metrics(const FleetResult& result);
+
+/// Deterministic serialization of everything that identifies a fleet
+/// outcome: per-client arrival/departure/selection/stall/download accounting
+/// plus link stats. Two runs are behaviourally identical iff their
+/// fingerprints compare equal — the determinism contract of
+/// tests/test_fleet.cpp.
+std::string fleet_fingerprint(const FleetResult& result);
+
+/// Human-readable report block (fleet_demo, bench_fleet stdout).
+std::string summarize(const FleetResult& result, const FleetMetrics& metrics);
+
+}  // namespace demuxabr::fleet

@@ -1,0 +1,83 @@
+// Client-population modelling for fleet simulations: who joins, when, with
+// which player, and how long they stay. Everything is derived from a single
+// seed through util/Rng in client-id order, so a FleetConfig maps to exactly
+// one population on every platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/player.h"
+#include "sim/session.h"
+
+namespace demuxabr::fleet {
+
+/// Builds a fresh player per client; must not capture mutable shared state
+/// (replications run concurrently on a ThreadPool).
+using PlayerFactory = std::function<std::unique_ptr<PlayerAdapter>()>;
+
+/// One entry of the player mix: clients draw a player proportionally to
+/// `weight` (a population of 70% ExoPlayer / 30% Shaka is two shares).
+struct PlayerShare {
+  std::string label;
+  PlayerFactory factory;
+  double weight = 1.0;
+};
+
+enum class ArrivalProcess {
+  kSimultaneous,   ///< everyone at t = 0 (flash crowd)
+  kDeterministic,  ///< fixed spacing of arrival_interval_s
+  kPoisson,        ///< seeded exponential inter-arrivals at arrival_rate_per_s
+};
+
+/// Early-abandon (churn) model: each client independently leaves with
+/// `leave_probability`, after a watch duration drawn uniformly from
+/// [min_watch_s, max_watch_s].
+struct ChurnConfig {
+  double leave_probability = 0.0;
+  double min_watch_s = 30.0;
+  double max_watch_s = 120.0;
+};
+
+struct FleetConfig {
+  int client_count = 2;
+  std::uint64_t seed = 1;
+
+  ArrivalProcess arrivals = ArrivalProcess::kSimultaneous;
+  double arrival_interval_s = 2.0;  ///< kDeterministic spacing
+  double arrival_rate_per_s = 0.5;  ///< kPoisson rate
+
+  /// Weighted player mix; must be non-empty.
+  std::vector<PlayerShare> players;
+
+  ChurnConfig churn;
+
+  /// Base per-client session config. `start_time_s` is overwritten with the
+  /// client's arrival; `max_sim_time_s` is interpreted as the per-client
+  /// simulated-time budget (the absolute cap becomes arrival + budget).
+  SessionConfig session;
+
+  /// Per-request RTT of every client's network.
+  double rtt_s = 0.05;
+};
+
+/// One planned client, fully determined before the simulation starts.
+struct ClientPlan {
+  int id = 0;
+  double arrival_s = 0.0;
+  std::size_t player_index = 0;  ///< into FleetConfig::players
+  std::string player_label;
+  /// Absolute wall time at which the client abandons the session;
+  /// +infinity when the client stays to the end.
+  double leave_at_s = std::numeric_limits<double>::infinity();
+};
+
+/// Expand a FleetConfig into its population, sorted by arrival time (ties
+/// keep id order). Deterministic in config.seed.
+std::vector<ClientPlan> plan_population(const FleetConfig& config);
+
+}  // namespace demuxabr::fleet

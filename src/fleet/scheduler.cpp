@@ -1,0 +1,194 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <limits>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace demuxabr::fleet {
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
+                               BandwidthTrace bottleneck, FleetConfig config,
+                               std::optional<BandwidthTrace> audio_trace)
+    : content_(content),
+      view_(std::move(view)),
+      config_(std::move(config)),
+      video_link_(std::move(bottleneck),
+                  audio_trace.has_value() ? "video-bottleneck" : "bottleneck") {
+  if (audio_trace.has_value()) {
+    audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck");
+  }
+}
+
+void FleetScheduler::admit(const ClientPlan& plan) {
+  Client client;
+  client.plan = plan;
+  client.player = config_.players[plan.player_index].factory();
+
+  Network network;
+  network.video_link = video_link_.link();
+  network.audio_link = audio_link_.has_value() ? audio_link_->link() : video_link_.link();
+  network.rtt_s = config_.rtt_s;
+
+  SessionConfig session_config = config_.session;
+  session_config.start_time_s = plan.arrival_s;
+  // The base max_sim_time_s is the per-client budget; the session cap is
+  // absolute wall time.
+  session_config.max_sim_time_s = plan.arrival_s + config_.session.max_sim_time_s;
+
+  client.session = std::make_unique<StreamingSession>(
+      content_, view_, std::move(network), *client.player, session_config);
+  client.session->start();
+  active_.push_back(std::move(client));
+}
+
+FleetResult FleetScheduler::run() {
+  assert(!config_.players.empty() && "FleetConfig::players must be non-empty");
+  const std::vector<ClientPlan> plans = plan_population(config_);
+  result_.clients.reserve(plans.size());
+  result_.split_audio = audio_link_.has_value();
+
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+  const auto admit_due = [&] {
+    while (next_arrival < plans.size() &&
+           plans[next_arrival].arrival_s <= now + kEps) {
+      admit(plans[next_arrival]);
+      ++next_arrival;
+    }
+  };
+  const auto finalize = [&](Client& client) {
+    ClientResult outcome;
+    outcome.id = client.plan.id;
+    outcome.player = client.plan.player_label;
+    outcome.arrival_s = client.plan.arrival_s;
+    outcome.departed_early = !client.session->log().completed &&
+                             client.plan.leave_at_s <= now + kEps;
+    outcome.log = client.session->finish();
+    outcome.qoe = compute_qoe(outcome.log, content_.ladder());
+    result_.clients.push_back(std::move(outcome));
+  };
+
+  admit_due();
+  while (!active_.empty() || next_arrival < plans.size()) {
+    // Churn: abandon sessions whose planned departure has passed. The abort
+    // releases their shared-link slots before anyone computes a horizon.
+    for (Client& client : active_) {
+      if (!client.session->done() && now + kEps >= client.plan.leave_at_s) {
+        client.session->abort_session();
+      }
+    }
+    // Retire finished sessions (content end, churn, or sim-time cap).
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->session->done()) {
+        finalize(*it);
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (active_.empty()) {
+      if (next_arrival >= plans.size()) break;
+      now = std::max(now, plans[next_arrival].arrival_s);
+      admit_due();
+      continue;
+    }
+
+    // Phase 1: registration barrier — every session's due flows join their
+    // links before any horizon is computed.
+    for (Client& client : active_) client.session->begin_step();
+
+    // Phase 2: global horizon.
+    double t = std::numeric_limits<double>::infinity();
+    for (Client& client : active_) {
+      t = std::min(t, client.session->next_event_time());
+    }
+    if (next_arrival < plans.size()) {
+      t = std::min(t, plans[next_arrival].arrival_s);
+    }
+    for (const Client& client : active_) {
+      if (client.plan.leave_at_s > now) t = std::min(t, client.plan.leave_at_s);
+    }
+    t = std::max(t, now);
+
+    // Phase 3: utilization accounting over [now, t] with the flow counts
+    // frozen for the interval.
+    video_link_.observe(now, t);
+    if (audio_link_.has_value()) audio_link_->observe(now, t);
+
+    // Phase 4: integrate everyone through [now, t] *before* any events fire
+    // — a completion inside integrate order would change link counts
+    // mid-interval for sessions integrated later.
+    for (Client& client : active_) client.session->integrate_to(t);
+    now = t;
+
+    // Phase 5: event barrier, client-id order (deterministic).
+    for (Client& client : active_) client.session->process_events();
+    ++result_.steps;
+
+    // Phase 6: admissions exactly at t join before the next barrier.
+    admit_due();
+  }
+
+  // Clients finalize in retirement order; re-sort to client-id order so the
+  // result layout is stable regardless of who finished first.
+  std::sort(result_.clients.begin(), result_.clients.end(),
+            [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
+  result_.video_link = video_link_.stats();
+  result_.audio_link = audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
+  result_.end_time_s = now;
+  return std::move(result_);
+}
+
+FleetResult run_fleet(const Content& content, const ManifestView& view,
+                      const BandwidthTrace& bottleneck, const FleetConfig& config) {
+  FleetScheduler scheduler(content, view, bottleneck, config);
+  return scheduler.run();
+}
+
+std::vector<FleetReplication> run_replications(const Content& content,
+                                               const ManifestView& view,
+                                               const BandwidthTrace& bottleneck,
+                                               const FleetConfig& config,
+                                               const ReplicationOptions& options) {
+  const int count = std::max(1, options.replications);
+  const int threads = options.threads > 0
+                          ? options.threads
+                          : static_cast<int>(ThreadPool::default_thread_count());
+
+  const auto run_one = [&](int replication) {
+    FleetReplication rep;
+    rep.seed = config.seed +
+               static_cast<std::uint64_t>(replication) * options.seed_stride;
+    FleetConfig seeded = config;
+    seeded.seed = rep.seed;
+    rep.result = run_fleet(content, view, bottleneck, seeded);
+    rep.metrics = compute_fleet_metrics(rep.result);
+    return rep;
+  };
+
+  std::vector<FleetReplication> replications(static_cast<std::size_t>(count));
+  if (threads <= 1) {
+    for (int r = 0; r < count; ++r) replications[static_cast<std::size_t>(r)] = run_one(r);
+  } else {
+    ThreadPool pool(static_cast<unsigned>(threads));
+    std::vector<std::future<FleetReplication>> futures;
+    futures.reserve(static_cast<std::size_t>(count));
+    for (int r = 0; r < count; ++r) {
+      futures.push_back(pool.submit([&run_one, r] { return run_one(r); }));
+    }
+    // Collected in submission order: completion order never leaks through.
+    for (int r = 0; r < count; ++r) {
+      replications[static_cast<std::size_t>(r)] = futures[static_cast<std::size_t>(r)].get();
+    }
+  }
+  return replications;
+}
+
+}  // namespace demuxabr::fleet

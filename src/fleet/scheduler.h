@@ -1,0 +1,95 @@
+// FleetScheduler: the multi-client discrete-event engine. Interleaves N
+// StreamingSessions against shared bottleneck Links so processor sharing
+// spans *sessions*, not just one client's audio/video flows — the workload
+// class where the paper's §3.3 mis-estimation and §3.4 buffer-imbalance
+// pathologies compound across a population.
+//
+// Scheduling contract (DESIGN.md "Fleet simulation"): every global step runs
+// four phases across all active sessions, in client-id order —
+//   1. begin_step()        flows past their RTT register on shared links
+//   2. next_event_time()   global horizon = min over sessions, arrivals, churn
+//   3. integrate_to(t*)    every session advances through [now, t*] with the
+//                          flow counts frozen during the interval
+//   4. process_events()    completions / ticks / polling fire, mutating link
+//                          counts only at the barrier
+// The phase barriers are what make cross-session sharing exact: no session
+// sees a link count that changed mid-interval. Single-threaded and
+// deterministic; replications fan out across a ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fleet/metrics.h"
+#include "fleet/population.h"
+#include "fleet/shared_link.h"
+#include "manifest/view.h"
+#include "media/content.h"
+#include "net/bandwidth_trace.h"
+#include "sim/session.h"
+
+namespace demuxabr::fleet {
+
+class FleetScheduler {
+ public:
+  /// All clients stream `content` (which must outlive run()) through `view`.
+  /// `bottleneck` carries every client's audio and video; pass `audio_trace`
+  /// to put all audio flows on their own shared pipe instead (the §4.1
+  /// different-servers scenario at fleet scale).
+  FleetScheduler(const Content& content, ManifestView view,
+                 BandwidthTrace bottleneck, FleetConfig config,
+                 std::optional<BandwidthTrace> audio_trace = std::nullopt);
+
+  /// Run the whole population to completion (or churn/cap). Call once.
+  FleetResult run();
+
+ private:
+  struct Client {
+    ClientPlan plan;
+    std::unique_ptr<PlayerAdapter> player;
+    std::unique_ptr<StreamingSession> session;
+  };
+
+  void admit(const ClientPlan& plan);
+
+  const Content& content_;
+  ManifestView view_;
+  FleetConfig config_;
+  SharedLink video_link_;
+  std::optional<SharedLink> audio_link_;
+  std::vector<Client> active_;  ///< client-id order within every barrier
+  FleetResult result_;
+};
+
+/// Convenience one-call runner.
+FleetResult run_fleet(const Content& content, const ManifestView& view,
+                      const BandwidthTrace& bottleneck, const FleetConfig& config);
+
+// --- Independent replications (seed sweep) on the ThreadPool. ---
+
+struct ReplicationOptions {
+  int replications = 1;
+  /// 0 = ThreadPool::default_thread_count(); 1 = serial on the calling
+  /// thread. Any thread count yields identical per-replication results.
+  int threads = 0;
+  /// Replication r runs with seed = config.seed + r * seed_stride.
+  std::uint64_t seed_stride = 1;
+};
+
+struct FleetReplication {
+  std::uint64_t seed = 0;
+  FleetResult result;
+  FleetMetrics metrics;
+};
+
+/// Run `options.replications` independent fleets (same config, shifted
+/// seeds), fanned across a ThreadPool. Results come back in replication
+/// order and are byte-identical for every thread count.
+std::vector<FleetReplication> run_replications(const Content& content,
+                                               const ManifestView& view,
+                                               const BandwidthTrace& bottleneck,
+                                               const FleetConfig& config,
+                                               const ReplicationOptions& options);
+
+}  // namespace demuxabr::fleet

@@ -1,0 +1,33 @@
+#include "fleet/shared_link.h"
+
+#include <utility>
+
+namespace demuxabr::fleet {
+
+SharedLink::SharedLink(BandwidthTrace trace, std::string name)
+    : link_(std::make_shared<Link>(std::move(trace))) {
+  stats_.name = std::move(name);
+}
+
+void SharedLink::observe(double t0, double t1) {
+  if (t1 <= t0) return;
+  const double dt = t1 - t0;
+  const int flows = link_->active_flows();
+  const double offered = link_->trace().average_kbps(t0, t1) * dt;
+  stats_.observed_s += dt;
+  stats_.flow_seconds += static_cast<double>(flows) * dt;
+  stats_.offered_kbit += offered;
+  if (flows > 0) {
+    stats_.busy_s += dt;
+    stats_.delivered_kbit += offered;
+  }
+}
+
+LinkStats SharedLink::stats() const {
+  LinkStats stats = stats_;
+  stats.peak_flows = link_->peak_flows();
+  stats.residual_flows = link_->active_flows();
+  return stats;
+}
+
+}  // namespace demuxabr::fleet

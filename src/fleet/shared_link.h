@@ -1,0 +1,61 @@
+// SharedLink: a bottleneck Link carried by many sessions at once, plus the
+// cross-session utilization bookkeeping the single-session engine never
+// needed. Flow counts only change at FleetScheduler barriers, so observing
+// each inter-barrier interval with the then-current count integrates busy
+// time and flow-seconds exactly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/link.h"
+
+namespace demuxabr::fleet {
+
+/// Accumulated utilization of one shared link over a fleet run.
+struct LinkStats {
+  std::string name;
+  double observed_s = 0.0;      ///< total wall time observed
+  double busy_s = 0.0;          ///< time with >= 1 active flow
+  double flow_seconds = 0.0;    ///< integral of active_flows over time
+  double offered_kbit = 0.0;    ///< integral of capacity (what the pipe could carry)
+  double delivered_kbit = 0.0;  ///< integral of capacity while busy (what it did carry)
+  int peak_flows = 0;           ///< max concurrent flows across all sessions
+  /// Flows still registered when stats were taken. Zero after a clean fleet
+  /// run — anything else means a session leaked a processor-sharing slot.
+  int residual_flows = 0;
+
+  /// Fraction of offered capacity actually used (processor sharing always
+  /// saturates a busy link, so delivered == offered while busy).
+  [[nodiscard]] double utilization() const {
+    return offered_kbit > 0.0 ? delivered_kbit / offered_kbit : 0.0;
+  }
+  [[nodiscard]] double busy_fraction() const {
+    return observed_s > 0.0 ? busy_s / observed_s : 0.0;
+  }
+  [[nodiscard]] double avg_flows() const {
+    return observed_s > 0.0 ? flow_seconds / observed_s : 0.0;
+  }
+};
+
+/// Wraps the Link every client's Network points at and tracks LinkStats.
+class SharedLink {
+ public:
+  explicit SharedLink(BandwidthTrace trace, std::string name = "bottleneck");
+
+  /// The underlying Link; hand this to each client's Network so their flows
+  /// contend (processor sharing spans sessions, not just one client's A/V).
+  [[nodiscard]] const std::shared_ptr<Link>& link() const { return link_; }
+
+  /// Accumulate stats over [t0, t1] with the current flow count. Call once
+  /// per scheduler barrier, before any session mutates the count again.
+  void observe(double t0, double t1);
+
+  [[nodiscard]] LinkStats stats() const;
+
+ private:
+  std::shared_ptr<Link> link_;
+  LinkStats stats_;
+};
+
+}  // namespace demuxabr::fleet

@@ -1,7 +1,19 @@
-// Link and Network are header-only; this translation unit exists so the
-// module has a concrete object file and the header stays self-contained.
 #include "net/link.h"
 
+#include <cassert>
+
+#include "util/logging.h"
+
 namespace demuxabr {
-// (intentionally empty)
+
+void Link::remove_flow() {
+  if (active_flows_ <= 0) {
+    assert(false && "Link::remove_flow on an idle link (double remove)");
+    DMX_ERROR << "Link::remove_flow on an idle link (double remove?) — "
+                 "flow accounting is corrupt; clamping at zero";
+    return;
+  }
+  --active_flows_;
+}
+
 }  // namespace demuxabr

@@ -4,6 +4,7 @@
 // different-servers scenario §1/§4.1 calls out).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "net/bandwidth_trace.h"
@@ -17,11 +18,19 @@ class Link {
  public:
   explicit Link(BandwidthTrace trace) : trace_(std::move(trace)) {}
 
-  void add_flow() { ++active_flows_; }
-  void remove_flow() {
-    if (active_flows_ > 0) --active_flows_;
+  void add_flow() {
+    ++active_flows_;
+    peak_flows_ = std::max(peak_flows_, active_flows_);
   }
+  /// Unregister one flow. Removing from an idle link is a flow-accounting
+  /// bug in the caller (double remove) that would corrupt processor sharing
+  /// across every other flow on the link: asserts in debug builds, logs an
+  /// error and clamps at zero in release.
+  void remove_flow();
   [[nodiscard]] int active_flows() const { return active_flows_; }
+  /// Highest concurrent flow count ever observed (cross-session contention
+  /// headline for shared fleet links).
+  [[nodiscard]] int peak_flows() const { return peak_flows_; }
 
   /// Total capacity at time t.
   [[nodiscard]] double capacity_kbps(double t) const { return trace_.rate_kbps(t); }
@@ -43,6 +52,7 @@ class Link {
  private:
   BandwidthTrace trace_;
   int active_flows_ = 0;
+  int peak_flows_ = 0;
 };
 
 /// The network between client and server(s): one link per media type.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -29,6 +30,8 @@ StreamingSession::StreamingSession(const Content& content, ManifestView view,
   }
   total_chunks_ = content_.num_chunks();
   content_duration_s_ = content_.duration_s();
+  now_ = config_.start_time_s;
+  last_series_sample_t_ = config_.start_time_s;
   log_.content_duration_s = content_duration_s_;
   log_.chunk_duration_s = content_.chunk_duration_s();
   log_.total_chunks = total_chunks_;
@@ -276,7 +279,7 @@ void StreamingSession::handle_playback_transitions() {
         everything_downloaded) {
       started_ = true;
       playing_ = true;
-      log_.startup_delay_s = now_;
+      log_.startup_delay_s = now_ - config_.start_time_s;
       DMX_DEBUG << "t=" << now_ << " playback start";
     }
     return;
@@ -319,111 +322,152 @@ void StreamingSession::sample_series() {
   bytes_since_last_sample_ = 0.0;
 }
 
-SessionLog StreamingSession::run() {
+void StreamingSession::start() {
   player_.start(view_);
   log_.player_name = player_.name();  // after start: names can be protocol-dependent
-
-  double next_tick = config_.delta_s;
+  next_tick_ = config_.start_time_s + config_.delta_s;
   sample_series();
   poll_player();
+}
 
-  while (now_ < config_.max_sim_time_s) {
-    // Register flows whose RTT phase just ended.
-    for (Flow* f : {&audio_flow_, &video_flow_}) {
-      if (f->active && !f->on_link && now_ + kEps >= f->data_start_t) {
-        network_.link_for(f->request.type == MediaType::kVideo).add_flow();
-        f->on_link = true;
-      }
-    }
+bool StreamingSession::done() const {
+  return log_.completed || stopped_ || now_ >= config_.max_sim_time_s;
+}
 
-    // --- Find the next event horizon. ---
-    double dt = next_tick - now_;
-    for (Flow* f : {&audio_flow_, &video_flow_}) {
-      if (!f->active) continue;
-      if (now_ + kEps < f->data_start_t) {
-        dt = std::min(dt, f->data_start_t - now_);
-        continue;
-      }
-      const double rate = flow_rate_bytes_per_s(*f);
-      if (rate > 0.0) {
-        const double remaining = static_cast<double>(f->total_bytes) - f->bytes_done;
-        dt = std::min(dt, remaining / rate);
-      }
-    }
-    for (const Link* link : {network_.video_link.get(), network_.audio_link.get()}) {
-      const double change = link->next_change_after(now_);
-      if (std::isfinite(change)) dt = std::min(dt, change - now_);
-      if (network_.is_shared()) break;
-    }
-    if (playing_) {
-      const double min_buffer =
-          std::min(audio_buffer_.level_s(), video_buffer_.level_s());
-      if (min_buffer > 0.0) dt = std::min(dt, min_buffer);
-      dt = std::min(dt, std::max(0.0, content_duration_s_ - playhead_s_));
-    }
-    if (next_seek_ < config_.seeks.size()) {
-      dt = std::min(dt, std::max(0.0, config_.seeks[next_seek_].at_time_s - now_));
-    }
-    dt = std::max(dt, 1e-6);  // forward progress guard
-
-    // --- Advance state by dt. ---
-    for (Flow* f : {&audio_flow_, &video_flow_}) {
-      if (f->active && f->on_link) {
-        const double delivered = flow_rate_bytes_per_s(*f) * dt;
-        f->bytes_done += delivered;
-        bytes_since_last_sample_ += delivered;
-      }
-    }
-    if (playing_) {
-      audio_buffer_.consume(dt);
-      video_buffer_.consume(dt);
-      playhead_s_ += dt;
-    }
-    now_ += dt;
-
-    // --- Process events at the new time. ---
-    for (Flow* f : {&audio_flow_, &video_flow_}) {
-      if (f->active && f->on_link &&
-          f->bytes_done + 0.5 >= static_cast<double>(f->total_bytes)) {
-        f->bytes_done = static_cast<double>(f->total_bytes);
-        complete_flow(*f);
-      }
-    }
-    if (now_ + kEps >= next_tick) {
-      for (Flow* f : {&audio_flow_, &video_flow_}) {
-        if (f->active && f->on_link) {
-          const auto sample = emit_progress(*f, now_);
-          if (sample.has_value() &&
-              player_.should_abandon(*sample, make_context())) {
-            abort_flow(*f);
-          }
-        }
-      }
-      sample_series();
-      next_tick += config_.delta_s;
-    }
-
-    if (next_seek_ < config_.seeks.size() &&
-        now_ + kEps >= config_.seeks[next_seek_].at_time_s) {
-      perform_seek(config_.seeks[next_seek_]);
-      ++next_seek_;
-    }
-
-    handle_playback_transitions();
-    poll_player();
-
-    if (started_ && playhead_s_ + kEps >= content_duration_s_) {
-      log_.completed = true;
-      break;
+void StreamingSession::begin_step() {
+  // Register flows whose RTT phase just ended.
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active && !f->on_link && now_ + kEps >= f->data_start_t) {
+      network_.link_for(f->request.type == MediaType::kVideo).add_flow();
+      f->on_link = true;
     }
   }
+}
 
+double StreamingSession::next_event_time() {
+  double dt = next_tick_ - now_;
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (!f->active) continue;
+    if (now_ + kEps < f->data_start_t) {
+      dt = std::min(dt, f->data_start_t - now_);
+      continue;
+    }
+    const double rate = flow_rate_bytes_per_s(*f);
+    if (rate > 0.0) {
+      const double remaining = static_cast<double>(f->total_bytes) - f->bytes_done;
+      dt = std::min(dt, remaining / rate);
+    }
+  }
+  for (const Link* link : {network_.video_link.get(), network_.audio_link.get()}) {
+    const double change = link->next_change_after(now_);
+    if (std::isfinite(change)) dt = std::min(dt, change - now_);
+    if (network_.is_shared()) break;
+  }
+  if (playing_) {
+    const double min_buffer =
+        std::min(audio_buffer_.level_s(), video_buffer_.level_s());
+    if (min_buffer > 0.0) dt = std::min(dt, min_buffer);
+    dt = std::min(dt, std::max(0.0, content_duration_s_ - playhead_s_));
+  }
+  if (next_seek_ < config_.seeks.size()) {
+    dt = std::min(dt, std::max(0.0, config_.seeks[next_seek_].at_time_s - now_));
+  }
+  dt = std::max(dt, 1e-6);  // forward progress guard
+
+  pending_dt_ = dt;
+  pending_target_ = now_ + dt;
+  return pending_target_;
+}
+
+void StreamingSession::integrate_to(double t) {
+  // Replay the exact horizon step when asked for it; a fleet advancing this
+  // session to another session's (earlier) event time integrates t - now_.
+  const double dt =
+      t == pending_target_ ? pending_dt_ : std::max(0.0, t - now_);
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active && f->on_link) {
+      const double delivered = flow_rate_bytes_per_s(*f) * dt;
+      f->bytes_done += delivered;
+      bytes_since_last_sample_ += delivered;
+    }
+  }
+  if (playing_) {
+    audio_buffer_.consume(dt);
+    video_buffer_.consume(dt);
+    playhead_s_ += dt;
+  }
+  // pending_target_ was computed as now_ + dt, so this is bit-identical to
+  // the historical `now_ += dt` while keeping fleet clocks exactly aligned.
+  now_ = t == pending_target_ ? pending_target_ : t;
+}
+
+void StreamingSession::process_events() {
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active && f->on_link &&
+        f->bytes_done + 0.5 >= static_cast<double>(f->total_bytes)) {
+      f->bytes_done = static_cast<double>(f->total_bytes);
+      complete_flow(*f);
+    }
+  }
+  if (now_ + kEps >= next_tick_) {
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && f->on_link) {
+        const auto sample = emit_progress(*f, now_);
+        if (sample.has_value() && player_.should_abandon(*sample, make_context())) {
+          abort_flow(*f);
+        }
+      }
+    }
+    sample_series();
+    next_tick_ += config_.delta_s;
+  }
+
+  if (next_seek_ < config_.seeks.size() &&
+      now_ + kEps >= config_.seeks[next_seek_].at_time_s) {
+    perform_seek(config_.seeks[next_seek_]);
+    ++next_seek_;
+  }
+
+  handle_playback_transitions();
+  poll_player();
+
+  if (started_ && playhead_s_ + kEps >= content_duration_s_) {
+    log_.completed = true;
+  }
+}
+
+void StreamingSession::abort_session() {
+  for (Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active) {
+      emit_progress(*f, now_);
+      abort_flow(*f);
+    }
+  }
+  // Close an open stall so the log's stall accounting is complete.
+  if (started_ && !playing_) {
+    log_.stalls.push_back({stall_start_t_, now_});
+    playing_ = true;
+  }
+  stopped_ = true;
+  DMX_DEBUG << "t=" << now_ << " session abandoned (fleet churn)";
+}
+
+SessionLog StreamingSession::finish() {
   log_.end_time_s = now_;
-  if (!log_.completed) {
+  if (!log_.completed && !stopped_) {
     DMX_WARN << "session hit the sim-time cap at t=" << now_ << " (playhead "
              << playhead_s_ << "/" << content_duration_s_ << ")";
   }
-  return log_;
+  return std::move(log_);
+}
+
+SessionLog StreamingSession::run() {
+  start();
+  while (!done()) {
+    begin_step();
+    advance_to(next_event_time());
+  }
+  return finish();
 }
 
 SessionLog run_session(const Content& content, const ManifestView& view,

@@ -18,6 +18,8 @@
 //    threshold (§3.4).
 #pragma once
 
+#include <limits>
+
 #include "manifest/view.h"
 #include "media/content.h"
 #include "net/link.h"
@@ -45,6 +47,11 @@ struct SessionConfig {
   double delta_s = 0.125;
   /// Hard wall on simulated time (guards against player deadlock).
   double max_sim_time_s = 7200.0;
+  /// Wall-clock time at which the session clock begins. Fleet scheduling
+  /// sets this to the client's arrival time so every session shares the
+  /// global clock (link traces are evaluated at absolute time). All logged
+  /// times are then absolute; startup_delay_s stays relative to this.
+  double start_time_s = 0.0;
   /// Record buffer/estimate/selection time series in the log.
   bool record_series = true;
   /// Scripted seeks, ascending by at_time_s. A seek cancels in-flight
@@ -61,7 +68,72 @@ class StreamingSession {
                    PlayerAdapter& player, SessionConfig config = {});
 
   /// Run to completion (or the sim-time cap) and return the log.
+  /// Implemented as a loop over the stepping API below; byte-identical to
+  /// the historical monolithic loop.
   SessionLog run();
+
+  // --- Incremental stepping API (DESIGN.md "Fleet simulation") ---
+  //
+  // A FleetScheduler interleaves N sessions on shared links by driving each
+  // through the same phases the solo loop runs:
+  //
+  //   start();
+  //   while (!done()) {
+  //     begin_step();                     // all sessions first: link counts
+  //     t = next_event_time();            // then horizons (rates now global)
+  //     integrate_to(min over sessions);  // all sessions: flows + playback
+  //     process_events();                 // all sessions: completions, ticks
+  //   }
+  //   log = finish();
+  //
+  // begin_step/integrate/process must be globally phased: flow registration
+  // and completion mutate shared Link flow counts, so every session must
+  // integrate a given interval *before* any session fires events at its end.
+
+  /// One-time setup: starts the player, takes the first series sample and
+  /// offers the first download slots. Call before any stepping.
+  void start();
+
+  /// True once the playhead reached content end, the sim-time cap was hit,
+  /// or the session was abandoned via abort_session().
+  [[nodiscard]] bool done() const;
+
+  /// Register flows whose request RTT has elapsed on their links. Must run
+  /// for every session sharing a link before any next_event_time() call so
+  /// horizons see the true flow counts.
+  void begin_step();
+
+  /// Earliest time > now() at which this session's state changes character:
+  /// sampling tick, RTT expiry, flow completion, link rate change, buffer
+  /// underrun, scripted seek or content end. Pure except for caching the
+  /// computed step internally (so integrate_to can replay it bit-exactly).
+  [[nodiscard]] double next_event_time();
+
+  /// Advance flows/buffers/playhead/clock to `t` (<= next_event_time())
+  /// without firing events.
+  void integrate_to(double t);
+
+  /// Fire everything due at the current time: completions, progress samples
+  /// and abandonment, series sampling, seeks, playback transitions, player
+  /// polling, end-of-content detection.
+  void process_events();
+
+  /// integrate_to + process_events: the solo-session step.
+  void advance_to(double t) {
+    integrate_to(t);
+    process_events();
+  }
+
+  /// Abandon the whole session (fleet churn): cancels in-flight downloads
+  /// (releasing shared-link slots), closes an open stall, and marks the
+  /// session done. The log keeps everything up to this point.
+  void abort_session();
+
+  /// Stamp end_time_s and surrender the log. Call once, after done().
+  SessionLog finish();
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const SessionLog& log() const { return log_; }
 
  private:
   struct Flow {
@@ -123,6 +195,13 @@ class StreamingSession {
   double content_duration_s_ = 0.0;
 
   double now_ = 0.0;
+  double next_tick_ = 0.0;  ///< next progress-sampling boundary
+  /// Step cached by next_event_time(): integrate_to(pending_target_) reuses
+  /// pending_dt_ so the solo run() advances by the exact dt the horizon
+  /// computed (bit-identical to the historical `now_ += dt` loop).
+  double pending_dt_ = 0.0;
+  double pending_target_ = std::numeric_limits<double>::quiet_NaN();
+  bool stopped_ = false;  ///< abort_session() called (fleet churn)
   double last_series_sample_t_ = 0.0;
   double bytes_since_last_sample_ = 0.0;
   bool started_ = false;

@@ -138,4 +138,50 @@ double percentile_of(std::vector<double> values, double fraction) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  // All-zero allocations are equal allocations: call that fair rather than
+  // dividing by zero.
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+namespace {
+
+/// Percentile of an already-sorted sample (percentile_of's interpolation).
+double sorted_percentile(const std::vector<double>& sorted, double fraction) {
+  const double pos = std::clamp(fraction, 0.0, 1.0) *
+                     static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+PercentileSummary summarize_percentiles(std::vector<double> values) {
+  PercentileSummary summary;
+  if (values.empty()) return summary;
+  std::sort(values.begin(), values.end());
+  summary.count = values.size();
+  summary.min = values.front();
+  summary.max = values.back();
+  summary.p25 = sorted_percentile(values, 0.25);
+  summary.p50 = sorted_percentile(values, 0.50);
+  summary.p75 = sorted_percentile(values, 0.75);
+  summary.p90 = sorted_percentile(values, 0.90);
+  summary.p99 = sorted_percentile(values, 0.99);
+  double sum = 0.0;
+  for (double x : values) sum += x;
+  summary.mean = sum / static_cast<double>(values.size());
+  return summary;
+}
+
 }  // namespace demuxabr

@@ -115,4 +115,27 @@ class SlidingWindow {
 /// Percentile of an unsorted vector (copies + sorts). fraction in [0,1].
 double percentile_of(std::vector<double> values, double fraction);
 
+/// Jain's fairness index: (Σx)² / (n·Σx²) over non-negative allocations.
+/// 1.0 = perfectly fair (all equal, including all-zero), 1/n = one client
+/// hogs everything. Returns 0.0 for an empty vector.
+double jain_fairness(const std::vector<double>& values);
+
+/// Order statistics of a sample in one pass: the fleet-report summary shape
+/// (per-client bitrate, stall-ratio, buffer-imbalance distributions).
+struct PercentileSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Summarize an unsorted sample (copies + sorts once; percentiles are
+/// linearly interpolated, consistent with percentile_of).
+PercentileSummary summarize_percentiles(std::vector<double> values);
+
 }  // namespace demuxabr

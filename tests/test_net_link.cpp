@@ -16,10 +16,33 @@ TEST(Link, ProcessorSharingSplitsCapacity) {
   EXPECT_DOUBLE_EQ(link.per_flow_kbps(0.0), 1000.0);
 }
 
-TEST(Link, RemoveBelowZeroIsSafe) {
+TEST(Link, DoubleRemoveIsDetected) {
   Link link(BandwidthTrace::constant(1000.0));
+  link.add_flow();
+  link.remove_flow();
+#ifdef NDEBUG
+  // Release: clamp at zero and log an error rather than corrupting the
+  // processor-sharing count for every other flow on the link.
   link.remove_flow();
   EXPECT_EQ(link.active_flows(), 0);
+#else
+  // Debug: a double remove is a caller bug and asserts.
+  EXPECT_DEATH(link.remove_flow(), "remove_flow");
+#endif
+}
+
+TEST(Link, PeakFlowsTracksHighWaterMark) {
+  Link link(BandwidthTrace::constant(1000.0));
+  EXPECT_EQ(link.peak_flows(), 0);
+  link.add_flow();
+  link.add_flow();
+  link.add_flow();
+  link.remove_flow();
+  link.remove_flow();
+  EXPECT_EQ(link.active_flows(), 1);
+  EXPECT_EQ(link.peak_flows(), 3);
+  link.add_flow();
+  EXPECT_EQ(link.peak_flows(), 3);  // below the high-water mark
 }
 
 TEST(Link, CapacityFollowsTrace) {

@@ -146,6 +146,66 @@ TEST(PercentileOf, InterpolatesBetweenValues) {
   EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
 }
 
+TEST(JainFairness, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({500.0, 500.0, 500.0, 500.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0}), 1.0);
+  // All-zero allocations are equal allocations.
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairness, SingleHogIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1000.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness({7.0, 0.0}), 0.5);
+}
+
+TEST(JainFairness, KnownIntermediateValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  EXPECT_NEAR(jain_fairness({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainFairness, EmptyIsZero) { EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0); }
+
+TEST(JainFairness, ScaleInvariant) {
+  const std::vector<double> base = {100.0, 250.0, 400.0, 800.0};
+  std::vector<double> scaled = base;
+  for (double& x : scaled) x *= 37.5;
+  EXPECT_NEAR(jain_fairness(base), jain_fairness(scaled), 1e-12);
+}
+
+TEST(PercentileSummary, EmptyIsAllZero) {
+  const PercentileSummary s = summarize_percentiles({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(PercentileSummary, MatchesPercentileOf) {
+  const std::vector<double> values = {9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0};
+  const PercentileSummary s = summarize_percentiles(values);
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p25, percentile_of(values, 0.25));
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p75, percentile_of(values, 0.75));
+  EXPECT_DOUBLE_EQ(s.p90, percentile_of(values, 0.90));
+  EXPECT_DOUBLE_EQ(s.p99, percentile_of(values, 0.99));
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(PercentileSummary, SingleSample) {
+  const PercentileSummary s = summarize_percentiles({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.p25, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+}
+
 class EwmaAlphaSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(EwmaAlphaSweep, StaysWithinInputRange) {
