@@ -1,15 +1,27 @@
 // Fleet-scale benchmark: N demuxed-ABR clients contending on one shared
-// bottleneck, swept over fleet sizes {1, 2, 10, 50, 100} on the Table-2
-// drama content with per-capita-scaled paper traces (fixed 800 kbps/client
-// and the Fig-3 varying 600 kbps/client square wave). Reports wall time,
-// scheduler steps/s, aggregate simulated-seconds per wall-second and fleet
+// bottleneck, swept over fleet sizes {1, 2, 10, 50, 100, 500, 1000} on the
+// Table-2 drama content with per-capita-scaled paper traces (fixed 800
+// kbps/client and the Fig-3 varying 600 kbps/client square wave), under both
+// fleet engines side by side: the O(N)-per-step barrier reference and the
+// O(log N)-per-event heap engine (the default). Reports wall time, engine
+// steps/s, aggregate simulated-seconds per wall-second and fleet
 // QoE/fairness, and emits the same numbers machine-readably to
-// BENCH_fleet.json (cwd) — extending the perf trajectory BENCH_sweep.json
-// started.
+// BENCH_fleet.json (cwd).
+//
+// Besides the google-benchmark harness, the binary doubles as a CLI perf
+// probe for CI smoke jobs:
+//
+//   bench_fleet --clients 200 --engine event_heap [--trace fixed]
+//               [--min-steps-per-s 40000]
+//
+// CLI mode runs exactly the requested fleet, prints one row per engine, and
+// exits non-zero when a --min-steps-per-s floor is not met.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +41,15 @@ namespace ex = demuxabr::experiments;
 
 constexpr const char* kReportPath = "BENCH_fleet.json";
 
+/// The barrier reference engine costs O(N) per step; above this fleet size
+/// its sweep rows are skipped (with a JSON note) rather than dominating the
+/// report's wall time.
+constexpr int kBarrierMaxClients = 100;
+
+const char* engine_name(fleet::Engine engine) {
+  return engine == fleet::Engine::kBarrier ? "barrier" : "event_heap";
+}
+
 /// 60% ExoPlayer, 25% dash.js, 15% coordinated — a plausible demuxed-ABR
 /// population on a plain DASH manifest.
 std::vector<fleet::PlayerShare> population_mix() {
@@ -45,10 +66,11 @@ std::vector<fleet::PlayerShare> population_mix() {
   return mix;
 }
 
-fleet::FleetConfig fleet_config(int clients) {
+fleet::FleetConfig fleet_config(int clients, fleet::Engine engine) {
   fleet::FleetConfig config;
   config.client_count = clients;
   config.seed = 42;
+  config.engine = engine;
   config.arrivals = fleet::ArrivalProcess::kPoisson;
   config.arrival_rate_per_s = 1.0;
   config.players = population_mix();
@@ -75,8 +97,17 @@ std::vector<TraceCase> trace_cases(int clients) {
   };
 }
 
+BandwidthTrace trace_by_label(const std::string& label, int clients) {
+  for (TraceCase& tc : trace_cases(clients)) {
+    if (tc.name.rfind(label, 0) == 0) return std::move(tc.trace);
+  }
+  std::fprintf(stderr, "unknown trace '%s' (want fixed|varying)\n", label.c_str());
+  std::exit(2);
+}
+
 struct FleetRunRecord {
   std::string trace;
+  std::string engine;
   int clients = 0;
   double wall_s = 0.0;
   std::size_t steps = 0;
@@ -84,17 +115,25 @@ struct FleetRunRecord {
   fleet::FleetMetrics metrics;
   double link_utilization = 0.0;
   int peak_flows = 0;
+
+  [[nodiscard]] double steps_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(steps) / wall_s : 0.0;
+  }
+  [[nodiscard]] double sim_per_wall() const {
+    return wall_s > 0.0 ? simulated_s / wall_s : 0.0;
+  }
 };
 
 FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
-                        int clients) {
+                        int clients, fleet::Engine engine) {
   const auto t0 = std::chrono::steady_clock::now();
-  const fleet::FleetResult result =
-      fleet::run_fleet(setup.content, setup.view, tc.trace, fleet_config(clients));
+  const fleet::FleetResult result = fleet::run_fleet(
+      setup.content, setup.view, tc.trace, fleet_config(clients, engine));
   FleetRunRecord record;
   record.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                       .count();
   record.trace = tc.name;
+  record.engine = engine_name(engine);
   record.clients = clients;
   record.steps = result.steps;
   for (const fleet::ClientResult& client : result.clients) {
@@ -106,31 +145,46 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
   return record;
 }
 
-std::string fleet_report_json(const std::vector<FleetRunRecord>& records) {
+void print_record(const FleetRunRecord& r) {
+  std::printf(
+      "  %-24s %-10s clients=%-4d wall=%7.2fs steps/s=%9.0f "
+      "sim-s/wall-s=%8.1f qoe=%7.1f jain=%.3f util=%.3f peak_flows=%d\n",
+      r.trace.c_str(), r.engine.c_str(), r.clients, r.wall_s, r.steps_per_s(),
+      r.sim_per_wall(), r.metrics.mean_qoe, r.metrics.jain_fairness_video,
+      r.link_utilization, r.peak_flows);
+}
+
+std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
+                              const std::vector<std::string>& notes) {
   std::string out;
   out += "{\n  \"bench\": \"fleet\",\n  \"content\": \"drama-300s\",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const FleetRunRecord& r = records[i];
     out += format(
-        "    {\"trace\": \"%s\", \"clients\": %d, \"wall_s\": %.6f, "
-        "\"steps\": %zu, \"steps_per_s\": %.0f, \"sim_s\": %.1f, "
-        "\"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
+        "    {\"trace\": \"%s\", \"engine\": \"%s\", \"clients\": %d, "
+        "\"wall_s\": %.6f, \"steps\": %zu, \"steps_per_s\": %.0f, "
+        "\"sim_s\": %.1f, \"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
         "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
         "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
         "\"peak_flows\": %d}%s\n",
-        r.trace.c_str(), r.clients, r.wall_s, r.steps,
-        r.wall_s > 0.0 ? static_cast<double>(r.steps) / r.wall_s : 0.0,
-        r.simulated_s, r.wall_s > 0.0 ? r.simulated_s / r.wall_s : 0.0,
-        r.metrics.mean_qoe, r.metrics.jain_fairness_video,
-        r.metrics.stall_ratio.p90, r.metrics.video_kbps.p50, r.link_utilization,
-        r.peak_flows, i + 1 < records.size() ? "," : "");
+        r.trace.c_str(), r.engine.c_str(), r.clients, r.wall_s, r.steps,
+        r.steps_per_s(), r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
+        r.metrics.jain_fairness_video, r.metrics.stall_ratio.p90,
+        r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
+        i + 1 < records.size() ? "," : "");
+  }
+  out += "  ],\n  \"notes\": [\n";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    out += "    \"" + notes[i] + "\"";
+    out += i + 1 < notes.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;
 }
 
 /// One full sweep per process, before google-benchmark timing: fleet sizes
-/// {1, 2, 10, 50, 100} on both traces, printed and written to the report.
+/// {1, 2, 10, 50, 100, 500, 1000} on both traces and both engines, printed
+/// and written to the report.
 void emit_report_once() {
   static bool emitted = false;
   if (emitted) return;
@@ -138,21 +192,26 @@ void emit_report_once() {
   const ex::ExperimentSetup setup =
       ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
   std::vector<FleetRunRecord> records;
-  std::printf("=== fleet: shared-bottleneck sweep, drama content ===\n");
-  for (const int clients : {1, 2, 10, 50, 100}) {
+  std::vector<std::string> notes;
+  std::printf("=== fleet: shared-bottleneck sweep, drama content, both engines ===\n");
+  for (const int clients : {1, 2, 10, 50, 100, 500, 1000}) {
     for (const TraceCase& tc : trace_cases(clients)) {
-      const FleetRunRecord r = run_case(setup, tc, clients);
-      std::printf(
-          "  %-24s clients=%-3d wall=%6.2fs steps/s=%8.0f sim-s/wall-s=%7.1f "
-          "qoe=%7.1f jain=%.3f util=%.3f peak_flows=%d\n",
-          r.trace.c_str(), r.clients, r.wall_s,
-          r.wall_s > 0.0 ? static_cast<double>(r.steps) / r.wall_s : 0.0,
-          r.wall_s > 0.0 ? r.simulated_s / r.wall_s : 0.0, r.metrics.mean_qoe,
-          r.metrics.jain_fairness_video, r.link_utilization, r.peak_flows);
-      records.push_back(r);
+      for (const fleet::Engine engine :
+           {fleet::Engine::kEventHeap, fleet::Engine::kBarrier}) {
+        if (engine == fleet::Engine::kBarrier && clients > kBarrierMaxClients) {
+          continue;  // noted once below
+        }
+        const FleetRunRecord r = run_case(setup, tc, clients, engine);
+        print_record(r);
+        records.push_back(r);
+      }
     }
   }
-  const Status written = write_file(kReportPath, fleet_report_json(records));
+  notes.push_back(format(
+      "barrier rows above %d clients skipped: the reference engine costs "
+      "O(N) per step and exists for cross-validation, not scale",
+      kBarrierMaxClients));
+  const Status written = write_file(kReportPath, fleet_report_json(records, notes));
   if (written.ok()) {
     std::printf("  report written to %s\n\n", kReportPath);
   } else {
@@ -164,14 +223,16 @@ void emit_report_once() {
 void BM_Fleet_SharedBottleneck(benchmark::State& state) {
   emit_report_once();
   const int clients = static_cast<int>(state.range(0));
+  const fleet::Engine engine =
+      state.range(1) != 0 ? fleet::Engine::kEventHeap : fleet::Engine::kBarrier;
   const ex::ExperimentSetup setup =
       ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
   const TraceCase tc = trace_cases(clients)[0];
   std::size_t steps = 0;
   double simulated_s = 0.0;
   for (auto _ : state) {
-    const fleet::FleetResult result =
-        fleet::run_fleet(setup.content, setup.view, tc.trace, fleet_config(clients));
+    const fleet::FleetResult result = fleet::run_fleet(
+        setup.content, setup.view, tc.trace, fleet_config(clients, engine));
     steps = result.steps;
     simulated_s = 0.0;
     for (const fleet::ClientResult& client : result.clients) {
@@ -179,12 +240,13 @@ void BM_Fleet_SharedBottleneck(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(result.clients.size());
   }
+  state.SetLabel(engine_name(engine));
   state.counters["clients"] = clients;
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["sim_s"] = simulated_s;
 }
 BENCHMARK(BM_Fleet_SharedBottleneck)
-    ->Arg(1)->Arg(2)->Arg(10)
+    ->Args({1, 1})->Args({2, 1})->Args({10, 1})->Args({10, 0})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Replication fan-out: the ThreadPool path (independent seeds).
@@ -195,7 +257,7 @@ void BM_Fleet_Replications(benchmark::State& state) {
   fleet::ReplicationOptions options;
   options.replications = 4;
   options.threads = threads;
-  const fleet::FleetConfig config = fleet_config(2);
+  const fleet::FleetConfig config = fleet_config(2, fleet::Engine::kEventHeap);
   const TraceCase tc = trace_cases(2)[0];
   for (auto _ : state) {
     const auto reps = fleet::run_replications(setup.content, setup.view, tc.trace,
@@ -207,4 +269,102 @@ void BM_Fleet_Replications(benchmark::State& state) {
 BENCHMARK(BM_Fleet_Replications)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- CLI perf-probe mode -------------------------------------------------
+
+struct CliOptions {
+  bool cli_mode = false;
+  int clients = 100;
+  std::string engine = "event_heap";  ///< barrier | event_heap | both
+  std::string trace = "fixed";        ///< fixed | varying
+  double min_steps_per_s = 0.0;       ///< 0 = no floor check
+};
+
+[[noreturn]] void cli_usage_and_exit() {
+  std::fprintf(stderr,
+               "usage: bench_fleet [--clients N] [--engine barrier|event_heap|both]\n"
+               "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
+               "       bench_fleet [google-benchmark flags]\n");
+  std::exit(2);
+}
+
+/// Accepts `--flag value` and `--flag=value`. Any recognised flag switches
+/// the binary into CLI mode (no google-benchmark harness).
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  const auto value_of = [&](const char* flag, int& i) -> const char* {
+    const std::size_t flag_len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, flag_len) != 0) return nullptr;
+    if (argv[i][flag_len] == '=') return argv[i] + flag_len + 1;
+    if (argv[i][flag_len] == '\0') {
+      if (i + 1 >= argc) cli_usage_and_exit();
+      return argv[++i];
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of("--clients", i)) {
+      cli.clients = std::atoi(v);
+      cli.cli_mode = true;
+    } else if (const char* v2 = value_of("--engine", i)) {
+      cli.engine = v2;
+      cli.cli_mode = true;
+    } else if (const char* v3 = value_of("--trace", i)) {
+      cli.trace = v3;
+      cli.cli_mode = true;
+    } else if (const char* v4 = value_of("--min-steps-per-s", i)) {
+      cli.min_steps_per_s = std::atof(v4);
+      cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      cli_usage_and_exit();
+    }
+    // Anything else is left for google-benchmark (non-CLI mode).
+  }
+  return cli;
+}
+
+int run_cli(const CliOptions& cli) {
+  if (cli.clients <= 0) cli_usage_and_exit();
+  std::vector<fleet::Engine> engines;
+  if (cli.engine == "both") {
+    engines = {fleet::Engine::kEventHeap, fleet::Engine::kBarrier};
+  } else if (cli.engine == "barrier") {
+    engines = {fleet::Engine::kBarrier};
+  } else if (cli.engine == "event_heap") {
+    engines = {fleet::Engine::kEventHeap};
+  } else {
+    cli_usage_and_exit();
+  }
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
+  TraceCase tc{cli.trace, trace_by_label(cli.trace, cli.clients)};
+
+  bool floor_met = true;
+  std::printf("=== fleet CLI: %d clients, trace=%s ===\n", cli.clients,
+              cli.trace.c_str());
+  for (const fleet::Engine engine : engines) {
+    const FleetRunRecord r = run_case(setup, tc, cli.clients, engine);
+    print_record(r);
+    // Machine-greppable line for CI floors and trend tracking.
+    std::printf("engine=%s clients=%d steps_per_s=%.0f wall_s=%.3f\n",
+                r.engine.c_str(), r.clients, r.steps_per_s(), r.wall_s);
+    if (cli.min_steps_per_s > 0.0 && r.steps_per_s() < cli.min_steps_per_s) {
+      std::fprintf(stderr,
+                   "FAIL: %s steps_per_s %.0f below floor %.0f\n",
+                   r.engine.c_str(), r.steps_per_s(), cli.min_steps_per_s);
+      floor_met = false;
+    }
+  }
+  return floor_met ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+  if (cli.cli_mode) return run_cli(cli);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

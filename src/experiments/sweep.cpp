@@ -253,7 +253,8 @@ std::string log_fingerprint(const SessionLog& log) {
 }
 
 std::string sweep_report_json(const std::string& matrix_name,
-                              const std::vector<SweepSummary>& summaries) {
+                              const std::vector<SweepSummary>& summaries,
+                              const std::vector<std::string>& notes) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"sweep\",\n"
@@ -275,7 +276,15 @@ std::string sweep_report_json(const std::string& matrix_name,
         s.threads, s.job_count, s.wall_s, s.sessions_per_s, s.simulated_s,
         s.simulated_per_wall, speedup, i + 1 < summaries.size() ? "," : "");
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (!notes.empty()) {
+    out << ",\n  \"notes\": [\n";
+    for (std::size_t i = 0; i < notes.size(); ++i) {
+      out << "    \"" << notes[i] << "\"" << (i + 1 < notes.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
   return out.str();
 }
 

@@ -119,8 +119,12 @@ std::vector<ComparisonRow> comparison_rows(const SweepResult& result);
 std::string log_fingerprint(const SessionLog& log);
 
 /// Machine-readable perf record (BENCH_sweep.json): one entry per thread
-/// configuration plus serial-relative speedups.
+/// configuration plus serial-relative speedups. `hardware_threads` in the
+/// output is the host's real std::thread::hardware_concurrency(); `notes`
+/// records configurations that were skipped (e.g. multi-thread rows on a
+/// single-core host) so absent rows are never mistaken for missing data.
 std::string sweep_report_json(const std::string& matrix_name,
-                              const std::vector<SweepSummary>& summaries);
+                              const std::vector<SweepSummary>& summaries,
+                              const std::vector<std::string>& notes = {});
 
 }  // namespace demuxabr::experiments

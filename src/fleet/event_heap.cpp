@@ -1,0 +1,36 @@
+#include "fleet/event_heap.h"
+
+#include <limits>
+
+namespace demuxabr::fleet {
+namespace {
+constexpr std::uint64_t kNeverSynced = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+EventHeap::EventHeap(std::uint32_t session_count, std::uint32_t link_count)
+    : link_base_(session_count), link_epochs_(link_count, kNeverSynced) {
+  heap_.reserve(session_count + link_count);
+}
+
+void EventHeap::sync_link(std::uint32_t link_index, const Link& link, bool force) {
+  if (!force && link_epochs_[link_index] == link.epoch()) return;
+  link_epochs_[link_index] = link.epoch();
+  const std::uint32_t id = link_base_ + link_index;
+  const double t = link.earliest_completion_time();
+  if (std::isfinite(t)) {
+    heap_.update(id, t);
+  } else {
+    heap_.erase(id);
+  }
+}
+
+EventHeap::Event EventHeap::top() const {
+  const IndexedMinHeap::Entry entry = heap_.top();
+  Event event;
+  event.is_link = entry.id >= link_base_;
+  event.index = event.is_link ? entry.id - link_base_ : entry.id;
+  event.t = entry.key;
+  return event;
+}
+
+}  // namespace demuxabr::fleet

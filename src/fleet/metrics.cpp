@@ -81,7 +81,9 @@ void fingerprint_link(std::ostringstream& out, const LinkStats& stats) {
 
 std::string fleet_fingerprint(const FleetResult& result) {
   std::ostringstream out;
-  out << "clients:" << result.clients.size() << " steps:" << result.steps
+  // `steps` is deliberately absent: it counts engine work units (barriers
+  // vs heap events), a diagnostic that must not break cross-engine identity.
+  out << "clients:" << result.clients.size()
       << format(" end:%.17g", result.end_time_s)
       << " split_audio:" << (result.split_audio ? 1 : 0) << "\n";
   for (const ClientResult& client : result.clients) {

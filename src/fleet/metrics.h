@@ -32,7 +32,9 @@ struct FleetResult {
   LinkStats audio_link;  ///< duplicate of video_link when !split_audio
   bool split_audio = false;
   double end_time_s = 0.0;  ///< wall time at which the last client finished
-  std::size_t steps = 0;    ///< global scheduler barriers executed
+  /// Engine work units executed: global barriers (kBarrier) or heap events
+  /// (kEventHeap). Diagnostic only — excluded from fleet_fingerprint.
+  std::size_t steps = 0;
 };
 
 /// Cross-client aggregates of one fleet run.

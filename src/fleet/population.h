@@ -43,9 +43,19 @@ struct ChurnConfig {
   double max_watch_s = 120.0;
 };
 
+/// Which scheduling engine drives the fleet. Both produce bit-identical
+/// results (tests/test_fleet.cpp cross-validates); they differ only in cost
+/// per event — O(N) for the barrier reference engine, O(log N) for the
+/// event heap (DESIGN.md §7 "Engine modes").
+enum class Engine {
+  kBarrier,    ///< reference: global phase barriers over all active sessions
+  kEventHeap,  ///< default: indexed event heap + per-link completion registry
+};
+
 struct FleetConfig {
   int client_count = 2;
   std::uint64_t seed = 1;
+  Engine engine = Engine::kEventHeap;
 
   ArrivalProcess arrivals = ArrivalProcess::kSimultaneous;
   double arrival_interval_s = 2.0;  ///< kDeterministic spacing

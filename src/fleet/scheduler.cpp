@@ -6,12 +6,12 @@
 #include <limits>
 #include <utility>
 
+#include "fleet/event_heap.h"
+#include "util/indexed_min_heap.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace demuxabr::fleet {
-namespace {
-constexpr double kEps = 1e-9;
-}  // namespace
 
 FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
                                BandwidthTrace bottleneck, FleetConfig config,
@@ -26,10 +26,10 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
   }
 }
 
-void FleetScheduler::admit(const ClientPlan& plan) {
-  Client client;
-  client.plan = plan;
-  client.player = config_.players[plan.player_index].factory();
+FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
+  auto client = std::make_unique<Client>();
+  client->plan = plan;
+  client->player = config_.players[plan.player_index].factory();
 
   Network network;
   network.video_link = video_link_.link();
@@ -41,11 +41,32 @@ void FleetScheduler::admit(const ClientPlan& plan) {
   // The base max_sim_time_s is the per-client budget; the session cap is
   // absolute wall time.
   session_config.max_sim_time_s = plan.arrival_s + config_.session.max_sim_time_s;
+  // Completion-registry tokens on the shared links: audio 2*id, video 2*id+1.
+  session_config.flow_token_base = 2u * static_cast<std::uint32_t>(plan.id);
 
-  client.session = std::make_unique<StreamingSession>(
-      content_, view_, std::move(network), *client.player, session_config);
-  client.session->start();
-  active_.push_back(std::move(client));
+  client->session = std::make_unique<StreamingSession>(
+      content_, view_, std::move(network), *client->player, session_config);
+  client->session->start();
+
+  auto& slot = slots_[static_cast<std::size_t>(plan.id)];
+  slot = std::move(client);
+  return *slot;
+}
+
+void FleetScheduler::finalize_client(Client& client, double now) {
+  ClientResult outcome;
+  outcome.id = client.plan.id;
+  outcome.player = client.plan.player_label;
+  outcome.arrival_s = client.plan.arrival_s;
+  outcome.departed_early =
+      !client.session->log().completed && client.plan.leave_at_s <= now;
+  outcome.log = client.session->finish();
+  outcome.qoe = compute_qoe(outcome.log, content_.ladder());
+  result_.clients.push_back(std::move(outcome));
+  // Release the session and player: long fleets churn through thousands of
+  // clients and only a fraction are ever concurrently active.
+  client.session.reset();
+  client.player.reset();
 }
 
 FleetResult FleetScheduler::run() {
@@ -53,47 +74,71 @@ FleetResult FleetScheduler::run() {
   const std::vector<ClientPlan> plans = plan_population(config_);
   result_.clients.reserve(plans.size());
   result_.split_audio = audio_link_.has_value();
+  slots_.resize(plans.size());
 
+  const double end_time = config_.engine == Engine::kBarrier
+                              ? run_barrier(plans)
+                              : run_event_heap(plans);
+
+  // Clients finalize in retirement order; re-sort to client-id order so the
+  // result layout is stable regardless of who finished first.
+  std::sort(result_.clients.begin(), result_.clients.end(),
+            [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
+  video_link_.finalize(end_time);
+  if (audio_link_.has_value()) audio_link_->finalize(end_time);
+  result_.video_link = video_link_.stats();
+  result_.audio_link = audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
+  result_.end_time_s = end_time;
+  return std::move(result_);
+}
+
+double FleetScheduler::run_barrier(const std::vector<ClientPlan>& plans) {
+  std::vector<Client*> active;  ///< client-id order within every barrier
+  // Sorted departure index: finite leave times keyed by client id. Makes
+  // the per-step churn check and the churn horizon O(1) instead of O(N)
+  // scans over every active session.
+  IndexedMinHeap departures;
   double now = 0.0;
   std::size_t next_arrival = 0;
+
   const auto admit_due = [&] {
-    while (next_arrival < plans.size() &&
-           plans[next_arrival].arrival_s <= now + kEps) {
-      admit(plans[next_arrival]);
+    while (next_arrival < plans.size() && plans[next_arrival].arrival_s <= now) {
+      Client& client = admit(plans[next_arrival]);
       ++next_arrival;
+      // Keep `active` in client-id order: the event-heap engine breaks
+      // same-time ties by client id, so the barrier must fire them the
+      // same way (arrival order and id order differ under Poisson).
+      const auto at = std::lower_bound(
+          active.begin(), active.end(), &client,
+          [](const Client* a, const Client* b) { return a->plan.id < b->plan.id; });
+      active.insert(at, &client);
+      if (std::isfinite(client.plan.leave_at_s)) {
+        departures.update(static_cast<std::uint32_t>(client.plan.id),
+                          client.plan.leave_at_s);
+      }
     }
-  };
-  const auto finalize = [&](Client& client) {
-    ClientResult outcome;
-    outcome.id = client.plan.id;
-    outcome.player = client.plan.player_label;
-    outcome.arrival_s = client.plan.arrival_s;
-    outcome.departed_early = !client.session->log().completed &&
-                             client.plan.leave_at_s <= now + kEps;
-    outcome.log = client.session->finish();
-    outcome.qoe = compute_qoe(outcome.log, content_.ladder());
-    result_.clients.push_back(std::move(outcome));
   };
 
   admit_due();
-  while (!active_.empty() || next_arrival < plans.size()) {
+  while (!active.empty() || next_arrival < plans.size()) {
     // Churn: abandon sessions whose planned departure has passed. The abort
     // releases their shared-link slots before anyone computes a horizon.
-    for (Client& client : active_) {
-      if (!client.session->done() && now + kEps >= client.plan.leave_at_s) {
-        client.session->abort_session();
-      }
+    while (!departures.empty() && departures.top().key <= now) {
+      const std::uint32_t id = departures.pop().id;
+      Client& client = *slots_[id];
+      if (!client.session->done()) client.session->abort_session();
     }
     // Retire finished sessions (content end, churn, or sim-time cap).
-    for (auto it = active_.begin(); it != active_.end();) {
-      if (it->session->done()) {
-        finalize(*it);
-        it = active_.erase(it);
+    for (auto it = active.begin(); it != active.end();) {
+      if ((*it)->session->done()) {
+        departures.erase(static_cast<std::uint32_t>((*it)->plan.id));
+        finalize_client(**it, now);
+        it = active.erase(it);
       } else {
         ++it;
       }
     }
-    if (active_.empty()) {
+    if (active.empty()) {
       if (next_arrival >= plans.size()) break;
       now = std::max(now, plans[next_arrival].arrival_s);
       admit_due();
@@ -102,48 +147,152 @@ FleetResult FleetScheduler::run() {
 
     // Phase 1: registration barrier — every session's due flows join their
     // links before any horizon is computed.
-    for (Client& client : active_) client.session->begin_step();
+    for (Client* client : active) client->session->begin_step();
 
     // Phase 2: global horizon.
     double t = std::numeric_limits<double>::infinity();
-    for (Client& client : active_) {
-      t = std::min(t, client.session->next_event_time());
+    for (Client* client : active) {
+      t = std::min(t, client->session->next_event_time());
     }
     if (next_arrival < plans.size()) {
       t = std::min(t, plans[next_arrival].arrival_s);
     }
-    for (const Client& client : active_) {
-      if (client.plan.leave_at_s > now) t = std::min(t, client.plan.leave_at_s);
-    }
+    if (!departures.empty()) t = std::min(t, departures.top().key);
     t = std::max(t, now);
 
-    // Phase 3: utilization accounting over [now, t] with the flow counts
-    // frozen for the interval.
-    video_link_.observe(now, t);
-    if (audio_link_.has_value()) audio_link_->observe(now, t);
-
-    // Phase 4: integrate everyone through [now, t] *before* any events fire
+    // Phase 3: integrate everyone through [now, t] *before* any events fire
     // — a completion inside integrate order would change link counts
     // mid-interval for sessions integrated later.
-    for (Client& client : active_) client.session->integrate_to(t);
+    for (Client* client : active) client->session->integrate_to(t);
     now = t;
 
-    // Phase 5: event barrier, client-id order (deterministic).
-    for (Client& client : active_) client.session->process_events();
+    // Phase 4: event barrier, client-id order (deterministic).
+    for (Client* client : active) client->session->process_events();
     ++result_.steps;
 
-    // Phase 6: admissions exactly at t join before the next barrier.
+    // Phase 5: admissions exactly at t join before the next barrier.
     admit_due();
   }
+  return now;
+}
 
-  // Clients finalize in retirement order; re-sort to client-id order so the
-  // result layout is stable regardless of who finished first.
-  std::sort(result_.clients.begin(), result_.clients.end(),
-            [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
-  result_.video_link = video_link_.stats();
-  result_.audio_link = audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
-  result_.end_time_s = now;
-  return std::move(result_);
+double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
+  std::vector<Link*> links;
+  links.push_back(video_link_.link().get());
+  if (audio_link_.has_value()) links.push_back(audio_link_->link().get());
+
+  EventHeap heap(static_cast<std::uint32_t>(plans.size()),
+                 static_cast<std::uint32_t>(links.size()));
+  const auto sync_links = [&] {
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      heap.sync_link(static_cast<std::uint32_t>(i), *links[i]);
+    }
+  };
+  // A session is keyed on its own (link-independent) events plus its
+  // planned departure; flow completions surface through the link keys.
+  const auto schedule = [&](Client& client) {
+    const double t = std::min(client.session->next_local_event_time(),
+                              client.plan.leave_at_s);
+    heap.schedule_session(static_cast<std::uint32_t>(client.plan.id), t);
+  };
+
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+  const auto admit_due = [&] {
+    while (next_arrival < plans.size() && plans[next_arrival].arrival_s <= now) {
+      Client& client = admit(plans[next_arrival]);
+      ++next_arrival;
+      if (client.session->done()) {
+        // Born at (or past) its cap: retire immediately — the barrier
+        // engine's retire scan does the same before ever stepping it.
+        finalize_client(client, now);
+        continue;
+      }
+      schedule(client);
+    }
+  };
+
+  std::vector<std::uint32_t> touched;  // sessions processed at this timestamp
+  admit_due();
+  while (true) {
+    const double t_event =
+        heap.empty() ? std::numeric_limits<double>::infinity() : heap.top().t;
+    const double t_arrival = next_arrival < plans.size()
+                                 ? plans[next_arrival].arrival_s
+                                 : std::numeric_limits<double>::infinity();
+    if (!std::isfinite(t_event) && !std::isfinite(t_arrival)) break;
+    if (t_arrival < t_event) {
+      now = t_arrival;
+      admit_due();
+      continue;
+    }
+
+    // Drain every event at this timestamp, then run registrations. The
+    // barrier engine fires all of a step's events before the *next* step's
+    // begin_step registers flows, so flow removals at t must land before
+    // additions at t here too (same intermediate counts, same link peaks).
+    const double t = t_event;
+    now = t;
+    touched.clear();
+    int guard = 0;
+    while (!heap.empty() && heap.top().t <= t) {
+      if (++guard > 10000000) {
+        DMX_ERROR << "event-heap engine wedged at t=" << t << " — aborting drain";
+        assert(false && "event drain did not converge");
+        break;
+      }
+      const EventHeap::Event event = heap.top();
+      std::uint32_t id = 0;
+      if (event.is_link) {
+        // The link's earliest registered completion is due: route the event
+        // to the owning session (token = 2*id + is_video). Firing it bumps
+        // the link epoch, so sync_links() below re-keys or clears the entry.
+        Link& link = *links[event.index];
+        if (!link.has_completions()) {
+          heap.sync_link(static_cast<std::uint32_t>(event.index), link, true);
+          continue;
+        }
+        id = link.earliest_completion_token() / 2u;
+      } else {
+        heap.pop();
+        id = event.index;
+      }
+      Client& client = *slots_[id];
+      StreamingSession& session = *client.session;
+      session.integrate_to(t);
+      session.process_events();
+      if (!session.done() && client.plan.leave_at_s <= t) {
+        session.abort_session();
+      }
+      if (session.done()) {
+        heap.erase_session(id);
+        finalize_client(client, t);
+      } else {
+        // Rescheduling waits for the registration phase below: a flow whose
+        // RTT ends exactly at t would otherwise keep the key pinned at t.
+        touched.push_back(id);
+      }
+      sync_links();
+      ++result_.steps;
+    }
+
+    // Registration phase at t, in client-id order (the barrier's phase 1):
+    // flows whose RTT ended join their links, and every touched session
+    // gets its next event key.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (const std::uint32_t id : touched) {
+      Client& client = *slots_[id];
+      if (!client.session) continue;  // finalized later in the same drain
+      client.session->begin_step();
+      schedule(client);
+    }
+    sync_links();
+
+    // Admissions exactly at t join after the events at t, as in the barrier.
+    admit_due();
+  }
+  return now;
 }
 
 FleetResult run_fleet(const Content& content, const ManifestView& view,

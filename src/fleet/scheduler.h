@@ -4,20 +4,28 @@
 // class where the paper's §3.3 mis-estimation and §3.4 buffer-imbalance
 // pathologies compound across a population.
 //
-// Scheduling contract (DESIGN.md "Fleet simulation"): every global step runs
-// four phases across all active sessions, in client-id order —
-//   1. begin_step()        flows past their RTT register on shared links
-//   2. next_event_time()   global horizon = min over sessions, arrivals, churn
-//   3. integrate_to(t*)    every session advances through [now, t*] with the
-//                          flow counts frozen during the interval
-//   4. process_events()    completions / ticks / polling fire, mutating link
-//                          counts only at the barrier
-// The phase barriers are what make cross-session sharing exact: no session
-// sees a link count that changed mid-interval. Single-threaded and
+// Two engines produce bit-identical results (DESIGN.md §7 "Engine modes"):
+//
+//  * kBarrier (reference): every global step runs phase barriers across all
+//    active sessions in client-id order — churn/retire, begin_step
+//    (registrations), horizon = min over per-session next_event_time,
+//    integrate_to(t*), process_events, admissions. O(N) per step.
+//
+//  * kEventHeap (default): an indexed min-heap keys each session on its own
+//    next *local* event time and each shared link on its earliest
+//    registered completion (lazily re-keyed via the link's flow-count
+//    epoch). Only the sessions with events at time t are touched; everyone
+//    else is advanced implicitly through the links' virtual-time service
+//    integrals. O(log N) per event.
+//
+// Identity holds because sessions derive all state from anchored values
+// that only change at their own events (sim/session.h), so barrier visits
+// at foreign event times are numerically invisible. Single-threaded and
 // deterministic; replications fan out across a ThreadPool.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -51,14 +59,21 @@ class FleetScheduler {
     std::unique_ptr<StreamingSession> session;
   };
 
-  void admit(const ClientPlan& plan);
+  /// Build and start client `plan`'s session; returns the slot (owned by
+  /// slots_, indexed by client id).
+  Client& admit(const ClientPlan& plan);
+  /// Collect the client's result and release its session/player.
+  void finalize_client(Client& client, double now);
+
+  double run_barrier(const std::vector<ClientPlan>& plans);
+  double run_event_heap(const std::vector<ClientPlan>& plans);
 
   const Content& content_;
   ManifestView view_;
   FleetConfig config_;
   SharedLink video_link_;
   std::optional<SharedLink> audio_link_;
-  std::vector<Client> active_;  ///< client-id order within every barrier
+  std::vector<std::unique_ptr<Client>> slots_;  ///< by client id
   FleetResult result_;
 };
 

@@ -5,26 +5,16 @@
 namespace demuxabr::fleet {
 
 SharedLink::SharedLink(BandwidthTrace trace, std::string name)
-    : link_(std::make_shared<Link>(std::move(trace))) {
-  stats_.name = std::move(name);
-}
-
-void SharedLink::observe(double t0, double t1) {
-  if (t1 <= t0) return;
-  const double dt = t1 - t0;
-  const int flows = link_->active_flows();
-  const double offered = link_->trace().average_kbps(t0, t1) * dt;
-  stats_.observed_s += dt;
-  stats_.flow_seconds += static_cast<double>(flows) * dt;
-  stats_.offered_kbit += offered;
-  if (flows > 0) {
-    stats_.busy_s += dt;
-    stats_.delivered_kbit += offered;
-  }
-}
+    : link_(std::make_shared<Link>(std::move(trace))), name_(std::move(name)) {}
 
 LinkStats SharedLink::stats() const {
-  LinkStats stats = stats_;
+  LinkStats stats;
+  stats.name = name_;
+  stats.observed_s = link_->observed_s();
+  stats.busy_s = link_->busy_s();
+  stats.flow_seconds = link_->flow_seconds();
+  stats.offered_kbit = link_->offered_kbit();
+  stats.delivered_kbit = link_->delivered_kbit();
   stats.peak_flows = link_->peak_flows();
   stats.residual_flows = link_->active_flows();
   return stats;

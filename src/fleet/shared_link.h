@@ -1,8 +1,8 @@
-// SharedLink: a bottleneck Link carried by many sessions at once, plus the
-// cross-session utilization bookkeeping the single-session engine never
-// needed. Flow counts only change at FleetScheduler barriers, so observing
-// each inter-barrier interval with the then-current count integrates busy
-// time and flow-seconds exactly.
+// SharedLink: a named bottleneck Link carried by many sessions at once.
+// Utilization is accounted inside the Link itself, integrated lazily at
+// flow-population changes (net/link.h) — the same partition both fleet
+// engines produce, so the stats below are engine-independent. This wrapper
+// just names the link and snapshots its books.
 #pragma once
 
 #include <memory>
@@ -38,7 +38,7 @@ struct LinkStats {
   }
 };
 
-/// Wraps the Link every client's Network points at and tracks LinkStats.
+/// Wraps the Link every client's Network points at.
 class SharedLink {
  public:
   explicit SharedLink(BandwidthTrace trace, std::string name = "bottleneck");
@@ -47,15 +47,15 @@ class SharedLink {
   /// contend (processor sharing spans sessions, not just one client's A/V).
   [[nodiscard]] const std::shared_ptr<Link>& link() const { return link_; }
 
-  /// Accumulate stats over [t0, t1] with the current flow count. Call once
-  /// per scheduler barrier, before any session mutates the count again.
-  void observe(double t0, double t1);
+  /// Close the books at the end of a run: advance the link's utilization
+  /// integrals to `t` (idle tail included). Call once before stats().
+  void finalize(double t) { link_->finalize(t); }
 
   [[nodiscard]] LinkStats stats() const;
 
  private:
   std::shared_ptr<Link> link_;
-  LinkStats stats_;
+  std::string name_;
 };
 
 }  // namespace demuxabr::fleet

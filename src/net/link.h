@@ -2,35 +2,96 @@
 // Network abstraction that lets audio and video ride either a shared
 // bottleneck (the common case in §3) or two independent paths (the
 // different-servers scenario §1/§4.1 calls out).
+//
+// Service is accounted in *virtual time* (fair-queuing style): the link
+// maintains V(t), the cumulative per-flow service integral
+//
+//     V(t) = integral over [0, t] of capacity(u) / max(1, N(u)) du   [kbit]
+//
+// advanced lazily at every flow-population change. A flow that joined when
+// the integral read v_start has received exactly (V(t) - v_start) kbit by
+// time t, however many other flows came and went in between — so a session
+// can account its bytes at *its own* events as an integral difference
+// instead of integrating every interval, and a whole fleet never needs a
+// global barrier just to keep byte counters honest. Because V only mutates
+// at population changes (which both fleet engines execute at identical
+// times), every derived quantity — delivered bytes, predicted completion
+// times, utilization integrals — is a pure function of identical state in
+// both engines and therefore bit-identical between them.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "net/bandwidth_trace.h"
+#include "util/indexed_min_heap.h"
 
 namespace demuxabr {
 
 /// A link carrying 0..N concurrent flows. Capacity follows a BandwidthTrace;
 /// active flows share it equally (TCP-fair approximation). The simulation
-/// engine registers/unregisters flows and asks for the current per-flow rate.
+/// engine registers/unregisters flows (with the current time, so the service
+/// integral can advance) and reads service integrals and completion
+/// predictions.
 class Link {
  public:
   explicit Link(BandwidthTrace trace) : trace_(std::move(trace)) {}
 
-  void add_flow() {
-    ++active_flows_;
-    peak_flows_ = std::max(peak_flows_, active_flows_);
-  }
-  /// Unregister one flow. Removing from an idle link is a flow-accounting
-  /// bug in the caller (double remove) that would corrupt processor sharing
-  /// across every other flow on the link: asserts in debug builds, logs an
-  /// error and clamps at zero in release.
-  void remove_flow();
+  /// Register one flow at time `now` (>= every earlier mutation time).
+  /// Returns the service integral at `now` — the joining flow's v_start.
+  double add_flow(double now);
+
+  /// Unregister one flow at time `now`. Removing from an idle link is a
+  /// flow-accounting bug in the caller (double remove) that would corrupt
+  /// processor sharing across every other flow on the link: asserts in
+  /// debug builds, logs an error and clamps at zero in release.
+  void remove_flow(double now);
+
   [[nodiscard]] int active_flows() const { return active_flows_; }
   /// Highest concurrent flow count ever observed (cross-session contention
   /// headline for shared fleet links).
   [[nodiscard]] int peak_flows() const { return peak_flows_; }
+  /// Bumped on every population change; the fleet event engine uses it to
+  /// detect that completion predictions keyed on this link went stale.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Per-flow cumulative service [kbit] at `t` >= the last mutation time.
+  /// Pure: walks capacity segments from the stored integral without
+  /// mutating it, so repeated reads at any t give identical values.
+  [[nodiscard]] double service_at(double t) const;
+
+  /// Earliest time at which the service integral reaches `v_target`,
+  /// assuming the current flow population persists (any population change
+  /// re-predicts). Returns the last mutation time when the target has
+  /// already been served; +infinity when capacity never delivers it.
+  [[nodiscard]] double time_when_service_reaches(double v_target) const;
+
+  // --- Completion registry (virtual-service targets). ---
+  //
+  // Targets are *invariant* under population and capacity changes — only
+  // their wall-clock translation moves. The registry is what lets a fleet
+  // engine ask one O(1) question per link ("who finishes first, and when?")
+  // instead of re-deriving a prediction per flow per event.
+
+  /// Register/refresh the completion target of flow `token` (caller-chosen
+  /// dense id, unique per in-flight flow on this link).
+  void register_completion(std::uint32_t token, double v_target_kbit) {
+    completions_.update(token, v_target_kbit);
+  }
+  void unregister_completion(std::uint32_t token) { completions_.erase(token); }
+  [[nodiscard]] bool has_completions() const { return !completions_.empty(); }
+  /// Token of the earliest finisher (smallest target, then smallest token).
+  [[nodiscard]] std::uint32_t earliest_completion_token() const {
+    return completions_.top().id;
+  }
+  /// Wall-clock time of the earliest registered completion; +infinity when
+  /// none are registered.
+  [[nodiscard]] double earliest_completion_time() const {
+    if (completions_.empty()) return std::numeric_limits<double>::infinity();
+    return time_when_service_reaches(completions_.top().key);
+  }
 
   /// Total capacity at time t.
   [[nodiscard]] double capacity_kbps(double t) const { return trace_.rate_kbps(t); }
@@ -47,12 +108,44 @@ class Link {
     return trace_.next_change_after(t);
   }
 
+  // --- Utilization accounting (integrated alongside the service curve). ---
+  //
+  // Advanced at the same lazy points as V(t), so busy time, flow-seconds
+  // and offered/delivered capacity integrals are partitioned identically in
+  // every engine that produces the same flow schedule.
+
+  /// Advance the accounting (and service) integrals to `t` without changing
+  /// the population — call once at the end of a run to close the books.
+  void finalize(double t) { advance_to(t); }
+
+  [[nodiscard]] double observed_s() const { return clock_s_; }
+  [[nodiscard]] double busy_s() const { return busy_s_; }
+  [[nodiscard]] double flow_seconds() const { return flow_seconds_; }
+  [[nodiscard]] double offered_kbit() const { return offered_kbit_; }
+  [[nodiscard]] double delivered_kbit() const { return delivered_kbit_; }
+
   [[nodiscard]] const BandwidthTrace& trace() const { return trace_; }
 
  private:
+  /// Advance the service + accounting integrals from clock_s_ to t with the
+  /// current population, walking capacity segments so time-varying traces
+  /// integrate exactly.
+  void advance_to(double t);
+
   BandwidthTrace trace_;
   int active_flows_ = 0;
   int peak_flows_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  double clock_s_ = 0.0;    ///< time up to which all integrals are advanced
+  double service_kbit_ = 0.0;  ///< V(clock_s_): per-flow service integral
+
+  double busy_s_ = 0.0;
+  double flow_seconds_ = 0.0;
+  double offered_kbit_ = 0.0;
+  double delivered_kbit_ = 0.0;
+
+  IndexedMinHeap completions_;  ///< v_target [kbit] per in-flight flow token
 };
 
 /// The network between client and server(s): one link per media type.

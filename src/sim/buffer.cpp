@@ -9,34 +9,35 @@ void MediaBuffer::push(int chunk_index, double duration_s, std::string track_id)
   assert(chunks_.empty() ? chunk_index >= end_index_ - 1 : true);
   assert(chunk_index == end_index_ || end_index_ == 0);
   chunks_.push_back({chunk_index, duration_s, std::move(track_id)});
-  level_s_ += duration_s;
+  pushed_s_ += duration_s;
   end_index_ = chunk_index + 1;
+}
+
+void MediaBuffer::drain_to(double consumed_s) {
+  if (consumed_s <= consumed_s_) return;
+  consumed_s_ = std::min(consumed_s, pushed_s_);
+  // Retire chunks the playhead has fully passed. The retirement threshold
+  // is a cumulative total, so which chunks are retired depends only on the
+  // consumed amount, not on the drain call pattern.
+  while (!chunks_.empty() &&
+         consumed_s_ >= popped_s_ + chunks_.front().duration_s - 1e-12) {
+    popped_s_ += chunks_.front().duration_s;
+    chunks_.pop_front();
+  }
 }
 
 double MediaBuffer::consume(double dt) {
   assert(dt >= 0.0);
-  double consumed = 0.0;
-  while (dt > 1e-12 && !chunks_.empty()) {
-    BufferedChunk& front = chunks_.front();
-    const double remaining = front.duration_s - front_consumed_s_;
-    const double take = std::min(remaining, dt);
-    front_consumed_s_ += take;
-    level_s_ -= take;
-    consumed += take;
-    dt -= take;
-    if (front.duration_s - front_consumed_s_ <= 1e-12) {
-      chunks_.pop_front();
-      front_consumed_s_ = 0.0;
-    }
-  }
-  if (level_s_ < 1e-12) level_s_ = 0.0;
-  return consumed;
+  const double take = std::min(dt, level_s());
+  drain_to(consumed_s_ + take);
+  return take;
 }
 
 void MediaBuffer::clear() {
   chunks_.clear();
-  front_consumed_s_ = 0.0;
-  level_s_ = 0.0;
+  popped_s_ = 0.0;
+  pushed_s_ = 0.0;
+  consumed_s_ = 0.0;
   end_index_ = 0;
 }
 

@@ -2,6 +2,14 @@
 // become playable only once fully downloaded; playback drains the front.
 // Stalls happen when *either* the audio or the video buffer underruns
 // (§3.4, Fig 5(b)) — the session engine enforces that coupling.
+//
+// Internally the level is represented as pushed_s - consumed_s, two
+// cumulative totals, rather than a running decrement. `drain_to()` *sets*
+// the cumulative consumed amount, so the level at a given playback position
+// is one subtraction of values that do not depend on how many intermediate
+// drains were issued — the path-independence the fleet engines rely on to
+// produce bit-identical sessions whether a session is advanced at every
+// global barrier or only at its own events.
 #pragma once
 
 #include <cassert>
@@ -21,22 +29,38 @@ class MediaBuffer {
   /// Append a fully-downloaded chunk. Indices must arrive in order.
   void push(int chunk_index, double duration_s, std::string track_id);
 
+  /// Set cumulative consumed playback seconds (since construction or the
+  /// last clear()) to `consumed_s`. Monotone: asking for less than already
+  /// consumed is a no-op. Consumption past the buffered amount clamps (the
+  /// media may simply be fully downloaded and drained while the other type
+  /// still plays).
+  void drain_to(double consumed_s);
+
   /// Consume up to dt seconds of playback; returns the amount actually
-  /// consumed (less than dt only when the buffer runs dry).
+  /// consumed (less than dt only when the buffer runs dry). Convenience
+  /// wrapper over drain_to() for callers that think in increments.
   double consume(double dt);
 
-  [[nodiscard]] double level_s() const { return level_s_; }
-  [[nodiscard]] bool empty() const { return level_s_ <= 1e-9; }
+  [[nodiscard]] double level_s() const {
+    const double level = pushed_s_ - consumed_s_;
+    return level > 0.0 ? level : 0.0;
+  }
+  [[nodiscard]] bool empty() const { return level_s() <= 1e-9; }
   [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
   /// Highest buffered chunk index + 1; 0 when never filled.
   [[nodiscard]] int end_index() const { return end_index_; }
+  /// Cumulative seconds pushed since construction / the last clear().
+  [[nodiscard]] double pushed_s() const { return pushed_s_; }
+  /// Cumulative seconds consumed since construction / the last clear().
+  [[nodiscard]] double consumed_s() const { return consumed_s_; }
 
   void clear();
 
  private:
   std::deque<BufferedChunk> chunks_;
-  double front_consumed_s_ = 0.0;  ///< already-played part of the front chunk
-  double level_s_ = 0.0;
+  double popped_s_ = 0.0;    ///< cumulative duration of fully-played chunks
+  double pushed_s_ = 0.0;    ///< cumulative duration pushed
+  double consumed_s_ = 0.0;  ///< cumulative duration played
   int end_index_ = 0;
 };
 

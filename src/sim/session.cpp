@@ -31,6 +31,7 @@ StreamingSession::StreamingSession(const Content& content, ManifestView view,
   total_chunks_ = content_.num_chunks();
   content_duration_s_ = content_.duration_s();
   now_ = config_.start_time_s;
+  anchor_t_ = config_.start_time_s;
   last_series_sample_t_ = config_.start_time_s;
   log_.content_duration_s = content_duration_s_;
   log_.chunk_duration_s = content_.chunk_duration_s();
@@ -55,14 +56,6 @@ PlayerContext StreamingSession::make_context() const {
   ctx.playing = playing_;
   ctx.playhead_s = playhead_s_;
   return ctx;
-}
-
-double StreamingSession::flow_rate_bytes_per_s(const Flow& f) const {
-  if (!f.active || now_ + kEps < f.data_start_t) return 0.0;
-  const Link& link = network_.link_for(f.request.type == MediaType::kVideo);
-  const int n = std::max(1, link.active_flows());
-  const double kbps = link.capacity_kbps(now_) / static_cast<double>(n);
-  return kbps * 1000.0 / 8.0;
 }
 
 bool StreamingSession::all_chunks_downloaded() const {
@@ -106,6 +99,10 @@ void StreamingSession::start_flow(const DownloadRequest& request) {
   f.sampled_bytes = 0;
   f.last_sample_t = f.data_start_t;
   f.on_link = false;
+  f.token =
+      config_.flow_token_base + (request.type == MediaType::kVideo ? 1u : 0u);
+  f.v_start_kbit = 0.0;
+  f.v_target_kbit = 0.0;
 
   if (config_.record_series) {
     if (request.type == MediaType::kVideo) {
@@ -140,9 +137,10 @@ std::optional<ProgressSample> StreamingSession::emit_progress(Flow& f, double t1
 
 void StreamingSession::abort_flow(Flow& f) {
   assert(f.active);
-  Link& link = network_.link_for(f.request.type == MediaType::kVideo);
   if (f.on_link) {
-    link.remove_flow();
+    Link& link = link_of(f);
+    link.remove_flow(now_);
+    link.unregister_completion(f.token);
     f.on_link = false;
   }
   DownloadRecord record;
@@ -153,6 +151,8 @@ void StreamingSession::abort_flow(Flow& f) {
   record.start_t = f.request_t;
   record.end_t = now_;
   log_.abandoned.push_back(record);
+  banked_bytes_ += f.bytes_done;
+  f.bytes_done = 0.0;
   f.active = false;
   DMX_DEBUG << "t=" << now_ << " abandon " << media_type_name(record.type) << " "
             << record.track_id << " chunk " << record.chunk_index << " after "
@@ -162,11 +162,14 @@ void StreamingSession::abort_flow(Flow& f) {
 void StreamingSession::complete_flow(Flow& f) {
   // Final (partial-interval) progress sample, then the completion event.
   emit_progress(f, now_);
-  Link& link = network_.link_for(f.request.type == MediaType::kVideo);
   if (f.on_link) {
-    link.remove_flow();
+    Link& link = link_of(f);
+    link.remove_flow(now_);
+    link.unregister_completion(f.token);
     f.on_link = false;
   }
+  banked_bytes_ += static_cast<double>(f.total_bytes);
+  f.bytes_done = 0.0;
 
   // One component per record/completion; a muxed flow yields two of each.
   // Fixed-size component array + cached chunk pointers: no allocation and
@@ -245,12 +248,14 @@ void StreamingSession::perform_seek(const SeekEvent& seek) {
   next_audio_chunk_ = target_chunk;
   next_video_chunk_ = target_chunk;
   playhead_s_ = target_position;
+  playhead_flush_base_ = target_position;
   // Rebuffer at the new position; the gap counts as a stall when playback
   // was running (the user watches a spinner either way).
   if (started_ && playing_) {
     playing_ = false;
     stall_start_t_ = now_;
   }
+  re_anchor();
   DMX_DEBUG << "t=" << now_ << " seek " << record.from_position_s << " -> "
             << target_position;
 }
@@ -279,6 +284,7 @@ void StreamingSession::handle_playback_transitions() {
         everything_downloaded) {
       started_ = true;
       playing_ = true;
+      re_anchor();
       log_.startup_delay_s = now_ - config_.start_time_s;
       DMX_DEBUG << "t=" << now_ << " playback start";
     }
@@ -291,6 +297,7 @@ void StreamingSession::handle_playback_transitions() {
     if (audio_underrun || video_underrun) {
       playing_ = false;
       stall_start_t_ = now_;
+      re_anchor();
       DMX_DEBUG << "t=" << now_ << " stall (audio=" << audio_buffer_.level_s()
                 << " video=" << video_buffer_.level_s() << ")";
     }
@@ -302,6 +309,7 @@ void StreamingSession::handle_playback_transitions() {
        video_buffer_.level_s() >= config_.resume_buffer_s - kEps) ||
       everything_downloaded) {
     playing_ = true;
+    re_anchor();
     log_.stalls.push_back({stall_start_t_, now_});
     DMX_DEBUG << "t=" << now_ << " resume after "
               << (now_ - stall_start_t_) << "s stall";
@@ -315,11 +323,14 @@ void StreamingSession::sample_series() {
   log_.bandwidth_estimate_kbps.add(now_, player_.bandwidth_estimate_kbps());
   const double interval = now_ - last_series_sample_t_;
   if (interval > 0.0) {
+    // Interval throughput as a difference of lifetime byte totals — each an
+    // event-time constant, so the series is engine-independent.
     log_.achieved_throughput_kbps.add(
-        now_, bytes_since_last_sample_ * 8.0 / 1000.0 / interval);
+        now_, (lifetime_bytes() - lifetime_bytes_at_last_sample_) * 8.0 /
+                  1000.0 / interval);
   }
   last_series_sample_t_ = now_;
-  bytes_since_last_sample_ = 0.0;
+  lifetime_bytes_at_last_sample_ = lifetime_bytes();
 }
 
 void StreamingSession::start() {
@@ -335,81 +346,124 @@ bool StreamingSession::done() const {
 }
 
 void StreamingSession::begin_step() {
-  // Register flows whose RTT phase just ended.
+  // Register flows whose RTT phase ended: record the link's service integral
+  // as the flow's zero point and file its completion target with the link.
   for (Flow* f : {&audio_flow_, &video_flow_}) {
-    if (f->active && !f->on_link && now_ + kEps >= f->data_start_t) {
-      network_.link_for(f->request.type == MediaType::kVideo).add_flow();
+    if (f->active && !f->on_link && now_ >= f->data_start_t) {
+      Link& link = link_of(*f);
+      f->v_start_kbit = link.add_flow(now_);
+      f->v_target_kbit =
+          f->v_start_kbit + static_cast<double>(f->total_bytes) * 0.008;
+      link.register_completion(f->token, f->v_target_kbit);
       f->on_link = true;
     }
   }
 }
 
-double StreamingSession::next_event_time() {
-  double dt = next_tick_ - now_;
-  for (Flow* f : {&audio_flow_, &video_flow_}) {
-    if (!f->active) continue;
-    if (now_ + kEps < f->data_start_t) {
-      dt = std::min(dt, f->data_start_t - now_);
-      continue;
-    }
-    const double rate = flow_rate_bytes_per_s(*f);
-    if (rate > 0.0) {
-      const double remaining = static_cast<double>(f->total_bytes) - f->bytes_done;
-      dt = std::min(dt, remaining / rate);
+double StreamingSession::next_event_time() const {
+  double t = next_local_event_time();
+  for (const Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active && f->on_link) {
+      t = std::min(t, link_of(*f).time_when_service_reaches(f->v_target_kbit));
     }
   }
-  for (const Link* link : {network_.video_link.get(), network_.audio_link.get()}) {
-    const double change = link->next_change_after(now_);
-    if (std::isfinite(change)) dt = std::min(dt, change - now_);
-    if (network_.is_shared()) break;
+  if (!(t > now_)) t = now_ + 1e-6;  // forward progress guard
+  return t;
+}
+
+double StreamingSession::next_local_event_time() const {
+  double t = next_tick_;
+  for (const Flow* f : {&audio_flow_, &video_flow_}) {
+    if (f->active && !f->on_link) t = std::min(t, f->data_start_t);
   }
   if (playing_) {
-    const double min_buffer =
-        std::min(audio_buffer_.level_s(), video_buffer_.level_s());
-    if (min_buffer > 0.0) dt = std::min(dt, min_buffer);
-    dt = std::min(dt, std::max(0.0, content_duration_s_ - playhead_s_));
+    if (next_audio_chunk_ < total_chunks_) {
+      t = std::min(t, underrun_deadline(audio_buffer_));
+    }
+    if (next_video_chunk_ < total_chunks_) {
+      t = std::min(t, underrun_deadline(video_buffer_));
+    }
+    t = std::min(t, content_end_deadline());
   }
   if (next_seek_ < config_.seeks.size()) {
-    dt = std::min(dt, std::max(0.0, config_.seeks[next_seek_].at_time_s - now_));
+    t = std::min(t, config_.seeks[next_seek_].at_time_s);
   }
-  dt = std::max(dt, 1e-6);  // forward progress guard
-
-  pending_dt_ = dt;
-  pending_target_ = now_ + dt;
-  return pending_target_;
+  t = std::min(t, config_.max_sim_time_s);
+  return t;
 }
 
 void StreamingSession::integrate_to(double t) {
-  // Replay the exact horizon step when asked for it; a fleet advancing this
-  // session to another session's (earlier) event time integrates t - now_.
-  const double dt =
-      t == pending_target_ ? pending_dt_ : std::max(0.0, t - now_);
+  if (t < now_) return;
+  // Assign, never accumulate: every value below is a pure function of
+  // anchored state, so advancing through intermediate times (as the barrier
+  // fleet engine does at every global step) leaves no numerical trace.
   for (Flow* f : {&audio_flow_, &video_flow_}) {
     if (f->active && f->on_link) {
-      const double delivered = flow_rate_bytes_per_s(*f) * dt;
-      f->bytes_done += delivered;
-      bytes_since_last_sample_ += delivered;
+      const double served =
+          (link_of(*f).service_at(t) - f->v_start_kbit) * 125.0;
+      f->bytes_done =
+          std::clamp(served, 0.0, static_cast<double>(f->total_bytes));
     }
   }
   if (playing_) {
-    audio_buffer_.consume(dt);
-    video_buffer_.consume(dt);
-    playhead_s_ += dt;
+    playhead_s_ = playhead_anchor_ + (t - anchor_t_);
+    const double consumed = playhead_s_ - playhead_flush_base_;
+    audio_buffer_.drain_to(consumed);
+    video_buffer_.drain_to(consumed);
   }
-  // pending_target_ was computed as now_ + dt, so this is bit-identical to
-  // the historical `now_ += dt` while keeping fleet clocks exactly aligned.
-  now_ = t == pending_target_ ? pending_target_ : t;
+  now_ = t;
 }
 
 void StreamingSession::process_events() {
-  for (Flow* f : {&audio_flow_, &video_flow_}) {
+  // The sim-time cap is itself an event: abort in-flight downloads so
+  // shared-link slots are released, close an open stall, and finish exactly
+  // at the cap. Anything else nominally due at the cap is dropped — in every
+  // engine, since the cap is an exact event-time candidate in both.
+  if (now_ >= config_.max_sim_time_s && !log_.completed && !stopped_) {
+    hit_cap_ = true;
+    abort_session();
+    return;
+  }
+
+  // Fire only when one of this session's own events is due. A barrier fleet
+  // engine also calls this at other sessions' event times; bailing out here
+  // keeps player-visible actions (polling, transitions) pinned to the same
+  // instants the event-heap engine visits, which is what makes the two
+  // engines bit-identical.
+  bool completion_due = false;
+  for (const Flow* f : {&audio_flow_, &video_flow_}) {
     if (f->active && f->on_link &&
-        f->bytes_done + 0.5 >= static_cast<double>(f->total_bytes)) {
-      f->bytes_done = static_cast<double>(f->total_bytes);
-      complete_flow(*f);
+        link_of(*f).time_when_service_reaches(f->v_target_kbit) <= now_) {
+      completion_due = true;
     }
   }
-  if (now_ + kEps >= next_tick_) {
+  const bool tick_due = now_ >= next_tick_;
+  const bool seek_due = next_seek_ < config_.seeks.size() &&
+                        now_ >= config_.seeks[next_seek_].at_time_s;
+  bool deadline_due = false;
+  if (playing_) {
+    if (content_end_deadline() <= now_) deadline_due = true;
+    if (next_audio_chunk_ < total_chunks_ &&
+        underrun_deadline(audio_buffer_) <= now_) {
+      deadline_due = true;
+    }
+    if (next_video_chunk_ < total_chunks_ &&
+        underrun_deadline(video_buffer_) <= now_) {
+      deadline_due = true;
+    }
+  }
+  if (!completion_due && !tick_due && !seek_due && !deadline_due) return;
+
+  if (completion_due) {
+    for (Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && f->on_link &&
+          link_of(*f).time_when_service_reaches(f->v_target_kbit) <= now_) {
+        f->bytes_done = static_cast<double>(f->total_bytes);
+        complete_flow(*f);
+      }
+    }
+  }
+  if (tick_due) {
     for (Flow* f : {&audio_flow_, &video_flow_}) {
       if (f->active && f->on_link) {
         const auto sample = emit_progress(*f, now_);
@@ -422,8 +476,7 @@ void StreamingSession::process_events() {
     next_tick_ += config_.delta_s;
   }
 
-  if (next_seek_ < config_.seeks.size() &&
-      now_ + kEps >= config_.seeks[next_seek_].at_time_s) {
+  if (seek_due) {
     perform_seek(config_.seeks[next_seek_]);
     ++next_seek_;
   }
@@ -449,12 +502,12 @@ void StreamingSession::abort_session() {
     playing_ = true;
   }
   stopped_ = true;
-  DMX_DEBUG << "t=" << now_ << " session abandoned (fleet churn)";
+  DMX_DEBUG << "t=" << now_ << " session abandoned";
 }
 
 SessionLog StreamingSession::finish() {
   log_.end_time_s = now_;
-  if (!log_.completed && !stopped_) {
+  if (!log_.completed && hit_cap_) {
     DMX_WARN << "session hit the sim-time cap at t=" << now_ << " (playhead "
              << playhead_s_ << "/" << content_duration_s_ << ")";
   }

@@ -10,14 +10,28 @@
 //    max_concurrent_downloads() caps overall parallelism (1 = serial A/V,
 //    2 = concurrent pipelines);
 //  * each request pays an RTT before data flows; active flows on a link
-//    share its capacity equally;
+//    share its capacity equally — accounted through the link's fair-share
+//    service integral (net/link.h), so delivered bytes are an integral
+//    difference rather than a per-interval accumulation;
 //  * per-delta (default 0.125 s) progress samples are emitted per flow —
 //    the granularity Shaka's estimator filters on (§3.3);
 //  * playback consumes audio and video in lockstep; a stall starts when
 //    either buffer underruns and ends when both recover past the resume
 //    threshold (§3.4).
+//
+// Determinism contract (DESIGN.md §7 "Engine modes"): every quantity the
+// session derives — bytes delivered, buffer levels, playhead, event
+// deadlines — is computed from *anchored* state that only changes at the
+// session's own events (plus link state, which only changes when a flow
+// joins or leaves). Advancing the session through extra intermediate times
+// (as the barrier fleet engine does at every global step) is numerically
+// invisible: integrate_to() assigns values, it never accumulates per-step
+// deltas. That is what lets the O(log N) event-heap fleet engine, which
+// touches a session only at its own events, reproduce the barrier engine's
+// logs bit for bit.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 
 #include "manifest/view.h"
@@ -45,7 +59,9 @@ struct SessionConfig {
   double resume_buffer_s = 5.0;
   /// Progress-sampling interval (Shaka's delta).
   double delta_s = 0.125;
-  /// Hard wall on simulated time (guards against player deadlock).
+  /// Hard wall on simulated time. Reaching it is itself an event: the
+  /// session aborts in-flight downloads (releasing shared-link slots),
+  /// closes an open stall and finishes exactly at the cap.
   double max_sim_time_s = 7200.0;
   /// Wall-clock time at which the session clock begins. Fleet scheduling
   /// sets this to the client's arrival time so every session shares the
@@ -54,6 +70,10 @@ struct SessionConfig {
   double start_time_s = 0.0;
   /// Record buffer/estimate/selection time series in the log.
   bool record_series = true;
+  /// Base id for this session's flow tokens on shared links (audio flow =
+  /// base, video flow = base + 1). Tokens must be unique per link; a fleet
+  /// scheduler assigns 2*client_id. Irrelevant for solo sessions.
+  std::uint32_t flow_token_base = 0;
   /// Scripted seeks, ascending by at_time_s. A seek cancels in-flight
   /// downloads, flushes both buffers and rebuffers at the target position
   /// (counted as a stall while playback is paused).
@@ -68,14 +88,13 @@ class StreamingSession {
                    PlayerAdapter& player, SessionConfig config = {});
 
   /// Run to completion (or the sim-time cap) and return the log.
-  /// Implemented as a loop over the stepping API below; byte-identical to
-  /// the historical monolithic loop.
+  /// Implemented as a loop over the stepping API below.
   SessionLog run();
 
   // --- Incremental stepping API (DESIGN.md "Fleet simulation") ---
   //
-  // A FleetScheduler interleaves N sessions on shared links by driving each
-  // through the same phases the solo loop runs:
+  // A barrier fleet engine interleaves N sessions on shared links by
+  // driving each through the same phases the solo loop runs:
   //
   //   start();
   //   while (!done()) {
@@ -86,9 +105,12 @@ class StreamingSession {
   //   }
   //   log = finish();
   //
-  // begin_step/integrate/process must be globally phased: flow registration
-  // and completion mutate shared Link flow counts, so every session must
-  // integrate a given interval *before* any session fires events at its end.
+  // The event-heap engine instead advances a session only at its own event
+  // times, in the order integrate_to(t); process_events(); begin_step() —
+  // equivalent to the barrier sequence because begin_step() at the top of a
+  // barrier iteration acts at the *previous* barrier's time. process_events
+  // fires only when one of the session's own events is due, so a session
+  // cannot observe whether it was also advanced at foreign barrier times.
 
   /// One-time setup: starts the player, takes the first series sample and
   /// offers the first download slots. Call before any stepping.
@@ -98,24 +120,34 @@ class StreamingSession {
   /// or the session was abandoned via abort_session().
   [[nodiscard]] bool done() const;
 
-  /// Register flows whose request RTT has elapsed on their links. Must run
-  /// for every session sharing a link before any next_event_time() call so
+  /// Register flows whose request RTT has elapsed on their links (recording
+  /// their fair-share service offsets and completion targets). Must run for
+  /// every session sharing a link before any next_event_time() call so
   /// horizons see the true flow counts.
   void begin_step();
 
   /// Earliest time > now() at which this session's state changes character:
-  /// sampling tick, RTT expiry, flow completion, link rate change, buffer
-  /// underrun, scripted seek or content end. Pure except for caching the
-  /// computed step internally (so integrate_to can replay it bit-exactly).
-  [[nodiscard]] double next_event_time();
+  /// sampling tick, RTT expiry, flow completion, buffer underrun, content
+  /// end, scripted seek or the sim-time cap. Pure. Every candidate is an
+  /// anchored absolute time, so repeated calls between events return the
+  /// same float in any engine.
+  [[nodiscard]] double next_event_time() const;
+
+  /// next_event_time() without the link-dependent completion candidates:
+  /// the event-heap engine keys sessions on this and lets each shared link
+  /// announce its own earliest completion (Link::earliest_completion_time),
+  /// so no per-session key ever goes stale when a link's population moves.
+  [[nodiscard]] double next_local_event_time() const;
 
   /// Advance flows/buffers/playhead/clock to `t` (<= next_event_time())
-  /// without firing events.
+  /// without firing events. Pure assignment of anchored values: advancing
+  /// in one jump or through any intermediate times is bit-identical.
   void integrate_to(double t);
 
   /// Fire everything due at the current time: completions, progress samples
   /// and abandonment, series sampling, seeks, playback transitions, player
-  /// polling, end-of-content detection.
+  /// polling, end-of-content detection, the sim-time cap. No-op when none
+  /// of the session's own events are due (foreign barrier times).
   void process_events();
 
   /// integrate_to + process_events: the solo-session step.
@@ -142,10 +174,13 @@ class StreamingSession {
     std::int64_t total_bytes = 0;
     double request_t = 0.0;
     double data_start_t = 0.0;  ///< request_t + RTT
-    double bytes_done = 0.0;
+    double bytes_done = 0.0;    ///< derived from the link service integral
     std::int64_t sampled_bytes = 0;  ///< bytes already reported via samples
     double last_sample_t = 0.0;
     bool on_link = false;
+    std::uint32_t token = 0;        ///< completion-registry id on the link
+    double v_start_kbit = 0.0;      ///< link service integral at registration
+    double v_target_kbit = 0.0;     ///< service integral at completion
     /// Ladder/chunk lookups resolved once at request time so the completion
     /// path never re-searches the ladder or the chunk map (hot path).
     const TrackInfo* track_info = nullptr;
@@ -167,9 +202,31 @@ class StreamingSession {
   [[nodiscard]] int active_flow_count() const {
     return (audio_flow_.active ? 1 : 0) + (video_flow_.active ? 1 : 0);
   }
+  [[nodiscard]] Link& link_of(const Flow& f) const {
+    return network_.link_for(f.request.type == MediaType::kVideo);
+  }
 
-  /// Bytes/s the flow receives right now (0 during the RTT phase).
-  [[nodiscard]] double flow_rate_bytes_per_s(const Flow& f) const;
+  /// Anchored deadline at which `buf` would run dry if playback continues
+  /// uninterrupted. Only meaningful while playing.
+  [[nodiscard]] double underrun_deadline(const MediaBuffer& buf) const {
+    return anchor_t_ + (buf.pushed_s() + playhead_flush_base_ - playhead_anchor_);
+  }
+  /// Anchored deadline at which the playhead reaches content end.
+  [[nodiscard]] double content_end_deadline() const {
+    return anchor_t_ + (content_duration_s_ - playhead_anchor_);
+  }
+  /// Re-anchor the playhead clock at the current (now_, playhead_s_).
+  /// Called whenever playback starts, stops or seeks.
+  void re_anchor() {
+    anchor_t_ = now_;
+    playhead_anchor_ = playhead_s_;
+  }
+  /// Total bytes delivered to this session so far (completed + aborted +
+  /// in-flight). Path-independent: banked parts are event-time constants,
+  /// in-flight parts come from the link service integral.
+  [[nodiscard]] double lifetime_bytes() const {
+    return banked_bytes_ + audio_flow_.bytes_done + video_flow_.bytes_done;
+  }
 
   void poll_player();
   void perform_seek(const SeekEvent& seek);
@@ -196,17 +253,23 @@ class StreamingSession {
 
   double now_ = 0.0;
   double next_tick_ = 0.0;  ///< next progress-sampling boundary
-  /// Step cached by next_event_time(): integrate_to(pending_target_) reuses
-  /// pending_dt_ so the solo run() advances by the exact dt the horizon
-  /// computed (bit-identical to the historical `now_ += dt` loop).
-  double pending_dt_ = 0.0;
-  double pending_target_ = std::numeric_limits<double>::quiet_NaN();
-  bool stopped_ = false;  ///< abort_session() called (fleet churn)
+  bool stopped_ = false;    ///< abort_session() called (churn or cap)
+  bool hit_cap_ = false;    ///< stopped_ because of max_sim_time_s
   double last_series_sample_t_ = 0.0;
-  double bytes_since_last_sample_ = 0.0;
+  double banked_bytes_ = 0.0;  ///< bytes of completed/aborted flows
+  double lifetime_bytes_at_last_sample_ = 0.0;
   bool started_ = false;
   bool playing_ = false;
   double playhead_s_ = 0.0;
+  /// Playhead anchor: playhead_s_ == playhead_anchor_ + (now_ - anchor_t_)
+  /// while playing, playhead_anchor_ otherwise. Re-anchored only at
+  /// play/pause/seek transitions — the source of path-independent buffer
+  /// and deadline math.
+  double anchor_t_ = 0.0;
+  double playhead_anchor_ = 0.0;
+  /// Playhead value when the buffers were last flushed (session start or
+  /// seek): cumulative buffer consumption == playhead - this base.
+  double playhead_flush_base_ = 0.0;
   double stall_start_t_ = 0.0;
 
   MediaBuffer audio_buffer_;

@@ -1,0 +1,139 @@
+// Indexed binary min-heap over dense integer ids with deterministic
+// (key, id) ordering. The index makes decrease-key/increase-key/erase
+// O(log n) by id — the primitive under both the fleet event heap (entries
+// keyed by wall-clock event time) and each Link's completion registry
+// (entries keyed by virtual-service targets, which never change when the
+// flow population or capacity does).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace demuxabr {
+
+class IndexedMinHeap {
+ public:
+  struct Entry {
+    std::uint32_t id = 0;
+    double key = 0.0;
+  };
+
+  /// Insert `id` with `key`, or re-key it if already present (moves up or
+  /// down as needed). Ids should be dense: the position index grows to the
+  /// largest id ever seen.
+  void update(std::uint32_t id, double key) {
+    ensure_slot(id);
+    const std::int32_t at = pos_[id];
+    if (at < 0) {
+      pos_[id] = static_cast<std::int32_t>(heap_.size());
+      heap_.push_back({id, key});
+      sift_up(heap_.size() - 1);
+    } else {
+      const auto i = static_cast<std::size_t>(at);
+      heap_[i].key = key;
+      if (!sift_up(i)) sift_down(i);
+    }
+  }
+
+  /// Remove `id` if present; no-op otherwise.
+  void erase(std::uint32_t id) {
+    if (id >= pos_.size() || pos_[id] < 0) return;
+    const auto i = static_cast<std::size_t>(pos_[id]);
+    pos_[id] = -1;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      heap_[i] = heap_[last];
+      pos_[heap_[i].id] = static_cast<std::int32_t>(i);
+      heap_.pop_back();
+      if (!sift_up(i)) sift_down(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] const Entry& top() const {
+    assert(!heap_.empty());
+    return heap_.front();
+  }
+
+  Entry pop() {
+    assert(!heap_.empty());
+    const Entry result = heap_.front();
+    erase(result.id);
+    return result;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    return id < pos_.size() && pos_[id] >= 0;
+  }
+
+  [[nodiscard]] double key_of(std::uint32_t id) const {
+    assert(contains(id));
+    return heap_[static_cast<std::size_t>(pos_[id])].key;
+  }
+
+  void clear() {
+    heap_.clear();
+    pos_.assign(pos_.size(), -1);
+  }
+
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    pos_.reserve(n);
+  }
+
+ private:
+  /// Strict-weak order: key, then id. The id tiebreak makes pop order (and
+  /// therefore every engine built on this heap) deterministic when several
+  /// entries share a key.
+  [[nodiscard]] static bool less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void ensure_slot(std::uint32_t id) {
+    if (id >= pos_.size()) pos_.resize(static_cast<std::size_t>(id) + 1, -1);
+  }
+
+  /// Returns true when the entry moved.
+  bool sift_up(std::size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(heap_[i], heap_[parent])) break;
+      swap_entries(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) return;
+      swap_entries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = static_cast<std::int32_t>(a);
+    pos_[heap_[b].id] = static_cast<std::int32_t>(b);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::int32_t> pos_;  ///< id -> heap index, -1 when absent
+};
+
+}  // namespace demuxabr

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "core/coordinated_player.h"
 #include "experiments/scenarios.h"
@@ -239,6 +240,125 @@ TEST(Fleet, SplitAudioPathTracksBothLinks) {
   EXPECT_GE(result.video_link.utilization(), 0.0);
   EXPECT_LE(result.video_link.utilization(), 1.0 + 1e-9);
   EXPECT_LE(result.audio_link.utilization(), 1.0 + 1e-9);
+}
+
+/// Run one config under both engines and require byte-identical outcomes:
+/// every per-client chunk log and the whole-fleet fingerprint.
+void expect_engines_identical(const ex::ExperimentSetup& setup,
+                              const BandwidthTrace& bottleneck,
+                              FleetConfig config) {
+  config.engine = Engine::kBarrier;
+  const FleetResult barrier =
+      run_fleet(setup.content, setup.view, bottleneck, config);
+  config.engine = Engine::kEventHeap;
+  const FleetResult heap =
+      run_fleet(setup.content, setup.view, bottleneck, config);
+
+  ASSERT_EQ(barrier.clients.size(), heap.clients.size());
+  for (std::size_t i = 0; i < barrier.clients.size(); ++i) {
+    EXPECT_EQ(ex::log_fingerprint(barrier.clients[i].log),
+              ex::log_fingerprint(heap.clients[i].log))
+        << "client " << barrier.clients[i].id;
+  }
+  EXPECT_EQ(fleet_fingerprint(barrier), fleet_fingerprint(heap));
+}
+
+TEST(CrossEngine, IdenticalOnPaperTraceAcrossFleetSizes) {
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(ex::varying_600_trace(), "cross-engine");
+  for (const int n : {1, 2, 10, 50}) {
+    SCOPED_TRACE("clients=" + std::to_string(n));
+    FleetConfig config = base_config(n, 21);
+    config.arrivals = ArrivalProcess::kPoisson;
+    config.arrival_rate_per_s = 0.2;
+    config.churn.leave_probability = 0.5;
+    config.churn.min_watch_s = 20.0;
+    config.churn.max_watch_s = 90.0;
+    // Capacity scales with the fleet so large-N runs stay contended but
+    // finite; the comparison is engine-vs-engine, not across N.
+    const BandwidthTrace bottleneck =
+        BandwidthTrace::constant(600.0 * static_cast<double>(n) + 1300.0);
+    expect_engines_identical(setup, bottleneck, config);
+  }
+}
+
+TEST(CrossEngine, IdenticalOnSplitAudioPath) {
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(1000.0), "cross-split");
+  FleetConfig config = base_config(4, 3);
+  config.arrivals = ArrivalProcess::kDeterministic;
+  config.arrival_interval_s = 7.0;
+
+  config.engine = Engine::kBarrier;
+  FleetScheduler barrier_sched(setup.content, setup.view,
+                               BandwidthTrace::constant(2000.0), config,
+                               BandwidthTrace::constant(256.0));
+  const FleetResult barrier = barrier_sched.run();
+
+  config.engine = Engine::kEventHeap;
+  FleetScheduler heap_sched(setup.content, setup.view,
+                            BandwidthTrace::constant(2000.0), config,
+                            BandwidthTrace::constant(256.0));
+  const FleetResult heap = heap_sched.run();
+
+  EXPECT_EQ(fleet_fingerprint(barrier), fleet_fingerprint(heap));
+}
+
+TEST(CrossEngine, ZeroWatchChurnDepartsAtArrival) {
+  // leave_at == arrival exactly: every client churns out before streaming a
+  // single chunk. Both engines must agree and leave no residual flows.
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(900.0), "zero-watch");
+  FleetConfig config = base_config(6, 13);
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.arrival_rate_per_s = 0.5;
+  config.churn.leave_probability = 1.0;
+  config.churn.min_watch_s = 0.0;
+  config.churn.max_watch_s = 0.0;
+
+  for (const ClientPlan& plan : plan_population(config)) {
+    EXPECT_EQ(plan.leave_at_s, plan.arrival_s);
+  }
+
+  for (const Engine engine : {Engine::kBarrier, Engine::kEventHeap}) {
+    SCOPED_TRACE(engine == Engine::kBarrier ? "barrier" : "event_heap");
+    config.engine = engine;
+    const FleetResult result = run_fleet(
+        setup.content, setup.view, BandwidthTrace::constant(1500.0), config);
+    ASSERT_EQ(result.clients.size(), 6u);
+    for (const ClientResult& client : result.clients) {
+      EXPECT_TRUE(client.departed_early);
+      EXPECT_FALSE(client.log.completed);
+    }
+    EXPECT_EQ(result.video_link.residual_flows, 0);
+  }
+  expect_engines_identical(setup, BandwidthTrace::constant(1500.0), config);
+}
+
+TEST(CrossEngine, ZeroSessionBudgetRetiresClientsAtArrival) {
+  // The per-client sim cap equals the arrival time: every session is born at
+  // its cap. Neither engine may hang, and no client streams anything.
+  const ex::ExperimentSetup setup =
+      ex::plain_dash(BandwidthTrace::constant(900.0), "zero-budget");
+  FleetConfig config = base_config(5, 29);
+  config.session.max_sim_time_s = 0.0;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.arrival_rate_per_s = 1.0;
+
+  for (const Engine engine : {Engine::kBarrier, Engine::kEventHeap}) {
+    SCOPED_TRACE(engine == Engine::kBarrier ? "barrier" : "event_heap");
+    config.engine = engine;
+    const FleetResult result = run_fleet(
+        setup.content, setup.view, BandwidthTrace::constant(1500.0), config);
+    ASSERT_EQ(result.clients.size(), 5u);
+    for (const ClientResult& client : result.clients) {
+      EXPECT_FALSE(client.log.completed);
+      EXPECT_EQ(client.log.downloads.size(), 0u);
+      EXPECT_DOUBLE_EQ(client.log.end_time_s, client.arrival_s);
+    }
+    EXPECT_EQ(result.video_link.residual_flows, 0);
+  }
+  expect_engines_identical(setup, BandwidthTrace::constant(1500.0), config);
 }
 
 TEST(Population, DeterministicPlansAndOrderedArrivals) {
