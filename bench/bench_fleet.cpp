@@ -12,16 +12,20 @@
 // probe for CI smoke jobs:
 //
 //   bench_fleet --clients 200 --engine event_heap [--trace fixed]
-//               [--min-steps-per-s 40000]
+//               [--min-steps-per-s 40000] [--profile] [--trace-out PATH]
 //
 // CLI mode runs exactly the requested fleet, prints one row per engine, and
-// exits non-zero when a --min-steps-per-s floor is not met.
+// exits non-zero when a --min-steps-per-s floor is not met. --profile turns
+// on the engine self-profiler and the metrics registry and prints both;
+// --trace-out captures the run with a Tracer and writes Chrome trace-event
+// JSON (open in chrome://tracing or Perfetto) to PATH.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +33,9 @@
 #include "core/coordinated_player.h"
 #include "experiments/scenarios.h"
 #include "fleet/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "players/dashjs.h"
 #include "players/exoplayer.h"
 #include "util/csv.h"
@@ -115,6 +122,7 @@ struct FleetRunRecord {
   fleet::FleetMetrics metrics;
   double link_utilization = 0.0;
   int peak_flows = 0;
+  obs::EngineProfile profile;
 
   [[nodiscard]] double steps_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(steps) / wall_s : 0.0;
@@ -125,10 +133,13 @@ struct FleetRunRecord {
 };
 
 FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
-                        int clients, fleet::Engine engine) {
+                        int clients, fleet::Engine engine,
+                        bool profile = false) {
+  fleet::FleetConfig config = fleet_config(clients, engine);
+  config.profile = profile;
   const auto t0 = std::chrono::steady_clock::now();
-  const fleet::FleetResult result = fleet::run_fleet(
-      setup.content, setup.view, tc.trace, fleet_config(clients, engine));
+  const fleet::FleetResult result =
+      fleet::run_fleet(setup.content, setup.view, tc.trace, config);
   FleetRunRecord record;
   record.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                       .count();
@@ -142,6 +153,7 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
   record.metrics = compute_fleet_metrics(result);
   record.link_utilization = result.video_link.utilization();
   record.peak_flows = result.video_link.peak_flows;
+  record.profile = result.profile;
   return record;
 }
 
@@ -155,6 +167,7 @@ void print_record(const FleetRunRecord& r) {
 }
 
 std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
+                              const std::string& profile_json,
                               const std::vector<std::string>& notes) {
   std::string out;
   out += "{\n  \"bench\": \"fleet\",\n  \"content\": \"drama-300s\",\n  \"runs\": [\n";
@@ -173,7 +186,11 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
         i + 1 < records.size() ? "," : "");
   }
-  out += "  ],\n  \"notes\": [\n";
+  out += "  ],\n";
+  if (!profile_json.empty()) {
+    out += "  \"engine_profile\": " + profile_json + ",\n";
+  }
+  out += "  \"notes\": [\n";
   for (std::size_t i = 0; i < notes.size(); ++i) {
     out += "    \"" + notes[i] + "\"";
     out += i + 1 < notes.size() ? ",\n" : "\n";
@@ -211,7 +228,20 @@ void emit_report_once() {
       "barrier rows above %d clients skipped: the reference engine costs "
       "O(N) per step and exists for cross-validation, not scale",
       kBarrierMaxClients));
-  const Status written = write_file(kReportPath, fleet_report_json(records, notes));
+  // One dedicated self-profiled event-heap run: phase wall-clock + heap
+  // counters land in the report so a steps/s regression localises to a
+  // phase across report history.
+  const FleetRunRecord profiled = run_case(
+      setup, trace_cases(200)[0], 200, fleet::Engine::kEventHeap, true);
+  const std::string profile_json = format(
+      "{\"clients\": 200, \"engine\": \"event_heap\", \"trace\": \"%s\", "
+      "\"data\": %s}",
+      profiled.trace.c_str(), profiled.profile.to_json().c_str());
+  notes.push_back(
+      "engine_profile.data schema documented in EXPERIMENTS.md "
+      "(Engine profile)");
+  const Status written =
+      write_file(kReportPath, fleet_report_json(records, profile_json, notes));
   if (written.ok()) {
     std::printf("  report written to %s\n\n", kReportPath);
   } else {
@@ -277,12 +307,15 @@ struct CliOptions {
   std::string engine = "event_heap";  ///< barrier | event_heap | both
   std::string trace = "fixed";        ///< fixed | varying
   double min_steps_per_s = 0.0;       ///< 0 = no floor check
+  bool profile = false;               ///< engine self-profile + metrics dump
+  std::string trace_out;              ///< Chrome trace JSON path ("" = off)
 };
 
 [[noreturn]] void cli_usage_and_exit() {
   std::fprintf(stderr,
                "usage: bench_fleet [--clients N] [--engine barrier|event_heap|both]\n"
                "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
+               "                   [--profile] [--trace-out trace.json]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -314,6 +347,12 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (const char* v4 = value_of("--min-steps-per-s", i)) {
       cli.min_steps_per_s = std::atof(v4);
       cli.cli_mode = true;
+    } else if (const char* v5 = value_of("--trace-out", i)) {
+      cli.trace_out = v5;
+      cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      cli.profile = true;
+      cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
     }
@@ -338,21 +377,51 @@ int run_cli(const CliOptions& cli) {
       ex::plain_dash(BandwidthTrace::constant(1000.0), "fleet-bench");
   TraceCase tc{cli.trace, trace_by_label(cli.trace, cli.clients)};
 
+  // --trace-out / --profile capture one run, not a comparison: the first
+  // requested engine is the one traced and profiled.
+  std::unique_ptr<obs::ScopedTracer> scoped_tracer;
+  if (!cli.trace_out.empty()) {
+    scoped_tracer = std::make_unique<obs::ScopedTracer>(obs::kCatAll);
+  }
+  std::unique_ptr<obs::ScopedMetrics> scoped_metrics;
+  if (cli.profile) scoped_metrics = std::make_unique<obs::ScopedMetrics>();
+
   bool floor_met = true;
   std::printf("=== fleet CLI: %d clients, trace=%s ===\n", cli.clients,
               cli.trace.c_str());
   for (const fleet::Engine engine : engines) {
-    const FleetRunRecord r = run_case(setup, tc, cli.clients, engine);
+    const FleetRunRecord r =
+        run_case(setup, tc, cli.clients, engine, cli.profile);
     print_record(r);
     // Machine-greppable line for CI floors and trend tracking.
     std::printf("engine=%s clients=%d steps_per_s=%.0f wall_s=%.3f\n",
                 r.engine.c_str(), r.clients, r.steps_per_s(), r.wall_s);
+    if (cli.profile) {
+      std::printf("%s", r.profile.to_table().c_str());
+    }
     if (cli.min_steps_per_s > 0.0 && r.steps_per_s() < cli.min_steps_per_s) {
       std::fprintf(stderr,
                    "FAIL: %s steps_per_s %.0f below floor %.0f\n",
                    r.engine.c_str(), r.steps_per_s(), cli.min_steps_per_s);
       floor_met = false;
     }
+    if (scoped_tracer != nullptr) {
+      std::ofstream out(cli.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "FAIL: cannot open %s for writing\n",
+                     cli.trace_out.c_str());
+        return 1;
+      }
+      obs::ChromeTraceSink sink(out);
+      scoped_tracer->get().drain_to(sink);
+      std::printf("trace: %zu events written to %s (open in chrome://tracing)\n",
+                  scoped_tracer->get().event_count(), cli.trace_out.c_str());
+      scoped_tracer.reset();  // only the first engine's run is captured
+    }
+  }
+  if (cli.profile) {
+    std::printf("--- metrics registry ---\n%s",
+                obs::MetricsRegistry::global().to_text().c_str());
   }
   return floor_met ? 0 : 1;
 }

@@ -13,7 +13,9 @@ EventHeap::EventHeap(std::uint32_t session_count, std::uint32_t link_count)
 }
 
 void EventHeap::sync_link(std::uint32_t link_index, const Link& link, bool force) {
+  ++stats_.sync_checks;
   if (!force && link_epochs_[link_index] == link.epoch()) return;
+  ++stats_.sync_refreshes;
   link_epochs_[link_index] = link.epoch();
   const std::uint32_t id = link_base_ + link_index;
   const double t = link.earliest_completion_time();

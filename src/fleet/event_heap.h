@@ -49,10 +49,24 @@ class EventHeap {
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] Event top() const;
-  void pop() { heap_.pop(); }
+  void pop() {
+    heap_.pop();
+    ++stats_.pops;
+  }
+
+  /// Structural work counters (plain integer increments, always collected):
+  /// pops, plus sync_link calls vs. the subset that actually re-keyed — the
+  /// epoch-lazy optimisation's hit rate.
+  struct Stats {
+    std::uint64_t pops = 0;
+    std::uint64_t sync_checks = 0;
+    std::uint64_t sync_refreshes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   IndexedMinHeap heap_;
+  Stats stats_;
   std::uint32_t link_base_;
   /// Last-synced Link::epoch() per link; starts at a sentinel no real epoch
   /// takes so the first sync always refreshes.

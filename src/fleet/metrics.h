@@ -9,6 +9,7 @@
 
 #include "fleet/shared_link.h"
 #include "media/track.h"
+#include "obs/profile.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
 
@@ -35,6 +36,10 @@ struct FleetResult {
   /// Engine work units executed: global barriers (kBarrier) or heap events
   /// (kEventHeap). Diagnostic only — excluded from fleet_fingerprint.
   std::size_t steps = 0;
+  /// Engine self-profile: heap counters always (event-heap engine), phase
+  /// wall-clock when FleetConfig::profile. Diagnostic only — excluded from
+  /// fleet_fingerprint.
+  obs::EngineProfile profile;
 };
 
 /// Cross-client aggregates of one fleet run.

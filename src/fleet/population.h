@@ -73,6 +73,12 @@ struct FleetConfig {
 
   /// Per-request RTT of every client's network.
   double rtt_s = 0.05;
+
+  /// Collect per-phase wall-clock timings of the engine loop into
+  /// FleetResult::profile (obs/profile.h). Purely observational — results
+  /// are bit-identical with it on or off; leave off for perf baselines
+  /// (clock reads per phase are not free).
+  bool profile = false;
 };
 
 /// One planned client, fully determined before the simulation starts.

@@ -7,8 +7,12 @@
 #include <utility>
 
 #include "fleet/event_heap.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/indexed_min_heap.h"
 #include "util/logging.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace demuxabr::fleet {
@@ -43,6 +47,13 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
   session_config.max_sim_time_s = plan.arrival_s + config_.session.max_sim_time_s;
   // Completion-registry tokens on the shared links: audio 2*id, video 2*id+1.
   session_config.flow_token_base = 2u * static_cast<std::uint32_t>(plan.id);
+  // One trace track per session, keyed by client id.
+  session_config.trace_track = static_cast<std::uint32_t>(plan.id);
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->name_track(session_config.trace_track,
+                   format("c%d %s", plan.id, plan.player_label.c_str()));
+  }
+  DMX_COUNT("fleet.admitted", 1);
 
   client->session = std::make_unique<StreamingSession>(
       content_, view_, std::move(network), *client->player, session_config);
@@ -63,6 +74,7 @@ void FleetScheduler::finalize_client(Client& client, double now) {
   outcome.log = client.session->finish();
   outcome.qoe = compute_qoe(outcome.log, content_.ladder());
   result_.clients.push_back(std::move(outcome));
+  DMX_COUNT("fleet.retired", 1);
   // Release the session and player: long fleets churn through thousands of
   // clients and only a fraction are ever concurrently active.
   client.session.reset();
@@ -76,9 +88,25 @@ FleetResult FleetScheduler::run() {
   result_.split_audio = audio_link_.has_value();
   slots_.resize(plans.size());
 
+  // Trace tracks: links and the engine live in their own id namespaces.
+  video_link_.link()->set_trace_track(obs::kLinkTrackBase);
+  if (audio_link_.has_value()) {
+    audio_link_->link()->set_trace_track(obs::kLinkTrackBase + 1);
+  }
+  if (obs::Tracer* tr = obs::tracer()) {
+    tr->name_track(obs::kLinkTrackBase, "link " + video_link_.name());
+    if (audio_link_.has_value()) {
+      tr->name_track(obs::kLinkTrackBase + 1, "link " + audio_link_->name());
+    }
+    tr->name_track(obs::kEngineTrack, config_.engine == Engine::kBarrier
+                                          ? "engine barrier"
+                                          : "engine event_heap");
+  }
+
   const double end_time = config_.engine == Engine::kBarrier
                               ? run_barrier(plans)
                               : run_event_heap(plans);
+  DMX_COUNT("fleet.steps", result_.steps);
 
   // Clients finalize in retirement order; re-sort to client-id order so the
   // result layout is stable regardless of who finished first.
@@ -183,6 +211,15 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
 
   EventHeap heap(static_cast<std::uint32_t>(plans.size()),
                  static_cast<std::uint32_t>(links.size()));
+
+  // Self-profiling (obs/profile.h): phase wall-clock only when requested —
+  // a null PhaseStats* makes PhaseTimer clock-free — heap counters always.
+  obs::EngineProfile& profile = result_.profile;
+  profile.enabled = config_.profile;
+  obs::PhaseStats* const drain_stats = config_.profile ? &profile.drain : nullptr;
+  obs::PhaseStats* const register_stats =
+      config_.profile ? &profile.register_phase : nullptr;
+  obs::PhaseStats* const admit_stats = config_.profile ? &profile.admit : nullptr;
   const auto sync_links = [&] {
     for (std::size_t i = 0; i < links.size(); ++i) {
       heap.sync_link(static_cast<std::uint32_t>(i), *links[i]);
@@ -199,6 +236,7 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
   double now = 0.0;
   std::size_t next_arrival = 0;
   const auto admit_due = [&] {
+    obs::PhaseTimer timer(admit_stats);
     while (next_arrival < plans.size() && plans[next_arrival].arrival_s <= now) {
       Client& client = admit(plans[next_arrival]);
       ++next_arrival;
@@ -235,6 +273,7 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
     now = t;
     touched.clear();
     int guard = 0;
+    std::optional<obs::PhaseTimer> drain_timer(std::in_place, drain_stats);
     while (!heap.empty() && heap.top().t <= t) {
       if (++guard > 10000000) {
         DMX_ERROR << "event-heap engine wedged at t=" << t << " — aborting drain";
@@ -257,6 +296,11 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
         heap.pop();
         id = event.index;
       }
+      DMX_TRACE_INSTANT(obs::kCatEngine, obs::kEngineTrack, obs::kLanePlayback,
+                        "pop", t,
+                        obs::TraceArgs()
+                            .kv("link", event.is_link ? 1 : 0)
+                            .kv("client", static_cast<std::int64_t>(id)));
       Client& client = *slots_[id];
       StreamingSession& session = *client.session;
       session.integrate_to(t);
@@ -275,10 +319,12 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
       sync_links();
       ++result_.steps;
     }
+    drain_timer.reset();
 
     // Registration phase at t, in client-id order (the barrier's phase 1):
     // flows whose RTT ended join their links, and every touched session
     // gets its next event key.
+    std::optional<obs::PhaseTimer> register_timer(std::in_place, register_stats);
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
     for (const std::uint32_t id : touched) {
@@ -288,10 +334,14 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
       schedule(client);
     }
     sync_links();
+    register_timer.reset();
 
     // Admissions exactly at t join after the events at t, as in the barrier.
     admit_due();
   }
+  profile.heap_pops = heap.stats().pops;
+  profile.link_sync_checks = heap.stats().sync_checks;
+  profile.link_sync_refreshes = heap.stats().sync_refreshes;
   return now;
 }
 

@@ -47,6 +47,8 @@ class SharedLink {
   /// contend (processor sharing spans sessions, not just one client's A/V).
   [[nodiscard]] const std::shared_ptr<Link>& link() const { return link_; }
 
+  [[nodiscard]] const std::string& name() const { return name_; }
+
   /// Close the books at the end of a run: advance the link's utilization
   /// integrals to `t` (idle tail included). Call once before stats().
   void finalize(double t) { link_->finalize(t); }

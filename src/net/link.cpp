@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace demuxabr {
@@ -41,12 +42,16 @@ double Link::add_flow(double now) {
   ++active_flows_;
   peak_flows_ = std::max(peak_flows_, active_flows_);
   ++epoch_;
+  DMX_COUNT("link.flows_added", 1);
+  DMX_TRACE_COUNTER(obs::kCatLink, trace_track_, "active_flows", now,
+                    obs::TraceArgs().kv("flows", active_flows_));
   return service_kbit_;
 }
 
 void Link::remove_flow(double now) {
   advance_to(now);
   if (active_flows_ <= 0) {
+    DMX_COUNT("link.double_removes", 1);
     assert(false && "Link::remove_flow on an idle link (double remove)");
     DMX_ERROR << "Link::remove_flow on an idle link (double remove?) — "
                  "flow accounting is corrupt; clamping at zero";
@@ -54,6 +59,9 @@ void Link::remove_flow(double now) {
   }
   --active_flows_;
   ++epoch_;
+  DMX_COUNT("link.flows_removed", 1);
+  DMX_TRACE_COUNTER(obs::kCatLink, trace_track_, "active_flows", now,
+                    obs::TraceArgs().kv("flows", active_flows_));
 }
 
 double Link::service_at(double t) const {

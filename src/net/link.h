@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "net/bandwidth_trace.h"
+#include "obs/trace.h"
 #include "util/indexed_min_heap.h"
 
 namespace demuxabr {
@@ -126,6 +127,11 @@ class Link {
 
   [[nodiscard]] const BandwidthTrace& trace() const { return trace_; }
 
+  /// Observability track id (one trace track per link). Fleet schedulers
+  /// assign obs::kLinkTrackBase + link index; solo links keep the base.
+  void set_trace_track(std::uint32_t track) { trace_track_ = track; }
+  [[nodiscard]] std::uint32_t trace_track() const { return trace_track_; }
+
  private:
   /// Advance the service + accounting integrals from clock_s_ to t with the
   /// current population, walking capacity segments so time-varying traces
@@ -136,6 +142,7 @@ class Link {
   int active_flows_ = 0;
   int peak_flows_ = 0;
   std::uint64_t epoch_ = 0;
+  std::uint32_t trace_track_ = obs::kLinkTrackBase;
 
   double clock_s_ = 0.0;    ///< time up to which all integrals are advanced
   double service_kbit_ = 0.0;  ///< V(clock_s_): per-flow service integral

@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace demuxabr::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Monotonic thread registration counter for shard selection.
+std::atomic<std::size_t> g_next_thread{0};
+
+/// Relaxed atomic fetch-max for doubles.
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_release);
+}
+
+namespace detail {
+
+std::size_t thread_shard() {
+  thread_local const std::size_t shard =
+      g_next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// --- Counter -------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Gauge ---------------------------------------------------------------
+
+void Gauge::set_max(double v) { atomic_max(value_, v); }
+
+// --- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(std::string name, double first_bucket, int bucket_count)
+    : name_(std::move(name)),
+      first_bucket_(first_bucket > 0.0 ? first_bucket : 1e-9),
+      bucket_count_(std::max(2, bucket_count)),
+      shards_(detail::kShards) {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(bucket_count_));
+  }
+}
+
+int Histogram::bucket_for(double v) const {
+  if (!(v > first_bucket_)) return 0;
+  // Bucket i (i >= 1) spans (first * 2^(i-1), first * 2^i].
+  const int i =
+      static_cast<int>(std::ceil(std::log2(v / first_bucket_) - 1e-12));
+  return std::min(i, bucket_count_ - 1);
+}
+
+void Histogram::observe(double v) {
+  Shard& shard = shards_[detail::thread_shard()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(shard.min, v);
+  atomic_max(shard.max, v);
+  shard.buckets[static_cast<std::size_t>(bucket_for(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds.reserve(static_cast<std::size_t>(bucket_count_));
+  for (int i = 0; i < bucket_count_; ++i) {
+    snap.bounds.push_back(i + 1 < bucket_count_
+                              ? first_bucket_ * std::exp2(i)
+                              : std::numeric_limits<double>::infinity());
+  }
+  snap.buckets.assign(static_cast<std::size_t>(bucket_count_), 0);
+  for (const auto& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, shard.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+    for (int i = 0; i < bucket_count_; ++i) {
+      snap.buckets[static_cast<std::size_t>(i)] +=
+          shard.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::quantile_bound(double q) const {
+  if (count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) return bounds[i];
+  }
+  return bounds.back();
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Counter* existing = counters_.find(name)) return *existing;
+  counters_.items.push_back(std::make_unique<Counter>(name));
+  return *counters_.items.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Gauge* existing = gauges_.find(name)) return *existing;
+  gauges_.items.push_back(std::make_unique<Gauge>(name));
+  return *gauges_.items.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      double first_bucket, int bucket_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Histogram* existing = histograms_.find(name)) return *existing;
+  histograms_.items.push_back(
+      std::make_unique<Histogram>(name, first_bucket, bucket_count));
+  return *histograms_.items.back();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sorted by name so snapshots diff cleanly.
+  std::map<std::string, std::string> lines;
+  for (const auto& c : counters_.items) {
+    lines[c->name()] = format("%s %llu\n", c->name().c_str(),
+                              static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& g : gauges_.items) {
+    lines[g->name()] = format("%s %.6g\n", g->name().c_str(), g->value());
+  }
+  for (const auto& h : histograms_.items) {
+    const Histogram::Snapshot snap = h->snapshot();
+    lines[h->name()] = format(
+        "%s count=%llu mean=%.6g min=%.6g max=%.6g p50<=%.6g p99<=%.6g\n",
+        h->name().c_str(), static_cast<unsigned long long>(snap.count),
+        snap.mean(), snap.count > 0 ? snap.min : 0.0,
+        snap.count > 0 ? snap.max : 0.0, snap.quantile_bound(0.50),
+        snap.quantile_bound(0.99));
+  }
+  std::string out;
+  for (const auto& [name, line] : lines) out += line;
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::string> counters, gauges, histograms;
+  for (const auto& c : counters_.items) {
+    counters[c->name()] =
+        format("%llu", static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& g : gauges_.items) {
+    gauges[g->name()] = format("%.6g", g->value());
+  }
+  for (const auto& h : histograms_.items) {
+    const Histogram::Snapshot snap = h->snapshot();
+    std::string buckets;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;  // sparse: most buckets are empty
+      if (!buckets.empty()) buckets += ',';
+      buckets += format("{\"le\":%.6g,\"n\":%llu}",
+                        snap.bounds[i],
+                        static_cast<unsigned long long>(snap.buckets[i]));
+    }
+    histograms[h->name()] = format(
+        "{\"count\":%llu,\"sum\":%.6g,\"min\":%.6g,\"max\":%.6g,"
+        "\"buckets\":[%s]}",
+        static_cast<unsigned long long>(snap.count), snap.sum,
+        snap.count > 0 ? snap.min : 0.0, snap.count > 0 ? snap.max : 0.0,
+        buckets.c_str());
+  }
+
+  const auto object = [](const std::map<std::string, std::string>& entries) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : entries) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + name + "\":" + value;
+    }
+    return out + "}";
+  };
+  return "{\"counters\":" + object(counters) + ",\"gauges\":" + object(gauges) +
+         ",\"histograms\":" + object(histograms) + "}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_.items) c->reset();
+  for (const auto& g : gauges_.items) g->reset();
+  for (const auto& h : histograms_.items) h->reset();
+}
+
+}  // namespace demuxabr::obs

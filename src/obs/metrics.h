@@ -1,0 +1,217 @@
+// Metrics registry (DESIGN.md §8 "Observability"): named Counter / Gauge /
+// Histogram instruments with lock-free sharded hot paths, aggregated only
+// at scrape time.
+//
+// Hot-path cost model: an *enabled* increment is one relaxed atomic RMW on
+// a cache-line-padded slot selected by thread id — no locks, no false
+// sharing between pool workers. A *disabled* DMX_COUNT/DMX_HIST site is a
+// single relaxed atomic load and a predictable branch (the same contract as
+// the trace macros; the CI perf-smoke floor guards it).
+//
+// Instruments are created on first use and never destroyed, so the static
+// references the macros cache stay valid across MetricsRegistry::reset()
+// (which zeroes values, never removes instruments).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace demuxabr::obs {
+
+/// Global gate for the DMX_COUNT / DMX_GAUGE_SET / DMX_HIST macros.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// RAII enable/disable around a measured run (tests, bench --profile).
+class ScopedMetrics {
+ public:
+  ScopedMetrics() { set_metrics_enabled(true); }
+  ~ScopedMetrics() { set_metrics_enabled(false); }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+};
+
+namespace detail {
+/// Number of per-instrument shards; threads hash onto one. A power of two.
+inline constexpr std::size_t kShards = 16;
+/// Stable small index for the calling thread (assigned on first use).
+std::size_t thread_shard();
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) {
+    shards_[detail::thread_shard()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+  /// Aggregate across shards. Racing adds may or may not be included.
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  detail::CounterShard shards_[detail::kShards];
+};
+
+/// Last-written value (e.g. a high-water mark published at scrape points).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Set-to-max: keeps the largest value ever published (races resolve to
+  /// some observed value; exact under quiescence).
+  void set_max(double v);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Exponential-bucket histogram: bucket i spans (first * 2^(i-1),
+/// first * 2^i]; the last bucket is the +inf overflow. Designed for
+/// latency/duration distributions (download times, decision latencies)
+/// where relative resolution matters across orders of magnitude.
+class Histogram {
+ public:
+  Histogram(std::string name, double first_bucket, int bucket_count);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    /// Inclusive upper bound per bucket; back() is +inf.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< same size as bounds
+
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    /// Upper bound of the first bucket whose cumulative count reaches
+    /// quantile `q` of the total (a conservative quantile estimate).
+    [[nodiscard]] double quantile_bound(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int bucket_count() const { return bucket_count_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+  };
+
+  [[nodiscard]] int bucket_for(double v) const;
+
+  std::string name_;
+  double first_bucket_;
+  int bucket_count_;
+  std::vector<Shard> shards_;
+};
+
+/// Name -> instrument registry with a process-global instance. Lookup takes
+/// a mutex; macro sites cache the returned reference in a function-local
+/// static so the mutex is paid once per site.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First call fixes the bucket layout; later calls ignore the params.
+  Histogram& histogram(const std::string& name, double first_bucket = 1e-7,
+                       int bucket_count = 48);
+
+  /// Text snapshot: one `name value` line per counter/gauge, histogram
+  /// summary lines (count/mean/min/max/p50/p99). Sorted by name.
+  [[nodiscard]] std::string to_text() const;
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zero every instrument (references stay valid).
+  void reset();
+
+ private:
+  template <typename T>
+  struct Named {
+    // std::deque-free stable addressing: instruments are heap-allocated.
+    std::vector<std::unique_ptr<T>> items;
+    T* find(const std::string& name) {
+      for (auto& item : items) {
+        if (item->name() == name) return item.get();
+      }
+      return nullptr;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  Named<Counter> counters_;
+  Named<Gauge> gauges_;
+  Named<Histogram> histograms_;
+};
+
+}  // namespace demuxabr::obs
+
+#define DMX_COUNT(name_, n_)                                                  \
+  do {                                                                        \
+    if (::demuxabr::obs::metrics_enabled()) {                                 \
+      static ::demuxabr::obs::Counter& dmx_counter_ =                         \
+          ::demuxabr::obs::MetricsRegistry::global().counter(name_);          \
+      dmx_counter_.add(static_cast<std::uint64_t>(n_));                       \
+    }                                                                         \
+  } while (0)
+
+#define DMX_GAUGE_SET(name_, v_)                                              \
+  do {                                                                        \
+    if (::demuxabr::obs::metrics_enabled()) {                                 \
+      static ::demuxabr::obs::Gauge& dmx_gauge_ =                             \
+          ::demuxabr::obs::MetricsRegistry::global().gauge(name_);            \
+      dmx_gauge_.set(v_);                                                     \
+    }                                                                         \
+  } while (0)
+
+#define DMX_GAUGE_MAX(name_, v_)                                              \
+  do {                                                                        \
+    if (::demuxabr::obs::metrics_enabled()) {                                 \
+      static ::demuxabr::obs::Gauge& dmx_gauge_ =                             \
+          ::demuxabr::obs::MetricsRegistry::global().gauge(name_);            \
+      dmx_gauge_.set_max(v_);                                                 \
+    }                                                                         \
+  } while (0)
+
+#define DMX_HIST(name_, v_)                                                   \
+  do {                                                                        \
+    if (::demuxabr::obs::metrics_enabled()) {                                 \
+      static ::demuxabr::obs::Histogram& dmx_hist_ =                          \
+          ::demuxabr::obs::MetricsRegistry::global().histogram(name_);        \
+      dmx_hist_.observe(v_);                                                  \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,243 @@
+// Structured event tracing (DESIGN.md §8 "Observability").
+//
+// The simulator's debugging story mirrors the paper's methodology: §3's
+// failure modes (concurrent-download mis-estimation, A/V buffer imbalance)
+// were all diagnosed from per-chunk download intervals and buffer
+// trajectories captured *inside* instrumented players. The Tracer captures
+// exactly that event taxonomy — download spans, ABR decisions with their
+// inputs and outputs, buffer samples, stall spans, link flow-population
+// changes, engine event pops — as typed records that render to NDJSON or
+// Chrome `chrome://tracing` JSON with one track per session and per link.
+//
+// Zero-overhead-when-disabled contract: every instrumentation site goes
+// through the DMX_TRACE_* macros below, which compile to a single relaxed
+// atomic load and a predictable branch when no Tracer is installed (the CI
+// perf-smoke steps/s floor guards this path). Argument rendering only runs
+// on the enabled path.
+//
+// Threading: emitting is lock-free per thread (each thread appends to its
+// own shard; shard registration takes the Tracer mutex once per thread).
+// Install one Tracer for one logical run at a time — concurrent fleet
+// *replications* would interleave colliding track ids — and drain only
+// after the traced work has quiesced (joined its threads).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace demuxabr::obs {
+
+/// Category bitmask: a Tracer only records the categories it was installed
+/// with, so high-volume streams (buffer samples, engine pops) can be left
+/// out of long captures.
+enum Category : unsigned {
+  kCatDownload = 1u << 0,  ///< chunk download spans (begin/end per flow)
+  kCatAbr = 1u << 1,       ///< ABR decisions with inputs/outputs
+  kCatBuffer = 1u << 2,    ///< buffer-level counter samples
+  kCatStall = 1u << 3,     ///< playback state: startup, stall spans
+  kCatLink = 1u << 4,      ///< link flow add/remove + population counters
+  kCatEngine = 1u << 5,    ///< fleet-engine event pops
+  kCatAll = (1u << 6) - 1u,
+};
+
+/// Track-id namespaces: one Chrome "process" per session and per link.
+/// Sessions use their fleet client id (solo sessions default to 0); links
+/// and the engine sit in disjoint ranges so ids never collide.
+inline constexpr std::uint32_t kLinkTrackBase = 1'000'000;
+inline constexpr std::uint32_t kEngineTrack = 2'000'000;
+
+/// Lanes within a track (Chrome "threads"): concurrent audio and video
+/// downloads in one session must not share a lane or their spans would not
+/// nest.
+inline constexpr std::uint8_t kLanePlayback = 0;
+inline constexpr std::uint8_t kLaneVideo = 1;
+inline constexpr std::uint8_t kLaneAudio = 2;
+inline constexpr std::uint8_t kLaneAbr = 3;
+
+const char* lane_name(std::uint8_t lane);
+const char* category_name(Category category);
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kBegin,    ///< span open (must be closed LIFO per (track, lane, name))
+    kEnd,      ///< span close
+    kInstant,  ///< point event
+    kCounter,  ///< sampled value series (args carry the values)
+  };
+
+  Kind kind = Kind::kInstant;
+  std::uint8_t lane = kLanePlayback;
+  Category category = kCatEngine;
+  const char* name = "";  ///< static-lifetime literal
+  std::uint32_t track = 0;
+  double t_s = 0.0;  ///< simulated seconds (absolute fleet clock)
+  /// Pre-rendered JSON object fields without the enclosing braces, e.g.
+  /// `"chunk":3,"kbps":1200`. Built via TraceArgs on the enabled path only.
+  std::string args;
+};
+
+/// Incremental builder for TraceEvent::args. Chainable on a temporary:
+///   TraceArgs().kv("chunk", 3).kv("track", id)
+class TraceArgs {
+ public:
+  TraceArgs&& kv(const char* key, double value) &&;
+  TraceArgs&& kv(const char* key, std::int64_t value) &&;
+  TraceArgs&& kv(const char* key, int value) && {
+    return std::move(*this).kv(key, static_cast<std::int64_t>(value));
+  }
+  TraceArgs&& kv(const char* key, std::string_view value) &&;
+  operator std::string() && { return std::move(out_); }
+
+ private:
+  void key(const char* k);
+  std::string out_;
+};
+
+/// Where drained events go. Calls arrive serialized (Tracer::drain_to holds
+/// the tracer lock): track names first, then events in per-shard emission
+/// order, then finish().
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void track_name(std::uint32_t track, const std::string& name) {
+    (void)track;
+    (void)name;
+  }
+  virtual void event(const TraceEvent& event) = 0;
+  virtual void finish() {}
+};
+
+/// One JSON object per line per event; `{"meta":"track_name",...}` lines
+/// first. Greppable and streamable into any log pipeline.
+class NdjsonSink : public TraceSink {
+ public:
+  explicit NdjsonSink(std::ostream& out) : out_(out) {}
+  void track_name(std::uint32_t track, const std::string& name) override;
+  void event(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Chrome trace-event JSON (open in chrome://tracing or Perfetto). Buffers
+/// everything and sorts by timestamp at finish() so each track's spans nest
+/// and every track's timestamps are monotonic. One Chrome process per
+/// track (named via process_name metadata), one thread per lane.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(out) {}
+  void track_name(std::uint32_t track, const std::string& name) override;
+  void event(const TraceEvent& event) override;
+  void finish() override;
+
+ private:
+  std::ostream& out_;
+  std::map<std::uint32_t, std::string> names_;
+  std::vector<TraceEvent> events_;
+};
+
+/// In-memory sink for tests.
+class CaptureSink : public TraceSink {
+ public:
+  void track_name(std::uint32_t track, const std::string& name) override {
+    names[track] = name;
+  }
+  void event(const TraceEvent& e) override { events.push_back(e); }
+
+  std::map<std::uint32_t, std::string> names;
+  std::vector<TraceEvent> events;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(unsigned categories = kCatAll);
+
+  /// Record one event (emitting thread appends to its own shard).
+  void emit(TraceEvent event);
+
+  /// Attach a human-readable name to a track (session/link). Idempotent.
+  void name_track(std::uint32_t track, std::string name);
+
+  [[nodiscard]] unsigned categories() const { return categories_; }
+
+  /// Feed every recorded event (and track names) to `sink`, then
+  /// sink.finish(). Non-destructive; call after the traced work quiesced.
+  void drain_to(TraceSink& sink) const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct Shard {
+    std::vector<TraceEvent> events;
+  };
+
+  Shard& local_shard();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::uint32_t, std::string> track_names_;
+  unsigned categories_;
+  std::uint64_t serial_;  ///< process-unique, keys the thread-local cache
+};
+
+/// Globally installed tracer, or nullptr. install_tracer(nullptr)
+/// uninstalls. Not reference-counted: the caller keeps the Tracer alive
+/// while installed.
+Tracer* tracer();
+void install_tracer(Tracer* tracer);
+
+/// The macro gate: non-null iff a tracer is installed *and* records `cat`.
+/// One relaxed atomic load on the disabled path.
+Tracer* tracer_if(Category cat);
+
+/// RAII install/uninstall around a traced run.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(unsigned categories = kCatAll) : tracer_(categories) {
+    install_tracer(&tracer_);
+  }
+  ~ScopedTracer() { install_tracer(nullptr); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+  [[nodiscard]] Tracer& get() { return tracer_; }
+
+ private:
+  Tracer tracer_;
+};
+
+/// Minimal JSON string escaping for names/args values.
+std::string json_escape(std::string_view text);
+
+}  // namespace demuxabr::obs
+
+// --- Instrumentation macros ---------------------------------------------
+//
+// `args` is a TraceArgs chain (or any std::string expression); it is only
+// evaluated when the tracer is installed and the category enabled.
+
+#define DMX_TRACE_EVENT_(cat, kind_, track_, lane_, name_, t_, args_)          \
+  do {                                                                         \
+    if (::demuxabr::obs::Tracer* dmx_tracer_ =                                 \
+            ::demuxabr::obs::tracer_if(cat)) {                                 \
+      dmx_tracer_->emit(::demuxabr::obs::TraceEvent{                           \
+          ::demuxabr::obs::TraceEvent::Kind::kind_,                            \
+          static_cast<std::uint8_t>(lane_), (cat), (name_),                    \
+          static_cast<std::uint32_t>(track_), (t_), (args_)});                 \
+    }                                                                          \
+  } while (0)
+
+#define DMX_TRACE_SPAN_BEGIN(cat, track, lane, name, t, args) \
+  DMX_TRACE_EVENT_(cat, kBegin, track, lane, name, t, args)
+#define DMX_TRACE_SPAN_END(cat, track, lane, name, t, args) \
+  DMX_TRACE_EVENT_(cat, kEnd, track, lane, name, t, args)
+#define DMX_TRACE_INSTANT(cat, track, lane, name, t, args) \
+  DMX_TRACE_EVENT_(cat, kInstant, track, lane, name, t, args)
+#define DMX_TRACE_COUNTER(cat, track, name, t, args) \
+  DMX_TRACE_EVENT_(cat, kCounter, track, 0, name, t, args)

@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace demuxabr {
 namespace {
 constexpr double kEps = 1e-9;
+
+/// Trace lane for a download flow: concurrent audio+video flows must not
+/// share a lane or Chrome's B/E nesting breaks.
+std::uint8_t lane_of(MediaType type) {
+  return type == MediaType::kVideo ? obs::kLaneVideo : obs::kLaneAudio;
+}
 }  // namespace
 
 StreamingSession::StreamingSession(const Content& content, ManifestView view,
@@ -114,6 +123,13 @@ void StreamingSession::start_flow(const DownloadRequest& request) {
       log_.selected_audio_kbps.add(now_, f.audio_track_info->avg_kbps);
     }
   }
+  DMX_TRACE_SPAN_BEGIN(obs::kCatDownload, config_.trace_track,
+                       lane_of(request.type), "download", now_,
+                       obs::TraceArgs()
+                           .kv("track_id", request.track_id)
+                           .kv("chunk", request.chunk_index)
+                           .kv("bytes", f.total_bytes)
+                           .kv("muxed", request.muxed ? 1 : 0));
   DMX_DEBUG << "t=" << now_ << " request " << media_type_name(request.type) << " "
             << request.track_id << " chunk " << request.chunk_index << " ("
             << f.total_bytes << " B)";
@@ -154,6 +170,10 @@ void StreamingSession::abort_flow(Flow& f) {
   banked_bytes_ += f.bytes_done;
   f.bytes_done = 0.0;
   f.active = false;
+  DMX_COUNT("session.downloads_abandoned", 1);
+  DMX_TRACE_SPAN_END(obs::kCatDownload, config_.trace_track,
+                     lane_of(record.type), "download", now_,
+                     obs::TraceArgs().kv("bytes", record.bytes).kv("aborted", 1));
   DMX_DEBUG << "t=" << now_ << " abandon " << media_type_name(record.type) << " "
             << record.track_id << " chunk " << record.chunk_index << " after "
             << record.bytes << " B";
@@ -207,6 +227,13 @@ void StreamingSession::complete_flow(Flow& f) {
   }
 
   const bool was_muxed = f.request.muxed;
+  DMX_HIST("session.download_s", now_ - f.request_t);
+  DMX_COUNT("session.chunks_completed", component_count);
+  DMX_TRACE_SPAN_END(obs::kCatDownload, config_.trace_track,
+                     lane_of(f.request.type), "download", now_,
+                     obs::TraceArgs()
+                         .kv("bytes", f.total_bytes)
+                         .kv("dur_s", now_ - f.request_t));
   f.active = false;
   for (int i = 0; i < component_count; ++i) {
     const Component& component = components[i];
@@ -254,8 +281,16 @@ void StreamingSession::perform_seek(const SeekEvent& seek) {
   if (started_ && playing_) {
     playing_ = false;
     stall_start_t_ = now_;
+    DMX_COUNT("session.stalls", 1);
+    DMX_TRACE_SPAN_BEGIN(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
+                         "stall", now_, obs::TraceArgs().kv("cause", "seek"));
   }
   re_anchor();
+  DMX_TRACE_INSTANT(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
+                    "seek", now_,
+                    obs::TraceArgs()
+                        .kv("from_s", record.from_position_s)
+                        .kv("to_s", target_position));
   DMX_DEBUG << "t=" << now_ << " seek " << record.from_position_s << " -> "
             << target_position;
 }
@@ -266,9 +301,29 @@ void StreamingSession::poll_player() {
     if (active_flow_count() >= player_.max_concurrent_downloads()) return;
     if (all_chunks_downloaded()) return;
     const PlayerContext ctx = make_context();
-    const std::optional<DownloadRequest> request = player_.next_request(ctx);
+    std::optional<DownloadRequest> request;
+    if (obs::metrics_enabled()) {
+      // Wall-clock decision latency — pure observation; the simulated clock
+      // never sees it.
+      const auto d0 = std::chrono::steady_clock::now();
+      request = player_.next_request(ctx);
+      DMX_HIST("session.decision_latency_s",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() - d0)
+                   .count());
+    } else {
+      request = player_.next_request(ctx);
+    }
     if (!request.has_value()) return;
     assert(!flow(request->type).active && "player requested a busy media type");
+    DMX_TRACE_INSTANT(obs::kCatAbr, config_.trace_track, obs::kLaneAbr,
+                      "abr_decision", now_,
+                      obs::TraceArgs()
+                          .kv("type", media_type_name(request->type))
+                          .kv("track_id", request->track_id)
+                          .kv("chunk", request->chunk_index)
+                          .kv("abuf_s", ctx.audio_buffer_s)
+                          .kv("vbuf_s", ctx.video_buffer_s)
+                          .kv("est_kbps", player_.bandwidth_estimate_kbps()));
     start_flow(*request);
   }
 }
@@ -286,6 +341,11 @@ void StreamingSession::handle_playback_transitions() {
       playing_ = true;
       re_anchor();
       log_.startup_delay_s = now_ - config_.start_time_s;
+      DMX_COUNT("session.startups", 1);
+      DMX_HIST("session.startup_delay_s", log_.startup_delay_s);
+      DMX_TRACE_INSTANT(obs::kCatBuffer, config_.trace_track, obs::kLanePlayback,
+                        "playback_start", now_,
+                        obs::TraceArgs().kv("delay_s", log_.startup_delay_s));
       DMX_DEBUG << "t=" << now_ << " playback start";
     }
     return;
@@ -298,6 +358,10 @@ void StreamingSession::handle_playback_transitions() {
       playing_ = false;
       stall_start_t_ = now_;
       re_anchor();
+      DMX_COUNT("session.stalls", 1);
+      DMX_TRACE_SPAN_BEGIN(
+          obs::kCatStall, config_.trace_track, obs::kLanePlayback, "stall", now_,
+          obs::TraceArgs().kv("cause", audio_underrun ? "audio" : "video"));
       DMX_DEBUG << "t=" << now_ << " stall (audio=" << audio_buffer_.level_s()
                 << " video=" << video_buffer_.level_s() << ")";
     }
@@ -311,12 +375,20 @@ void StreamingSession::handle_playback_transitions() {
     playing_ = true;
     re_anchor();
     log_.stalls.push_back({stall_start_t_, now_});
+    DMX_HIST("session.stall_s", now_ - stall_start_t_);
+    DMX_TRACE_SPAN_END(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
+                       "stall", now_,
+                       obs::TraceArgs().kv("dur_s", now_ - stall_start_t_));
     DMX_DEBUG << "t=" << now_ << " resume after "
               << (now_ - stall_start_t_) << "s stall";
   }
 }
 
 void StreamingSession::sample_series() {
+  DMX_TRACE_COUNTER(obs::kCatBuffer, config_.trace_track, "buffer_s", now_,
+                    obs::TraceArgs()
+                        .kv("audio", audio_buffer_.level_s())
+                        .kv("video", video_buffer_.level_s()));
   if (!config_.record_series) return;
   log_.audio_buffer_s.add(now_, audio_buffer_.level_s());
   log_.video_buffer_s.add(now_, video_buffer_.level_s());
@@ -499,6 +571,9 @@ void StreamingSession::abort_session() {
   // Close an open stall so the log's stall accounting is complete.
   if (started_ && !playing_) {
     log_.stalls.push_back({stall_start_t_, now_});
+    DMX_TRACE_SPAN_END(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
+                       "stall", now_,
+                       obs::TraceArgs().kv("dur_s", now_ - stall_start_t_));
     playing_ = true;
   }
   stopped_ = true;

@@ -74,6 +74,9 @@ struct SessionConfig {
   /// base, video flow = base + 1). Tokens must be unique per link; a fleet
   /// scheduler assigns 2*client_id. Irrelevant for solo sessions.
   std::uint32_t flow_token_base = 0;
+  /// Observability track id for this session's trace events. A fleet
+  /// scheduler assigns the client id; solo sessions keep track 0.
+  std::uint32_t trace_track = 0;
   /// Scripted seeks, ascending by at_time_s. A seek cancels in-flight
   /// downloads, flushes both buffers and rebuffers at the target position
   /// (counted as a stall while playback is paused).

@@ -1,14 +1,54 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
 
 namespace demuxabr {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink*> g_sink{nullptr};
+
+/// Applies DMX_LOG_LEVEL once at process start (before main). set_log_level
+/// calls afterwards override it.
+[[maybe_unused]] const bool g_env_applied = [] {
+  apply_env_log_level();
+  return true;
+}();
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> apply_env_log_level() {
+  const char* value = std::getenv("DMX_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  const std::optional<LogLevel> level = parse_log_level(value);
+  if (level.has_value()) set_log_level(*level);
+  return level;
+}
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -22,14 +62,39 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+void set_log_sink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogSink* log_sink() { return g_sink.load(std::memory_order_acquire); }
+
+bool CaptureLogSink::contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
 void log_message(LogLevel level, const char* file, int line, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   // Strip directories from __FILE__ for readability.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s] %s:%d %s\n", log_level_name(level), base, line, message.c_str());
+  std::string formatted =
+      format("[%s] %s:%d ", log_level_name(level), base, line);
+  formatted += message;
+
+  if (LogSink* sink = g_sink.load(std::memory_order_acquire)) {
+    sink->write_line(level, formatted);
+    return;
+  }
+  // Default: one fwrite per line so concurrent writers (fleet replications
+  // on the pool) never interleave bytes mid-line.
+  formatted += '\n';
+  std::fwrite(formatted.data(), 1, formatted.size(), stderr);
 }
 
 }  // namespace demuxabr

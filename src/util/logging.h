@@ -1,12 +1,23 @@
 // Lightweight leveled logging.
 //
-// The simulation is single-threaded; the logger writes directly to stderr.
+// Thread-safe: the level and the sink pointer are atomics, and every sink
+// receives one fully formatted line per call — concurrent fleet
+// replications on the ThreadPool cannot interleave bytes mid-line. The
+// default sink writes each line to stderr with a single fwrite; tests swap
+// in a CaptureLogSink to assert on (or silence) log output.
+//
 // Experiments default to kWarn so bench output stays parseable; tests can
-// raise the level to debug a failing scenario.
+// raise the level to debug a failing scenario, and the DMX_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off) overrides the
+// default at process start.
 #pragma once
 
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace demuxabr {
 
@@ -16,10 +27,90 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parse "trace" / "DEBUG" / "warn" ... (case-insensitive); nullopt on
+/// anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Re-read DMX_LOG_LEVEL from the environment and apply it when set and
+/// valid; returns the applied level. Called once automatically at process
+/// start; exposed for tests.
+std::optional<LogLevel> apply_env_log_level();
+
 /// Internal sink; prefer the DMX_LOG macro below.
 void log_message(LogLevel level, const char* file, int line, const std::string& message);
 
 const char* log_level_name(LogLevel level);
+
+/// Receives fully formatted log lines (no trailing newline). Implementations
+/// must be thread-safe: lines arrive concurrently from pool workers.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write_line(LogLevel level, const std::string& line) = 0;
+};
+
+/// Install a sink (nullptr restores the default stderr sink). The caller
+/// keeps the sink alive while installed.
+void set_log_sink(LogSink* sink);
+LogSink* log_sink();  ///< currently installed sink, or nullptr for default
+
+/// Buffers lines in memory — assert on log output in tests, or silence an
+/// expected DMX_ERROR without losing it.
+class CaptureLogSink : public LogSink {
+ public:
+  void write_line(LogLevel level, const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+    levels_.push_back(level);
+  }
+  [[nodiscard]] std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_.size();
+  }
+  [[nodiscard]] bool contains(std::string_view needle) const;
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.clear();
+    levels_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::vector<LogLevel> levels_;
+};
+
+/// RAII sink swap for tests.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink* sink) : previous_(log_sink()) {
+    set_log_sink(sink);
+  }
+  ~ScopedLogSink() { set_log_sink(previous_); }
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink* previous_;
+};
+
+/// RAII level swap for tests.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(log_level()) {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
 
 namespace detail {
 

@@ -4,6 +4,8 @@
 
 #include <limits>
 
+#include "util/logging.h"
+
 namespace demuxabr {
 namespace {
 
@@ -25,8 +27,15 @@ TEST(Link, DoubleRemoveIsDetected) {
 #ifdef NDEBUG
   // Release: clamp at zero and log an error rather than corrupting the
   // processor-sharing count for every other flow on the link.
+  CaptureLogSink capture;
+  ScopedLogSink sink_guard(&capture);
   link.remove_flow(2.0);
   EXPECT_EQ(link.active_flows(), 0);
+  EXPECT_TRUE(capture.contains("double remove"));
+  // The link stays functional after the clamp: accounting is not corrupt.
+  const double v0 = link.add_flow(3.0);
+  EXPECT_DOUBLE_EQ(link.service_at(4.0) - v0, 1000.0);
+  EXPECT_EQ(link.active_flows(), 1);
 #else
   // Debug: a double remove is a caller bug and asserts.
   EXPECT_DEATH(link.remove_flow(2.0), "remove_flow");
@@ -45,6 +54,21 @@ TEST(Link, PeakFlowsTracksHighWaterMark) {
   EXPECT_EQ(link.peak_flows(), 3);
   link.add_flow(0.0);
   EXPECT_EQ(link.peak_flows(), 3);  // below the high-water mark
+}
+
+TEST(Link, PeakFlowsSurvivesFinalize) {
+  Link link(BandwidthTrace::constant(1000.0));
+  link.add_flow(0.0);
+  link.add_flow(0.0);
+  link.remove_flow(1.0);
+  link.remove_flow(2.0);  // drained to zero
+  EXPECT_EQ(link.peak_flows(), 2);
+  // Closing the books must not reset the cross-run high-water mark — the
+  // fleet scheduler reads peak_flows *after* finalize().
+  link.finalize(10.0);
+  EXPECT_EQ(link.peak_flows(), 2);
+  EXPECT_EQ(link.active_flows(), 0);
+  EXPECT_DOUBLE_EQ(link.observed_s(), 10.0);
 }
 
 TEST(Link, CapacityFollowsTrace) {

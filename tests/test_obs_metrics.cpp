@@ -1,0 +1,175 @@
+// Metrics-registry contract tests: thread-shard aggregation under the
+// ThreadPool, exponential histogram bucketing, registry snapshots, reset
+// semantics and the disabled-macro fast path.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace demuxabr::obs {
+namespace {
+
+TEST(Counter, AggregatesAcrossPoolThreads) {
+  Counter counter("test.pool_counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int w = 0; w < kThreads; ++w) {
+      futures.push_back(pool.submit([&counter] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetAndSetMax) {
+  Gauge gauge("test.gauge");
+  gauge.set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.set_max(2.0);  // below: keeps the high-water mark
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.set_max(7.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.25);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram hist("test.hist", 1e-3, 20);
+  hist.observe(0.002);
+  hist.observe(0.5);
+  hist.observe(0.004);
+  const Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_NEAR(snap.sum, 0.506, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.min, 0.002);
+  EXPECT_DOUBLE_EQ(snap.max, 0.5);
+  EXPECT_NEAR(snap.mean(), 0.506 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, ExponentialBucketBounds) {
+  // first_bucket 1e-3, bucket i spans (first * 2^(i-1), first * 2^i].
+  Histogram hist("test.hist_bounds", 1e-3, 8);
+  const Histogram::Snapshot empty = hist.snapshot();
+  ASSERT_EQ(empty.bounds.size(), 8u);
+  EXPECT_NEAR(empty.bounds[0], 1e-3, 1e-15);
+  EXPECT_NEAR(empty.bounds[1], 2e-3, 1e-15);
+  EXPECT_NEAR(empty.bounds[6], 64e-3, 1e-12);
+  EXPECT_TRUE(std::isinf(empty.bounds.back()));
+
+  hist.observe(0.5e-3);   // <= first bound -> bucket 0
+  hist.observe(1.0e-3);   // exactly the first bound -> bucket 0
+  hist.observe(1.5e-3);   // (1e-3, 2e-3] -> bucket 1
+  hist.observe(1.0);      // beyond the last finite bound -> overflow bucket
+  const Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // Conservative quantiles: cumulative counts are 2 / 3 / 4 across the
+  // three occupied buckets, so p50 resolves to bucket 0's bound and p75 to
+  // bucket 1's.
+  EXPECT_NEAR(snap.quantile_bound(0.5), 1e-3, 1e-15);
+  EXPECT_NEAR(snap.quantile_bound(0.75), 2e-3, 1e-15);
+  EXPECT_TRUE(std::isinf(snap.quantile_bound(1.0)));
+}
+
+TEST(HistogramTest, AggregatesAcrossPoolThreads) {
+  Histogram hist("test.hist_pool", 1e-6, 32);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int w = 0; w < kThreads; ++w) {
+      futures.push_back(pool.submit([&hist, w] {
+        for (int i = 0; i < kPerThread; ++i) {
+          hist.observe(1e-5 * static_cast<double>(w + 1));
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  const Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(snap.min, 1e-5);
+  EXPECT_DOUBLE_EQ(snap.max, 8e-5);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t n : snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& a = registry.counter("test.registry_counter");
+  Counter& b = registry.counter("test.registry_counter");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  registry.reset();
+  // Reset zeroes but never invalidates: the same object is still live.
+  EXPECT_EQ(a.value(), 0u);
+  a.add(2);
+  EXPECT_EQ(registry.counter("test.registry_counter").value(), 2u);
+  registry.reset();
+}
+
+TEST(Registry, SnapshotsContainInstrumentNames) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.snap_counter").add(3);
+  registry.gauge("test.snap_gauge").set(1.5);
+  registry.histogram("test.snap_hist").observe(0.25);
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("test.snap_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("test.snap_gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.snap_hist"), std::string::npos);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  registry.reset();
+}
+
+TEST(Macros, DisabledMacrosRecordNothing) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+  ASSERT_FALSE(metrics_enabled());
+  DMX_COUNT("test.macro_counter", 1);
+  DMX_HIST("test.macro_hist", 0.5);
+  // The disabled path must not even create the instruments.
+  const std::string text = registry.to_text();
+  EXPECT_EQ(text.find("test.macro_counter"), std::string::npos);
+  EXPECT_EQ(text.find("test.macro_hist"), std::string::npos);
+}
+
+TEST(Macros, EnabledMacrosRecordAndCacheTheInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+  {
+    ScopedMetrics enable;
+    for (int i = 0; i < 10; ++i) DMX_COUNT("test.macro_enabled", 2);
+    DMX_GAUGE_MAX("test.macro_gauge", 4.0);
+    DMX_GAUGE_MAX("test.macro_gauge", 3.0);
+    DMX_HIST("test.macro_latency", 1e-4);
+  }
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_EQ(registry.counter("test.macro_enabled").value(), 20u);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.macro_gauge").value(), 4.0);
+  EXPECT_EQ(registry.histogram("test.macro_latency").snapshot().count, 1u);
+  registry.reset();
+}
+
+}  // namespace
+}  // namespace demuxabr::obs

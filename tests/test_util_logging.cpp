@@ -1,0 +1,121 @@
+// Logging contract tests: level filtering, env-var override, swappable
+// thread-safe sinks, and line integrity under concurrent pool workers.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace demuxabr {
+namespace {
+
+TEST(LogLevelParse, AcceptsAllNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(LogLevelParse, RejectsUnknownNames) {
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("warn ").has_value());
+}
+
+TEST(LogLevelParse, EnvOverrideAppliesWhenValid) {
+  const LogLevel before = log_level();
+  ::setenv("DMX_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(apply_env_log_level(), LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  // Invalid values are ignored and leave the level untouched.
+  ::setenv("DMX_LOG_LEVEL", "bogus", 1);
+  EXPECT_FALSE(apply_env_log_level().has_value());
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  ::unsetenv("DMX_LOG_LEVEL");
+  EXPECT_FALSE(apply_env_log_level().has_value());
+  set_log_level(before);
+}
+
+TEST(LogSinkSwap, CaptureSinkReceivesFormattedLines) {
+  CaptureLogSink capture;
+  ScopedLogSink sink_guard(&capture);
+  ScopedLogLevel level_guard(LogLevel::kInfo);
+
+  DMX_INFO << "hello " << 42;
+  ASSERT_EQ(capture.count(), 1u);
+  EXPECT_TRUE(capture.contains("hello 42"));
+  EXPECT_TRUE(capture.contains("[INFO]"));
+  EXPECT_TRUE(capture.contains("test_util_logging.cpp"));
+}
+
+TEST(LogSinkSwap, LevelFilteringDropsBelowThreshold) {
+  CaptureLogSink capture;
+  ScopedLogSink sink_guard(&capture);
+  ScopedLogLevel level_guard(LogLevel::kWarn);
+
+  DMX_DEBUG << "dropped";
+  DMX_INFO << "dropped too";
+  DMX_WARN << "kept";
+  DMX_ERROR << "also kept";
+  EXPECT_EQ(capture.count(), 2u);
+  EXPECT_FALSE(capture.contains("dropped"));
+  EXPECT_TRUE(capture.contains("kept"));
+
+  set_log_level(LogLevel::kOff);
+  DMX_ERROR << "silenced";
+  EXPECT_EQ(capture.count(), 2u);
+}
+
+TEST(LogSinkSwap, RestoresPreviousSinkOnScopeExit) {
+  CaptureLogSink outer;
+  ScopedLogSink outer_guard(&outer);
+  {
+    CaptureLogSink inner;
+    ScopedLogSink inner_guard(&inner);
+    EXPECT_EQ(log_sink(), &inner);
+  }
+  EXPECT_EQ(log_sink(), &outer);
+}
+
+TEST(LogSinkSwap, ConcurrentWritersKeepLinesIntact) {
+  CaptureLogSink capture;
+  ScopedLogSink sink_guard(&capture);
+  ScopedLogLevel level_guard(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kLinesPerThread = 200;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int w = 0; w < kThreads; ++w) {
+      futures.push_back(pool.submit([w] {
+        for (int i = 0; i < kLinesPerThread; ++i) {
+          DMX_INFO << "worker=" << w << " line=" << i << " end";
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kLinesPerThread));
+  // Every line arrived whole: prefix, payload and terminator all present.
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("[INFO]"), std::string::npos);
+    EXPECT_NE(line.find("worker="), std::string::npos);
+    EXPECT_NE(line.find(" end"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace demuxabr
