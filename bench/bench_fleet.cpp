@@ -21,6 +21,7 @@
 // JSON (open in chrome://tracing or Perfetto) to PATH.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@
 #include "core/coordinated_player.h"
 #include "experiments/scenarios.h"
 #include "fleet/scheduler.h"
+#include "fleet/topology.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -112,9 +114,27 @@ BandwidthTrace trace_by_label(const std::string& label, int clients) {
   std::exit(2);
 }
 
+/// Sharded client → edge → core layout for the topology rows. All three
+/// layers are per-capita-scaled like trace_cases(): access ample (2500
+/// kbps/client), edge at the single-session operating point (900
+/// kbps/client per shard) and the core undersized (700 kbps/client) so the
+/// binding constraint moves between edge and core as shards fill.
+fleet::TopologySpec sharded_spec(int edges, int clients_per_edge) {
+  const double per_edge = static_cast<double>(clients_per_edge);
+  const double total = per_edge * edges;
+  fleet::TopologySpec spec = fleet::TopologySpec::sharded(
+      edges, BandwidthTrace::constant(2500.0 * per_edge),
+      BandwidthTrace::constant(900.0 * per_edge),
+      BandwidthTrace::constant(700.0 * total));
+  spec.video_assignment = fleet::TopologySpec::block_assignment(
+      static_cast<std::size_t>(edges), static_cast<std::size_t>(clients_per_edge));
+  return spec;
+}
+
 struct FleetRunRecord {
   std::string trace;
   std::string engine;
+  std::string topology = "single";  ///< "single" or e.g. "sharded-10x10"
   int clients = 0;
   double wall_s = 0.0;
   std::size_t steps = 0;
@@ -132,11 +152,9 @@ struct FleetRunRecord {
   }
 };
 
-FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
-                        int clients, fleet::Engine engine,
-                        bool profile = false) {
-  fleet::FleetConfig config = fleet_config(clients, engine);
-  config.profile = profile;
+FleetRunRecord run_configured(const ex::ExperimentSetup& setup,
+                              const TraceCase& tc,
+                              const fleet::FleetConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   const fleet::FleetResult result =
       fleet::run_fleet(setup.content, setup.view, tc.trace, config);
@@ -144,8 +162,8 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
   record.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                       .count();
   record.trace = tc.name;
-  record.engine = engine_name(engine);
-  record.clients = clients;
+  record.engine = engine_name(config.engine);
+  record.clients = config.client_count;
   record.steps = result.steps;
   for (const fleet::ClientResult& client : result.clients) {
     record.simulated_s += client.log.end_time_s - client.arrival_s;
@@ -157,13 +175,39 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
   return record;
 }
 
+FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
+                        int clients, fleet::Engine engine,
+                        bool profile = false) {
+  fleet::FleetConfig config = fleet_config(clients, engine);
+  config.profile = profile;
+  return run_configured(setup, tc, config);
+}
+
+/// Topology row: `edges` shards x `clients_per_edge` clients funnelling
+/// into one core. The shared trace argument is ignored by the scheduler
+/// once a topology is set; row utilization/peak report the core link
+/// (link 0 of TopologySpec::sharded, aliased by FleetResult::video_link).
+FleetRunRecord run_topology_case(const ex::ExperimentSetup& setup, int edges,
+                                 int clients_per_edge, fleet::Engine engine,
+                                 bool profile = false) {
+  const int clients = edges * clients_per_edge;
+  fleet::FleetConfig config = fleet_config(clients, engine);
+  config.profile = profile;
+  config.topology = sharded_spec(edges, clients_per_edge);
+  const TraceCase tc{"sharded-core-700k-per-client",
+                     BandwidthTrace::constant(1000.0)};
+  FleetRunRecord record = run_configured(setup, tc, config);
+  record.topology = format("sharded-%dx%d", edges, clients_per_edge);
+  return record;
+}
+
 void print_record(const FleetRunRecord& r) {
   std::printf(
-      "  %-24s %-10s clients=%-4d wall=%7.2fs steps/s=%9.0f "
+      "  %-28s %-10s %-14s clients=%-4d wall=%7.2fs steps/s=%9.0f "
       "sim-s/wall-s=%8.1f qoe=%7.1f jain=%.3f util=%.3f peak_flows=%d\n",
-      r.trace.c_str(), r.engine.c_str(), r.clients, r.wall_s, r.steps_per_s(),
-      r.sim_per_wall(), r.metrics.mean_qoe, r.metrics.jain_fairness_video,
-      r.link_utilization, r.peak_flows);
+      r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
+      r.wall_s, r.steps_per_s(), r.sim_per_wall(), r.metrics.mean_qoe,
+      r.metrics.jain_fairness_video, r.link_utilization, r.peak_flows);
 }
 
 std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
@@ -174,13 +218,15 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const FleetRunRecord& r = records[i];
     out += format(
-        "    {\"trace\": \"%s\", \"engine\": \"%s\", \"clients\": %d, "
+        "    {\"trace\": \"%s\", \"engine\": \"%s\", \"topology\": \"%s\", "
+        "\"clients\": %d, "
         "\"wall_s\": %.6f, \"steps\": %zu, \"steps_per_s\": %.0f, "
         "\"sim_s\": %.1f, \"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
         "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
         "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
         "\"peak_flows\": %d}%s\n",
-        r.trace.c_str(), r.engine.c_str(), r.clients, r.wall_s, r.steps,
+        r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
+        r.wall_s, r.steps,
         r.steps_per_s(), r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
         r.metrics.jain_fairness_video, r.metrics.stall_ratio.p90,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
@@ -228,6 +274,22 @@ void emit_report_once() {
       "barrier rows above %d clients skipped: the reference engine costs "
       "O(N) per step and exists for cross-validation, not scale",
       kBarrierMaxClients));
+  // Sharded client → edge → core topology rows: 10 shards with a
+  // per-capita-scaled core, event-heap at growing per-edge density plus one
+  // barrier point for cross-engine sanity at matched scale.
+  std::printf("=== fleet: sharded 10-edge topology (client -> edge -> core) ===\n");
+  for (const int per_edge : {1, 10, 50}) {
+    const FleetRunRecord r =
+        run_topology_case(setup, 10, per_edge, fleet::Engine::kEventHeap);
+    print_record(r);
+    records.push_back(r);
+  }
+  {
+    const FleetRunRecord r =
+        run_topology_case(setup, 10, 10, fleet::Engine::kBarrier);
+    print_record(r);
+    records.push_back(r);
+  }
   // One dedicated self-profiled event-heap run: phase wall-clock + heap
   // counters land in the report so a steps/s regression localises to a
   // phase across report history.
@@ -308,6 +370,7 @@ struct CliOptions {
   std::string trace = "fixed";        ///< fixed | varying
   double min_steps_per_s = 0.0;       ///< 0 = no floor check
   bool profile = false;               ///< engine self-profile + metrics dump
+  bool topology = false;              ///< sharded 10-edge multi-link fleet
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
 };
 
@@ -315,7 +378,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: bench_fleet [--clients N] [--engine barrier|event_heap|both]\n"
                "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
-               "                   [--profile] [--trace-out trace.json]\n"
+               "                   [--topology] [--profile] [--trace-out trace.json]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -353,6 +416,9 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       cli.profile = true;
       cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--topology") == 0) {
+      cli.topology = true;
+      cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
     }
@@ -386,16 +452,28 @@ int run_cli(const CliOptions& cli) {
   std::unique_ptr<obs::ScopedMetrics> scoped_metrics;
   if (cli.profile) scoped_metrics = std::make_unique<obs::ScopedMetrics>();
 
+  // --topology distributes the requested fleet over 10 equal shards (block
+  // assignment), rounding --clients down to a multiple of 10.
+  const int edges = 10;
+  const int per_edge = cli.topology ? std::max(1, cli.clients / edges) : 0;
+  if (cli.topology && cli.clients != edges * per_edge) {
+    std::fprintf(stderr, "note: --topology rounds %d clients to %d (10 shards)\n",
+                 cli.clients, edges * per_edge);
+  }
+
   bool floor_met = true;
-  std::printf("=== fleet CLI: %d clients, trace=%s ===\n", cli.clients,
-              cli.trace.c_str());
+  std::printf("=== fleet CLI: %d clients, trace=%s%s ===\n", cli.clients,
+              cli.trace.c_str(), cli.topology ? ", sharded 10-edge topology" : "");
   for (const fleet::Engine engine : engines) {
     const FleetRunRecord r =
-        run_case(setup, tc, cli.clients, engine, cli.profile);
+        cli.topology
+            ? run_topology_case(setup, edges, per_edge, engine, cli.profile)
+            : run_case(setup, tc, cli.clients, engine, cli.profile);
     print_record(r);
     // Machine-greppable line for CI floors and trend tracking.
-    std::printf("engine=%s clients=%d steps_per_s=%.0f wall_s=%.3f\n",
-                r.engine.c_str(), r.clients, r.steps_per_s(), r.wall_s);
+    std::printf("engine=%s topology=%s clients=%d steps_per_s=%.0f wall_s=%.3f\n",
+                r.engine.c_str(), r.topology.c_str(), r.clients,
+                r.steps_per_s(), r.wall_s);
     if (cli.profile) {
       std::printf("%s", r.profile.to_table().c_str());
     }

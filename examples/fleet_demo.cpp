@@ -2,7 +2,9 @@
 // bottleneck. Shows the fleet API end to end — population planning (Poisson
 // arrivals, weighted player mix, churn), the shared-link scheduler, per-client
 // outcomes, aggregate metrics, and the determinism fingerprint — then runs a
-// small seed-replication fan-out on the thread pool.
+// small seed-replication fan-out on the thread pool and the same population
+// over a sharded client → edge → core topology (per-link stats, per-edge
+// fairness, bottleneck attribution).
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -11,6 +13,7 @@
 #include "core/coordinated_player.h"
 #include "experiments/scenarios.h"
 #include "fleet/scheduler.h"
+#include "fleet/topology.h"
 #include "players/dashjs.h"
 #include "players/exoplayer.h"
 
@@ -92,6 +95,31 @@ int main() {
         "  seed %3llu: mean QoE %7.1f, jain(video) %.3f, stall p90 %.3f\n",
         static_cast<unsigned long long>(rep.seed), rep.metrics.mean_qoe,
         rep.metrics.jain_fairness_video, rep.metrics.stall_ratio.p90);
+  }
+
+  // The same 12 clients over a multi-link topology (DESIGN.md §9): three
+  // access → edge shards of 4 clients each, funnelling into one undersized
+  // core so the binding constraint moves between the edge and core layers.
+  // The shared trace argument is ignored once a topology is set.
+  config.topology = fleet::TopologySpec::sharded(
+      3, BandwidthTrace::constant(10000.0), BandwidthTrace::constant(3600.0),
+      BandwidthTrace::constant(8400.0));
+  config.topology->video_assignment = fleet::TopologySpec::block_assignment(3, 4);
+  const fleet::FleetResult topo_result =
+      fleet::run_fleet(setup.content, setup.view, setup.trace, config);
+  const fleet::FleetMetrics topo_metrics = fleet::compute_fleet_metrics(topo_result);
+  std::printf("\n=== sharded topology: 3 edges x 4 clients -> 1 core ===\n%s",
+              fleet::summarize(topo_result, topo_metrics).c_str());
+  // Per-path bottleneck attribution: binding_s is per-hop busy time of the
+  // *path* (summed over its flows' wall clock), so a path's row sums to its
+  // own busy seconds, not the fleet's.
+  std::printf("\n=== bottleneck attribution (binding seconds per hop) ===\n");
+  for (const fleet::PathSummary& path : topo_result.paths) {
+    std::printf("  %-10s", path.name.c_str());
+    for (std::size_t h = 0; h < path.hop_names.size(); ++h) {
+      std::printf("  %s=%.1fs", path.hop_names[h].c_str(), path.binding_s[h]);
+    }
+    std::printf("\n");
   }
   return 0;
 }

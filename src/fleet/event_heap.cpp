@@ -12,7 +12,7 @@ EventHeap::EventHeap(std::uint32_t session_count, std::uint32_t link_count)
   heap_.reserve(session_count + link_count);
 }
 
-void EventHeap::sync_link(std::uint32_t link_index, const Link& link, bool force) {
+void EventHeap::sync_link(std::uint32_t link_index, const Channel& link, bool force) {
   ++stats_.sync_checks;
   if (!force && link_epochs_[link_index] == link.epoch()) return;
   ++stats_.sync_refreshes;

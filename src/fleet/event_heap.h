@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "net/link.h"
+#include "net/channel.h"
 #include "util/indexed_min_heap.h"
 
 namespace demuxabr::fleet {
@@ -45,7 +45,7 @@ class EventHeap {
   /// Refresh link `link_index`'s key iff its epoch moved since the last
   /// sync (or unconditionally with `force`). A link with no registered
   /// completions leaves the heap.
-  void sync_link(std::uint32_t link_index, const Link& link, bool force = false);
+  void sync_link(std::uint32_t link_index, const Channel& link, bool force = false);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] Event top() const;

@@ -57,6 +57,38 @@ FleetMetrics compute_fleet_metrics(const FleetResult& result) {
 
   metrics.jain_fairness_video = jain_fairness(video_kbps);
   metrics.jain_fairness_throughput = jain_fairness(throughput);
+
+  // Per-path groups (topology runs): fairness *within* each client→edge→core
+  // shard, so a congested edge shows up as its own unfair group instead of
+  // being averaged away in the fleet-wide numbers.
+  if (!result.paths.empty()) {
+    metrics.path_groups.resize(result.paths.size());
+    std::vector<std::vector<double>> group_video(result.paths.size());
+    std::vector<std::vector<double>> group_throughput(result.paths.size());
+    std::vector<double> group_stall_sum(result.paths.size(), 0.0);
+    for (std::size_t c = 0; c < result.clients.size(); ++c) {
+      const ClientResult& client = result.clients[c];
+      if (client.video_path < 0) continue;
+      const auto p = static_cast<std::size_t>(client.video_path);
+      group_video[p].push_back(video_kbps[c]);
+      group_throughput[p].push_back(throughput[c]);
+      group_stall_sum[p] += stall_ratio[c];
+    }
+    for (std::size_t p = 0; p < result.paths.size(); ++p) {
+      FleetMetrics::PathGroup& group = metrics.path_groups[p];
+      group.name = result.paths[p].name;
+      group.clients = static_cast<int>(group_video[p].size());
+      group.jain_fairness_video = jain_fairness(group_video[p]);
+      group.jain_fairness_throughput = jain_fairness(group_throughput[p]);
+      if (group.clients > 0) {
+        double sum = 0.0;
+        for (const double v : group_video[p]) sum += v;
+        group.mean_video_kbps = sum / static_cast<double>(group.clients);
+        group.mean_stall_ratio = group_stall_sum[p] / static_cast<double>(group.clients);
+      }
+    }
+  }
+
   metrics.video_kbps = summarize_percentiles(std::move(video_kbps));
   metrics.stall_ratio = summarize_percentiles(std::move(stall_ratio));
   metrics.startup_delay_s = summarize_percentiles(std::move(startup));
@@ -103,8 +135,16 @@ std::string fleet_fingerprint(const FleetResult& result) {
     for (const std::string& id : log.audio_selection) out << id << ";";
     out << "\n";
   }
-  fingerprint_link(out, result.video_link);
-  if (result.split_audio) fingerprint_link(out, result.audio_link);
+  // Topology runs serialize every link in declaration order; binding_s is
+  // deliberately absent from fingerprint_link (like `steps`, attribution is
+  // sensitive to tie-break conventions, not to behaviour). A single-link
+  // topology therefore prints the exact line a plain fleet prints.
+  if (!result.links.empty()) {
+    for (const LinkStats& link : result.links) fingerprint_link(out, link);
+  } else {
+    fingerprint_link(out, result.video_link);
+    if (result.split_audio) fingerprint_link(out, result.audio_link);
+  }
   return out.str();
 }
 
@@ -128,14 +168,30 @@ std::string summarize(const FleetResult& result, const FleetMetrics& metrics) {
                 metrics.buffer_imbalance_s.p50, metrics.buffer_imbalance_s.p90,
                 metrics.buffer_imbalance_s.max);
   out << format("  mean QoE: %.1f\n", metrics.mean_qoe);
-  const auto link_line = [&out](const LinkStats& stats) {
+  const auto link_line = [&out, &result](const LinkStats& stats) {
     out << format(
-        "  link %s: utilization=%.3f busy=%.3f avg_flows=%.2f peak_flows=%d\n",
+        "  link %s: utilization=%.3f busy=%.3f avg_flows=%.2f peak_flows=%d",
         stats.name.c_str(), stats.utilization(), stats.busy_fraction(),
         stats.avg_flows(), stats.peak_flows);
+    if (!result.links.empty() && result.end_time_s > 0.0) {
+      out << format(" binding=%.3f", stats.binding_s / result.end_time_s);
+    }
+    out << "\n";
   };
-  link_line(result.video_link);
-  if (result.split_audio) link_line(result.audio_link);
+  if (!result.links.empty()) {
+    for (const LinkStats& stats : result.links) link_line(stats);
+    for (const FleetMetrics::PathGroup& group : metrics.path_groups) {
+      out << format(
+          "  path %s: clients=%d jain_video=%.4f jain_tput=%.4f "
+          "mean_kbps=%.0f stall_ratio=%.3f\n",
+          group.name.c_str(), group.clients, group.jain_fairness_video,
+          group.jain_fairness_throughput, group.mean_video_kbps,
+          group.mean_stall_ratio);
+    }
+  } else {
+    link_line(result.video_link);
+    if (result.split_audio) link_line(result.audio_link);
+  }
   return out.str();
 }
 

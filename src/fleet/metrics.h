@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fleet/shared_link.h"
+#include "fleet/topology.h"
 #include "media/track.h"
 #include "obs/profile.h"
 #include "sim/metrics.h"
@@ -21,6 +22,10 @@ struct ClientResult {
   std::string player;
   double arrival_s = 0.0;
   bool departed_early = false;  ///< churned out before content end
+  /// Topology runs only: path indices this client's media rode (audio ==
+  /// video unless the spec splits audio). -1 for single-link fleets.
+  int video_path = -1;
+  int audio_path = -1;
   SessionLog log;
   QoeReport qoe;
 };
@@ -31,6 +36,11 @@ struct FleetResult {
   std::vector<ClientResult> clients;
   LinkStats video_link;
   LinkStats audio_link;  ///< duplicate of video_link when !split_audio
+  /// Topology runs: per-link stats in link-declaration order (video_link
+  /// then aliases the first entry for convenience) plus per-path closing
+  /// summaries. Both empty for single-link fleets.
+  std::vector<LinkStats> links;
+  std::vector<PathSummary> paths;
   bool split_audio = false;
   double end_time_s = 0.0;  ///< wall time at which the last client finished
   /// Engine work units executed: global barriers (kBarrier) or heap events
@@ -59,6 +69,19 @@ struct FleetMetrics {
   PercentileSummary buffer_imbalance_s;  ///< per-client mean |audio - video| buffer
 
   double mean_qoe = 0.0;
+
+  /// Per-path aggregates of a topology run (the per-edge fairness table of
+  /// EXPERIMENTS.md). Grouped by the clients' video path; empty for
+  /// single-link fleets.
+  struct PathGroup {
+    std::string name;
+    int clients = 0;
+    double jain_fairness_video = 0.0;
+    double jain_fairness_throughput = 0.0;
+    double mean_video_kbps = 0.0;
+    double mean_stall_ratio = 0.0;
+  };
+  std::vector<PathGroup> path_groups;
 };
 
 /// Aggregate a fleet run; per-client QoE must already be populated (the

@@ -8,9 +8,11 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fleet/topology.h"
 #include "sim/player.h"
 #include "sim/session.h"
 
@@ -73,6 +75,13 @@ struct FleetConfig {
 
   /// Per-request RTT of every client's network.
   double rtt_s = 0.05;
+
+  /// Multi-link topology (fleet/topology.h): when set, every client rides a
+  /// *path* of shared links (client → edge → core) chosen by the spec's
+  /// assignment vectors, and the scheduler's bottleneck/audio traces are
+  /// ignored. Unset = today's single shared bottleneck. A
+  /// TopologySpec::single() topology is byte-identical to unset.
+  std::optional<TopologySpec> topology;
 
   /// Collect per-phase wall-clock timings of the engine loop into
   /// FleetResult::profile (obs/profile.h). Purely observational — results

@@ -25,7 +25,9 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
       config_(std::move(config)),
       video_link_(std::move(bottleneck),
                   audio_trace.has_value() ? "video-bottleneck" : "bottleneck") {
-  if (audio_trace.has_value()) {
+  if (config_.topology.has_value()) {
+    topology_.emplace(*config_.topology);
+  } else if (audio_trace.has_value()) {
     audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck");
   }
 }
@@ -36,8 +38,20 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
   client->player = config_.players[plan.player_index].factory();
 
   Network network;
-  network.video_link = video_link_.link();
-  network.audio_link = audio_link_.has_value() ? audio_link_->link() : video_link_.link();
+  if (topology_.has_value()) {
+    const std::size_t video_path = topology_->video_path_for(plan.id);
+    const std::size_t audio_path = topology_->audio_path_for(plan.id);
+    client->video_path = static_cast<int>(video_path);
+    client->audio_path = static_cast<int>(audio_path);
+    network.video_link = topology_->path_channel(video_path);
+    network.audio_link = audio_path == video_path
+                             ? network.video_link
+                             : topology_->path_channel(audio_path);
+  } else {
+    network.video_link = video_link_.link();
+    network.audio_link =
+        audio_link_.has_value() ? audio_link_->link() : video_link_.link();
+  }
   network.rtt_s = config_.rtt_s;
 
   SessionConfig session_config = config_.session;
@@ -69,6 +83,8 @@ void FleetScheduler::finalize_client(Client& client, double now) {
   outcome.id = client.plan.id;
   outcome.player = client.plan.player_label;
   outcome.arrival_s = client.plan.arrival_s;
+  outcome.video_path = client.video_path;
+  outcome.audio_path = client.audio_path;
   outcome.departed_early =
       !client.session->log().completed && client.plan.leave_at_s <= now;
   outcome.log = client.session->finish();
@@ -85,18 +101,25 @@ FleetResult FleetScheduler::run() {
   assert(!config_.players.empty() && "FleetConfig::players must be non-empty");
   const std::vector<ClientPlan> plans = plan_population(config_);
   result_.clients.reserve(plans.size());
-  result_.split_audio = audio_link_.has_value();
+  result_.split_audio =
+      topology_.has_value() ? topology_->split_audio() : audio_link_.has_value();
   slots_.resize(plans.size());
 
   // Trace tracks: links and the engine live in their own id namespaces.
-  video_link_.link()->set_trace_track(obs::kLinkTrackBase);
-  if (audio_link_.has_value()) {
-    audio_link_->link()->set_trace_track(obs::kLinkTrackBase + 1);
+  if (topology_.has_value()) {
+    topology_->name_trace_tracks();
+  } else {
+    video_link_.link()->set_trace_track(obs::kLinkTrackBase);
+    if (audio_link_.has_value()) {
+      audio_link_->link()->set_trace_track(obs::kLinkTrackBase + 1);
+    }
   }
   if (obs::Tracer* tr = obs::tracer()) {
-    tr->name_track(obs::kLinkTrackBase, "link " + video_link_.name());
-    if (audio_link_.has_value()) {
-      tr->name_track(obs::kLinkTrackBase + 1, "link " + audio_link_->name());
+    if (!topology_.has_value()) {
+      tr->name_track(obs::kLinkTrackBase, "link " + video_link_.name());
+      if (audio_link_.has_value()) {
+        tr->name_track(obs::kLinkTrackBase + 1, "link " + audio_link_->name());
+      }
     }
     tr->name_track(obs::kEngineTrack, config_.engine == Engine::kBarrier
                                           ? "engine barrier"
@@ -112,10 +135,21 @@ FleetResult FleetScheduler::run() {
   // result layout is stable regardless of who finished first.
   std::sort(result_.clients.begin(), result_.clients.end(),
             [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
-  video_link_.finalize(end_time);
-  if (audio_link_.has_value()) audio_link_->finalize(end_time);
-  result_.video_link = video_link_.stats();
-  result_.audio_link = audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
+  if (topology_.has_value()) {
+    topology_->finalize(end_time);
+    result_.links = topology_->link_stats();
+    result_.paths = topology_->path_stats();
+    // Convenience aliases so single-link consumers keep working; the
+    // fingerprint serializes result_.links instead.
+    result_.video_link = result_.links.front();
+    result_.audio_link = result_.video_link;
+  } else {
+    video_link_.finalize(end_time);
+    if (audio_link_.has_value()) audio_link_->finalize(end_time);
+    result_.video_link = video_link_.stats();
+    result_.audio_link =
+        audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
+  }
   result_.end_time_s = end_time;
   return std::move(result_);
 }
@@ -205,9 +239,17 @@ double FleetScheduler::run_barrier(const std::vector<ClientPlan>& plans) {
 }
 
 double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
-  std::vector<Link*> links;
-  links.push_back(video_link_.link().get());
-  if (audio_link_.has_value()) links.push_back(audio_link_->link().get());
+  // The heap's "link" entities are carriers with completion registries: the
+  // shared Links of a plain fleet, or one PathChannel per topology path.
+  std::vector<Channel*> links;
+  if (topology_.has_value()) {
+    for (std::size_t p = 0; p < topology_->path_count(); ++p) {
+      links.push_back(topology_->path_channel(p).get());
+    }
+  } else {
+    links.push_back(video_link_.link().get());
+    if (audio_link_.has_value()) links.push_back(audio_link_->link().get());
+  }
 
   EventHeap heap(static_cast<std::uint32_t>(plans.size()),
                  static_cast<std::uint32_t>(links.size()));
@@ -286,7 +328,7 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
         // The link's earliest registered completion is due: route the event
         // to the owning session (token = 2*id + is_video). Firing it bumps
         // the link epoch, so sync_links() below re-keys or clears the entry.
-        Link& link = *links[event.index];
+        Channel& link = *links[event.index];
         if (!link.has_completions()) {
           heap.sync_link(static_cast<std::uint32_t>(event.index), link, true);
           continue;

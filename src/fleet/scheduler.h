@@ -32,6 +32,7 @@
 #include "fleet/metrics.h"
 #include "fleet/population.h"
 #include "fleet/shared_link.h"
+#include "fleet/topology.h"
 #include "manifest/view.h"
 #include "media/content.h"
 #include "net/bandwidth_trace.h"
@@ -44,7 +45,9 @@ class FleetScheduler {
   /// All clients stream `content` (which must outlive run()) through `view`.
   /// `bottleneck` carries every client's audio and video; pass `audio_trace`
   /// to put all audio flows on their own shared pipe instead (the §4.1
-  /// different-servers scenario at fleet scale).
+  /// different-servers scenario at fleet scale). When
+  /// `config.topology` is set, both traces are ignored and every client
+  /// rides its assigned multi-link path instead (fleet/topology.h).
   FleetScheduler(const Content& content, ManifestView view,
                  BandwidthTrace bottleneck, FleetConfig config,
                  std::optional<BandwidthTrace> audio_trace = std::nullopt);
@@ -57,6 +60,8 @@ class FleetScheduler {
     ClientPlan plan;
     std::unique_ptr<PlayerAdapter> player;
     std::unique_ptr<StreamingSession> session;
+    int video_path = -1;  ///< topology path indices (see ClientResult)
+    int audio_path = -1;
   };
 
   /// Build and start client `plan`'s session; returns the slot (owned by
@@ -71,8 +76,9 @@ class FleetScheduler {
   const Content& content_;
   ManifestView view_;
   FleetConfig config_;
-  SharedLink video_link_;
+  SharedLink video_link_;  ///< unused when topology_ is set
   std::optional<SharedLink> audio_link_;
+  std::optional<Topology> topology_;
   std::vector<std::unique_ptr<Client>> slots_;  ///< by client id
   FleetResult result_;
 };

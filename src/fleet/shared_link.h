@@ -24,6 +24,10 @@ struct LinkStats {
   /// Flows still registered when stats were taken. Zero after a clean fleet
   /// run — anything else means a session leaked a processor-sharing slot.
   int residual_flows = 0;
+  /// Topology runs only: total time [s] this link was some traversing
+  /// path's binding constraint (bottleneck attribution, fleet/topology.h).
+  /// Always 0 for a plain single-link fleet; excluded from fingerprints.
+  double binding_s = 0.0;
 
   /// Fraction of offered capacity actually used (processor sharing always
   /// saturates a busy link, so delivered == offered while busy).

@@ -1,0 +1,486 @@
+#include "fleet/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace demuxabr::fleet {
+namespace {
+
+/// Hard cap on path depth so the pure walks can use stack buffers for the
+/// hoisted per-hop inverse populations. validate() enforces it.
+constexpr std::size_t kMaxHops = 16;
+
+std::vector<std::size_t> sorted_unique(std::vector<std::size_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+// --- TopologySpec ---
+
+std::size_t TopologySpec::add_link(std::string name, BandwidthTrace trace) {
+  links.push_back({std::move(name), std::move(trace)});
+  return links.size() - 1;
+}
+
+std::size_t TopologySpec::add_path(std::string name, std::vector<std::size_t> hops) {
+  paths.push_back({std::move(name), std::move(hops)});
+  return paths.size() - 1;
+}
+
+TopologySpec TopologySpec::single(BandwidthTrace trace, std::string name) {
+  TopologySpec spec;
+  const std::size_t link = spec.add_link(std::move(name), std::move(trace));
+  spec.add_path("path", {link});
+  return spec;
+}
+
+TopologySpec TopologySpec::sharded(int edge_count, const BandwidthTrace& access,
+                                   const BandwidthTrace& edge,
+                                   const BandwidthTrace& core) {
+  TopologySpec spec;
+  const std::size_t core_link = spec.add_link("core", core);
+  for (int e = 0; e < edge_count; ++e) {
+    const std::size_t access_link = spec.add_link(format("access-%d", e), access);
+    const std::size_t edge_link = spec.add_link(format("edge-%d", e), edge);
+    spec.add_path(format("shard-%d", e), {access_link, edge_link, core_link});
+  }
+  return spec;
+}
+
+std::vector<std::size_t> TopologySpec::block_assignment(std::size_t path_count,
+                                                        std::size_t clients_per_path) {
+  std::vector<std::size_t> assignment;
+  assignment.reserve(path_count * clients_per_path);
+  for (std::size_t p = 0; p < path_count; ++p) {
+    for (std::size_t c = 0; c < clients_per_path; ++c) assignment.push_back(p);
+  }
+  return assignment;
+}
+
+std::string TopologySpec::validate() const {
+  if (links.empty()) return "topology has no links";
+  if (paths.empty()) return "topology has no paths";
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    if (links[l].name.empty()) return format("link %zu is unnamed", l);
+  }
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const PathSpec& path = paths[p];
+    if (path.hops.empty()) return format("path %zu has no hops", p);
+    if (path.hops.size() > kMaxHops) {
+      return format("path %zu has %zu hops (max %zu)", p, path.hops.size(), kMaxHops);
+    }
+    std::vector<std::size_t> seen = path.hops;
+    std::sort(seen.begin(), seen.end());
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] >= links.size()) {
+        return format("path %zu references link %zu (only %zu links)", p, seen[i],
+                      links.size());
+      }
+      if (i > 0 && seen[i] == seen[i - 1]) {
+        return format("path %zu traverses link %zu twice", p, seen[i]);
+      }
+    }
+  }
+  for (const std::size_t p : video_assignment) {
+    if (p >= paths.size()) return format("video assignment references path %zu", p);
+  }
+  for (const std::size_t p : audio_assignment) {
+    if (p >= paths.size()) return format("audio assignment references path %zu", p);
+  }
+  return "";
+}
+
+// --- PathChannel ---
+
+double PathChannel::add_flow(double now) {
+  topo_->population_change(index_, +1, now);
+  return service_kbit_;
+}
+
+void PathChannel::remove_flow(double now) {
+  topo_->population_change(index_, -1, now);
+}
+
+double PathChannel::service_at(double t) const {
+  if (t <= clock_s_) return service_kbit_;
+  if (active_flows_ <= 0) return service_kbit_;  // idle: nobody is served
+  const std::vector<Topology::LinkNode>& links = topo_->links_;
+  const std::size_t hop_count = hops_.size();
+  double inv[kMaxHops];
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    // Every hop carries at least this path's flows, so the count is >= 1.
+    inv[i] = 1.0 / static_cast<double>(links[hops_[i]].active_flows);
+  }
+  double v = service_kbit_;
+  double at = clock_s_;
+  while (at < t) {
+    double boundary = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < hop_count; ++i) {
+      boundary = std::min(boundary, links[hops_[i]].trace.next_change_after(at));
+    }
+    const double seg_end = std::min(boundary, t);
+    const double dt = seg_end - at;
+    if (dt <= 0.0) break;
+    // Binding hop: smallest fair share; ties keep the earliest hop.
+    std::size_t b = 0;
+    double best = links[hops_[0]].trace.rate_kbps(at) * inv[0];
+    for (std::size_t i = 1; i < hop_count; ++i) {
+      const double share = links[hops_[i]].trace.rate_kbps(at) * inv[i];
+      if (share < best) {
+        best = share;
+        b = i;
+      }
+    }
+    v += links[hops_[b]].trace.rate_kbps(at) * dt * inv[b];
+    at = seg_end;
+  }
+  return v;
+}
+
+double PathChannel::time_when_service_reaches(double v_target) const {
+  if (v_target <= service_kbit_) return clock_s_;
+  if (active_flows_ <= 0) return std::numeric_limits<double>::infinity();
+  const std::vector<Topology::LinkNode>& links = topo_->links_;
+  const std::size_t hop_count = hops_.size();
+  double inv[kMaxHops];
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    inv[i] = 1.0 / static_cast<double>(links[hops_[i]].active_flows);
+  }
+  double v = service_kbit_;
+  double at = clock_s_;
+  // Walk forward one capacity segment at a time, as net/link.h does; the
+  // iteration cap guards against a pathological all-zero tail.
+  for (int guard = 0; guard < 1000000; ++guard) {
+    double boundary = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < hop_count; ++i) {
+      boundary = std::min(boundary, links[hops_[i]].trace.next_change_after(at));
+    }
+    double per_flow_kbps = links[hops_[0]].trace.rate_kbps(at) * inv[0];
+    for (std::size_t i = 1; i < hop_count; ++i) {
+      const double share = links[hops_[i]].trace.rate_kbps(at) * inv[i];
+      if (share < per_flow_kbps) per_flow_kbps = share;
+    }
+    if (per_flow_kbps > 0.0) {
+      const double t_hit = at + (v_target - v) / per_flow_kbps;
+      if (t_hit <= boundary) return t_hit;
+      if (!std::isfinite(boundary)) return t_hit;
+      v += per_flow_kbps * (boundary - at);
+    } else if (!std::isfinite(boundary)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    at = boundary;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double PathChannel::capacity_kbps(double t) const {
+  const std::vector<Topology::LinkNode>& links = topo_->links_;
+  double cap = std::numeric_limits<double>::infinity();
+  for (const std::size_t hop : hops_) {
+    cap = std::min(cap, links[hop].trace.rate_kbps(t));
+  }
+  return cap;
+}
+
+// --- Topology ---
+
+Topology::Topology(TopologySpec spec) {
+  const std::string problem = spec.validate();
+  assert(problem.empty() && "TopologySpec::validate failed");
+  if (!problem.empty()) {
+    DMX_ERROR << "invalid topology (" << problem << ") — behaviour is undefined";
+  }
+  video_assignment_ = std::move(spec.video_assignment);
+  audio_assignment_ = std::move(spec.audio_assignment);
+
+  links_.reserve(spec.links.size());
+  for (std::size_t l = 0; l < spec.links.size(); ++l) {
+    LinkNode node;
+    node.name = std::move(spec.links[l].name);
+    node.trace = std::move(spec.links[l].trace);
+    node.trace_track = obs::kLinkTrackBase + static_cast<std::uint32_t>(l);
+    links_.push_back(std::move(node));
+  }
+
+  paths_.reserve(spec.paths.size());
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    auto path = std::unique_ptr<PathChannel>(new PathChannel());
+    path->topo_ = this;
+    path->index_ = p;
+    path->name_ = std::move(spec.paths[p].name);
+    path->hops_ = std::move(spec.paths[p].hops);
+    path->binding_s_.assign(path->hops_.size(), 0.0);
+    for (const std::size_t hop : path->hops_) links_[hop].paths.push_back(p);
+    paths_.push_back(std::move(path));
+  }
+
+  for (LinkNode& node : links_) {
+    node.saturating = true;
+    std::vector<std::size_t> rel;
+    for (const std::size_t q : node.paths) {
+      if (paths_[q]->hops_.size() > 1) node.saturating = false;
+      rel.insert(rel.end(), paths_[q]->hops_.begin(), paths_[q]->hops_.end());
+    }
+    node.rel_links = sorted_unique(std::move(rel));
+  }
+
+  affected_paths_.resize(paths_.size());
+  affected_links_.resize(paths_.size());
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    std::vector<std::size_t> affected;
+    for (const std::size_t hop : paths_[p]->hops_) {
+      affected.insert(affected.end(), links_[hop].paths.begin(),
+                      links_[hop].paths.end());
+    }
+    affected_paths_[p] = sorted_unique(std::move(affected));
+    std::vector<std::size_t> touched;
+    for (const std::size_t q : affected_paths_[p]) {
+      touched.insert(touched.end(), paths_[q]->hops_.begin(), paths_[q]->hops_.end());
+    }
+    affected_links_[p] = sorted_unique(std::move(touched));
+  }
+}
+
+std::shared_ptr<Channel> Topology::path_channel(std::size_t p) {
+  // Aliasing, non-owning: sessions are torn down before the Topology (the
+  // FleetScheduler owns both, Topology outermost).
+  return {std::shared_ptr<Channel>(), paths_[p].get()};
+}
+
+std::size_t Topology::video_path_for(int client_id) const {
+  const auto id = static_cast<std::size_t>(client_id);
+  if (video_assignment_.empty()) return id % paths_.size();
+  return video_assignment_[id % video_assignment_.size()];
+}
+
+std::size_t Topology::audio_path_for(int client_id) const {
+  if (audio_assignment_.empty()) return video_path_for(client_id);
+  const auto id = static_cast<std::size_t>(client_id);
+  return audio_assignment_[id % audio_assignment_.size()];
+}
+
+void Topology::population_change(std::size_t p, int delta, double now) {
+  PathChannel& path = *paths_[p];
+  if (delta < 0 && path.active_flows_ <= 0) {
+    DMX_COUNT("path.double_removes", 1);
+    assert(false && "PathChannel::remove_flow on an idle path (double remove)");
+    DMX_ERROR << "PathChannel::remove_flow on an idle path (double remove?) — "
+                 "flow accounting is corrupt; clamping at zero";
+    return;
+  }
+  // Advance every affected entity — exactly the paths whose rate this
+  // change can move, and the links those paths traverse — to `now` with the
+  // OLD populations, before any count mutates. Entities outside the
+  // affected set keep their clocks untouched: their rates are unchanged, so
+  // advancing them here would only re-partition their integrals (a
+  // floating-point difference) without an epoch bump to re-key cached
+  // completion predictions.
+  for (const std::size_t q : affected_paths_[p]) advance_path(q, now);
+  for (const std::size_t l : affected_links_[p]) advance_link(l, now);
+
+  path.active_flows_ += delta;
+  path.peak_flows_ = std::max(path.peak_flows_, path.active_flows_);
+  for (const std::size_t hop : path.hops_) {
+    LinkNode& node = links_[hop];
+    node.active_flows += delta;
+    node.peak_flows = std::max(node.peak_flows, node.active_flows);
+    DMX_TRACE_COUNTER(obs::kCatLink, node.trace_track, "active_flows", now,
+                      obs::TraceArgs().kv("flows", node.active_flows));
+  }
+  // Every affected path's completion predictions went stale (its rate, or
+  // its binding constraint, may have moved): bump their epochs so the
+  // event-heap engine lazily re-keys them.
+  for (const std::size_t q : affected_paths_[p]) ++paths_[q]->epoch_;
+  if (delta > 0) {
+    DMX_COUNT("path.flows_added", 1);
+  } else {
+    DMX_COUNT("path.flows_removed", 1);
+  }
+}
+
+void Topology::advance_path(std::size_t p, double now) {
+  PathChannel& path = *paths_[p];
+  if (now <= path.clock_s_) return;
+  if (path.active_flows_ <= 0) {
+    // Idle: V_P is frozen (nobody is served), only the clock moves — the
+    // same gating net/link.h applies to its service integral.
+    path.clock_s_ = now;
+    return;
+  }
+  const std::size_t hop_count = path.hops_.size();
+  double inv[kMaxHops];
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    inv[i] = 1.0 / static_cast<double>(links_[path.hops_[i]].active_flows);
+  }
+  double at = path.clock_s_;
+  while (at < now) {
+    double boundary = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < hop_count; ++i) {
+      boundary = std::min(boundary, links_[path.hops_[i]].trace.next_change_after(at));
+    }
+    const double seg_end = std::min(boundary, now);
+    const double dt = seg_end - at;
+    if (dt <= 0.0) break;  // defensive: a trace must advance time
+    std::size_t b = 0;
+    double best = links_[path.hops_[0]].trace.rate_kbps(at) * inv[0];
+    for (std::size_t i = 1; i < hop_count; ++i) {
+      const double share = links_[path.hops_[i]].trace.rate_kbps(at) * inv[i];
+      if (share < best) {
+        best = share;
+        b = i;
+      }
+    }
+    const double offered = links_[path.hops_[b]].trace.rate_kbps(at) * dt;
+    path.service_kbit_ += offered * inv[b];
+    path.binding_s_[b] += dt;
+    at = seg_end;
+  }
+  path.clock_s_ = now;
+}
+
+void Topology::advance_link(std::size_t l, double now) {
+  LinkNode& node = links_[l];
+  if (now <= node.clock_s) return;
+  double at = node.clock_s;
+  const double inv_flows =
+      node.active_flows > 0 ? 1.0 / static_cast<double>(node.active_flows) : 1.0;
+  if (node.saturating) {
+    // Every traversing path is bottlenecked here alone: processor sharing
+    // saturates the pipe, so delivered == offered while busy. This branch
+    // is expression-for-expression Link::advance_to — what keeps a
+    // single-link topology bit-identical to the plain fleet.
+    while (at < now) {
+      const double boundary = node.trace.next_change_after(at);
+      const double seg_end = std::min(boundary, now);
+      const double dt = seg_end - at;
+      if (dt <= 0.0) break;
+      const double kbps = node.trace.rate_kbps(at);
+      const double offered = kbps * dt;
+      node.offered_kbit += offered;
+      node.flow_seconds += static_cast<double>(node.active_flows) * dt;
+      if (node.active_flows > 0) {
+        node.busy_s += dt;
+        node.delivered_kbit += offered;
+        node.service_kbit += offered * inv_flows;
+      }
+      at = seg_end;
+    }
+    node.clock_s = now;
+    return;
+  }
+  // Multi-hop traffic: this link delivers sum over traversing paths q of
+  // N_q * rate_q, which can be below capacity when a flow's binding
+  // constraint sits elsewhere. Segment boundaries come from every link
+  // whose capacity enters those rates (rel_links), so each segment
+  // integrates a constant.
+  while (at < now) {
+    double boundary = std::numeric_limits<double>::infinity();
+    for (const std::size_t r : node.rel_links) {
+      boundary = std::min(boundary, links_[r].trace.next_change_after(at));
+    }
+    const double seg_end = std::min(boundary, now);
+    const double dt = seg_end - at;
+    if (dt <= 0.0) break;
+    const double kbps = node.trace.rate_kbps(at);
+    const double offered = kbps * dt;
+    node.offered_kbit += offered;
+    node.flow_seconds += static_cast<double>(node.active_flows) * dt;
+    if (node.active_flows > 0) {
+      node.busy_s += dt;
+      node.service_kbit += offered * inv_flows;
+      double rate_sum_kbps = 0.0;
+      for (const std::size_t q : node.paths) {
+        const PathChannel& path = *paths_[q];
+        if (path.active_flows_ <= 0) continue;
+        double share = std::numeric_limits<double>::infinity();
+        for (const std::size_t hop : path.hops_) {
+          const LinkNode& h = links_[hop];
+          share = std::min(share, h.trace.rate_kbps(at) /
+                                      static_cast<double>(std::max(1, h.active_flows)));
+        }
+        rate_sum_kbps += static_cast<double>(path.active_flows_) * share;
+      }
+      node.delivered_kbit += rate_sum_kbps * dt;
+    }
+    at = seg_end;
+  }
+  node.clock_s = now;
+}
+
+void Topology::finalize(double t) {
+  for (std::size_t p = 0; p < paths_.size(); ++p) advance_path(p, t);
+  for (std::size_t l = 0; l < links_.size(); ++l) advance_link(l, t);
+}
+
+std::vector<LinkStats> Topology::link_stats() const {
+  std::vector<LinkStats> stats;
+  stats.reserve(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const LinkNode& node = links_[l];
+    LinkStats s;
+    s.name = node.name;
+    s.observed_s = node.clock_s;
+    s.busy_s = node.busy_s;
+    s.flow_seconds = node.flow_seconds;
+    s.offered_kbit = node.offered_kbit;
+    s.delivered_kbit = node.delivered_kbit;
+    s.peak_flows = node.peak_flows;
+    s.residual_flows = node.active_flows;
+    for (const std::size_t q : node.paths) {
+      const PathChannel& path = *paths_[q];
+      for (std::size_t i = 0; i < path.hops_.size(); ++i) {
+        if (path.hops_[i] == l) s.binding_s += path.binding_s_[i];
+      }
+    }
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::vector<PathSummary> Topology::path_stats() const {
+  std::vector<PathSummary> stats;
+  stats.reserve(paths_.size());
+  for (const std::unique_ptr<PathChannel>& path : paths_) {
+    PathSummary s;
+    s.name = path->name_;
+    for (const std::size_t hop : path->hops_) s.hop_names.push_back(links_[hop].name);
+    s.binding_s = path->binding_s_;
+    s.peak_flows = path->peak_flows_;
+    s.residual_flows = path->active_flows_;
+    s.service_kbit = path->service_kbit_;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+void Topology::name_trace_tracks() const {
+  obs::Tracer* const tracer = obs::tracer();
+  if (tracer == nullptr) return;
+  for (const LinkNode& node : links_) {
+    tracer->name_track(node.trace_track, "link " + node.name);
+  }
+}
+
+double Topology::path_rate_at(std::size_t p, double t) const {
+  const PathChannel& path = *paths_[p];
+  double rate = std::numeric_limits<double>::infinity();
+  for (const std::size_t hop : path.hops_) {
+    rate = std::min(rate, link_fair_share_at(hop, t));
+  }
+  return rate;
+}
+
+double Topology::link_fair_share_at(std::size_t l, double t) const {
+  const LinkNode& node = links_[l];
+  return node.trace.rate_kbps(t) / static_cast<double>(std::max(1, node.active_flows));
+}
+
+}  // namespace demuxabr::fleet

@@ -1,0 +1,264 @@
+// Multi-link fleet topologies: client → edge → core paths over a DAG of
+// named bottleneck links (ROADMAP "sharded multi-link topologies").
+//
+// Each flow traverses a *path* of links and its instantaneous rate is the
+// minimum over the per-link processor-sharing fair shares
+//
+//     rate_P(t) = min over links l in P of  capacity_l(t) / max(1, N_l(t))
+//
+// where N_l counts flows on *every* path through l. The hop attaining the
+// minimum is the path's binding constraint; it can move when any sibling
+// path's population changes. Service is accounted exactly like net/link.h:
+// each path keeps a virtual-time integral V_P(t) of its min-share rate,
+// advanced lazily at population changes of the *affected set* (the paths
+// whose rate can change: those sharing a link with the mutating path), so a
+// flow's bytes are an integral difference and the event-heap engine stays
+// O(log N + affected-topology-size) per event. Completion targets are
+// values of V_P — invariant under population and capacity changes — keyed
+// per path; a binding-constraint move re-keys them lazily through the
+// path's epoch bump (fleet/event_heap.h).
+//
+// A 1-hop path degenerates to net/link.h arithmetic expression-for-
+// expression, so a single-link topology reproduces the plain fleet
+// byte-for-byte (tests/test_fleet_topology.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/shared_link.h"
+#include "net/bandwidth_trace.h"
+#include "net/channel.h"
+#include "obs/trace.h"
+#include "util/indexed_min_heap.h"
+
+namespace demuxabr::fleet {
+
+/// One named bottleneck of the topology.
+struct LinkSpec {
+  std::string name;
+  BandwidthTrace trace;
+};
+
+/// One route through the topology: an ordered list of link indices
+/// (client-side first, core last — order only matters for reporting).
+struct PathSpec {
+  std::string name;
+  std::vector<std::size_t> hops;
+};
+
+/// Declarative topology + client→path assignment. Build with the add_*
+/// helpers (they return indices) or one of the canned constructors, then
+/// hand to FleetConfig::topology.
+struct TopologySpec {
+  std::vector<LinkSpec> links;
+  std::vector<PathSpec> paths;
+
+  /// Video path per client: client `id` rides
+  /// `video_assignment[id % video_assignment.size()]`. Empty = round-robin
+  /// over all paths (`id % paths.size()`).
+  std::vector<std::size_t> video_assignment;
+  /// Audio path per client, same indexing. Empty = audio rides the
+  /// client's video path (the common shared-route case).
+  std::vector<std::size_t> audio_assignment;
+
+  std::size_t add_link(std::string name, BandwidthTrace trace);
+  std::size_t add_path(std::string name, std::vector<std::size_t> hops);
+
+  /// Degenerate 1-link / 1-path topology — byte-identical to the plain
+  /// single-bottleneck fleet (the default name matches FleetScheduler's).
+  static TopologySpec single(BandwidthTrace trace, std::string name = "bottleneck");
+
+  /// Client → edge → core shards: `edge_count` regions, each with its own
+  /// access + edge link, all funnelling into one core uplink. Path i =
+  /// [access-i, edge-i, core]; clients round-robin unless an assignment
+  /// is set (see block_assignment).
+  static TopologySpec sharded(int edge_count, const BandwidthTrace& access,
+                              const BandwidthTrace& edge, const BandwidthTrace& core);
+
+  /// Assignment vector placing `clients_per_path` consecutive client ids on
+  /// each path: [0,0,...,1,1,...]. Combine with sharded() for a
+  /// clients-per-edge layout.
+  static std::vector<std::size_t> block_assignment(std::size_t path_count,
+                                                   std::size_t clients_per_path);
+
+  /// Empty string when well-formed; otherwise a description of the first
+  /// problem (no links, empty/out-of-range/duplicate hops, bad assignment).
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Per-path closing stats (fleet reporting + invariant tests).
+struct PathSummary {
+  std::string name;
+  std::vector<std::string> hop_names;
+  /// Per-hop time [s] this hop was the path's binding constraint while the
+  /// path was busy (ties go to the earliest hop). Sums to the path's busy
+  /// time — the bottleneck-attribution table of EXPERIMENTS.md.
+  std::vector<double> binding_s;
+  int peak_flows = 0;
+  int residual_flows = 0;  ///< flows still registered at finalize (0 = clean)
+  double service_kbit = 0.0;  ///< final per-flow virtual service V_P
+};
+
+class Topology;
+
+/// The Channel a session rides in a topology fleet: one route of links.
+/// All state mutates only at flow-population changes of the affected set,
+/// so every derived quantity is a pure function of identical state in both
+/// fleet engines (same bit-identity argument as net/link.h).
+class PathChannel final : public Channel {
+ public:
+  double add_flow(double now) override;
+  void remove_flow(double now) override;
+  [[nodiscard]] int active_flows() const override { return active_flows_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] double service_at(double t) const override;
+  [[nodiscard]] double time_when_service_reaches(double v_target) const override;
+
+  void register_completion(std::uint32_t token, double v_target_kbit) override {
+    completions_.update(token, v_target_kbit);
+  }
+  void unregister_completion(std::uint32_t token) override {
+    completions_.erase(token);
+  }
+  [[nodiscard]] bool has_completions() const override { return !completions_.empty(); }
+  [[nodiscard]] std::uint32_t earliest_completion_token() const override {
+    return completions_.top().id;
+  }
+  [[nodiscard]] double earliest_completion_time() const override {
+    if (completions_.empty()) return std::numeric_limits<double>::infinity();
+    return time_when_service_reaches(completions_.top().key);
+  }
+
+  /// Minimum hop capacity — the most one unopposed flow could receive.
+  [[nodiscard]] double capacity_kbps(double t) const override;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int peak_flows() const { return peak_flows_; }
+
+ private:
+  friend class Topology;
+  PathChannel() = default;
+
+  Topology* topo_ = nullptr;
+  std::size_t index_ = 0;
+  std::string name_;
+  std::vector<std::size_t> hops_;
+
+  int active_flows_ = 0;
+  int peak_flows_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  double clock_s_ = 0.0;       ///< time up to which V_P is advanced
+  double service_kbit_ = 0.0;  ///< V_P(clock_s_): per-flow min-share integral
+  std::vector<double> binding_s_;  ///< per-hop binding-constraint time
+
+  IndexedMinHeap completions_;  ///< v_target [kbit] per in-flight flow token
+};
+
+/// Runtime topology: owns the link nodes and path channels, performs the
+/// affected-set lazy advancement, and closes the per-link books
+/// (LinkStats) at the end of a run. Built once per fleet run; paths are
+/// handed to sessions as non-owning Channel pointers (the Topology must
+/// outlive every session, which FleetScheduler guarantees).
+class Topology {
+ public:
+  /// `spec` must validate() clean (asserted).
+  explicit Topology(TopologySpec spec);
+
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] const std::string& link_name(std::size_t l) const {
+    return links_[l].name;
+  }
+
+  /// Non-owning handle to path `p` (aliasing shared_ptr; lifetime is the
+  /// Topology's). Wire into a session's Network.
+  [[nodiscard]] std::shared_ptr<Channel> path_channel(std::size_t p);
+
+  [[nodiscard]] std::size_t video_path_for(int client_id) const;
+  [[nodiscard]] std::size_t audio_path_for(int client_id) const;
+  /// True when any client's audio rides a different path than its video.
+  [[nodiscard]] bool split_audio() const { return !audio_assignment_.empty(); }
+
+  /// Advance every path's and link's integrals to `t` (idle tails
+  /// included). Call once at the end of a run, before stats.
+  void finalize(double t);
+
+  /// Per-link closing stats, link-declaration order. binding_s aggregates
+  /// the binding-constraint time of every path this link bottlenecked.
+  [[nodiscard]] std::vector<LinkStats> link_stats() const;
+  [[nodiscard]] std::vector<PathSummary> path_stats() const;
+
+  /// Name one obs trace track per link (obs::kLinkTrackBase + index).
+  void name_trace_tracks() const;
+
+  // --- Invariant-test hooks (tests/test_fleet_topology.cpp). ---
+
+  /// Per-link virtual service V_l = ∫ cap_l / N_l while busy. Any path
+  /// through l satisfies ΔV_P <= ΔV_l over every interval, hence
+  /// V_P(end) <= V_l(end) — the min-share invariant.
+  [[nodiscard]] double link_service_kbit(std::size_t l) const {
+    return links_[l].service_kbit;
+  }
+  [[nodiscard]] double path_service_kbit(std::size_t p) const {
+    return paths_[p]->service_kbit_;
+  }
+  /// Current min-share rate of path `p` at `t` >= the last mutation time.
+  [[nodiscard]] double path_rate_at(std::size_t p, double t) const;
+  /// Current fair share of link `l` at `t` (capacity when idle).
+  [[nodiscard]] double link_fair_share_at(std::size_t l, double t) const;
+  [[nodiscard]] int link_active_flows(std::size_t l) const {
+    return links_[l].active_flows;
+  }
+
+ private:
+  friend class PathChannel;
+
+  struct LinkNode {
+    std::string name;
+    BandwidthTrace trace;
+    int active_flows = 0;
+    int peak_flows = 0;
+    std::uint32_t trace_track = 0;
+
+    double clock_s = 0.0;
+    double service_kbit = 0.0;  ///< V_l: per-flow fair-share integral of this link
+    double busy_s = 0.0;
+    double flow_seconds = 0.0;
+    double offered_kbit = 0.0;
+    double delivered_kbit = 0.0;
+
+    /// Every traversing path is 1-hop: this link alone bottlenecks them,
+    /// so delivered == offered while busy, exactly as net/link.h accounts
+    /// it (keeps the degenerate topology bit-identical to a plain Link).
+    bool saturating = false;
+    std::vector<std::size_t> paths;      ///< paths traversing this link
+    std::vector<std::size_t> rel_links;  ///< hops of those paths (incl. self)
+  };
+
+  /// The one mutation point: path `p` gains (+1) or loses (-1) a flow at
+  /// `now`. Advances every affected path's V and every affected link's
+  /// books to `now` with the OLD populations, then mutates counts and
+  /// bumps every affected path's epoch — preserving the invariant that a
+  /// path's clock moves iff its epoch does, which is what keeps cached
+  /// event-heap keys exact (never stale by a partitioning difference).
+  void population_change(std::size_t p, int delta, double now);
+
+  void advance_path(std::size_t p, double now);
+  void advance_link(std::size_t l, double now);
+
+  std::vector<std::size_t> video_assignment_;
+  std::vector<std::size_t> audio_assignment_;
+  std::vector<LinkNode> links_;
+  std::vector<std::unique_ptr<PathChannel>> paths_;
+  /// Precomputed affected sets per path (sorted): paths sharing a link
+  /// with p, and the union of those paths' hops.
+  std::vector<std::vector<std::size_t>> affected_paths_;
+  std::vector<std::vector<std::size_t>> affected_links_;
+};
+
+}  // namespace demuxabr::fleet

@@ -18,7 +18,10 @@ BandwidthTrace::BandwidthTrace(std::vector<Segment> segments, double period_s)
 }
 
 BandwidthTrace BandwidthTrace::constant(double kbps) {
-  assert(kbps > 0.0);
+  // Zero is allowed: a provisioned-but-dark pipe (a topology link no flow
+  // ever rides) has capacity 0 and closes its books via the 0/0
+  // utilization guard. Negative capacity is always a caller bug.
+  assert(kbps >= 0.0);
   return BandwidthTrace({{0.0, kbps}}, 0.0);
 }
 
@@ -127,9 +130,22 @@ Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text) {
 double BandwidthTrace::rate_kbps(double t) const {
   assert(!segments_.empty());
   if (t < 0.0) t = 0.0;
-  if (period_s_ > 0.0) t = std::fmod(t, period_s_);
-  // Last segment whose start <= t.
-  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+  double local = t;
+  if (period_s_ > 0.0) {
+    double base = std::floor(t / period_s_) * period_s_;
+    while (base + period_s_ <= t) base += period_s_;
+    local = t - base;
+  }
+  // Mirror next_change_after's merge slack: a query landing within eps
+  // below a boundary belongs to the segment that starts at that boundary.
+  // Without this, a walker that stepped to `base + s.start_s` (whose local
+  // reduction rounds just under s.start_s) would hold the previous
+  // segment's rate across the entire next segment, and walkers with
+  // different boundary sets would integrate different rate functions.
+  const double eps = 1e-12 + t * 4e-16;
+  if (period_s_ > 0.0 && local + eps >= period_s_) return segments_.front().kbps;
+  // Last segment whose start <= local (+ slack).
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), local + eps,
                              [](double x, const Segment& s) { return x < s.start_s; });
   return std::prev(it)->kbps;
 }
@@ -143,10 +159,22 @@ double BandwidthTrace::next_change_after(double t) const {
   double local = t;
   if (period_s_ > 0.0) {
     base = std::floor(t / period_s_) * period_s_;
+    // floor(t/period)*period can land a full period below t when t sits
+    // exactly on a wrap boundary in floating point (t/period rounds just
+    // under the integer). Renormalize so base + period > t strictly —
+    // otherwise we'd return t itself and every lazy-integration walk that
+    // steps boundary-to-boundary would stall there, silently truncating
+    // service/utilization integrals.
+    while (base + period_s_ <= t) base += period_s_;
     local = t - base;
   }
+  // The merge slack needs a relative term: once t is large enough that
+  // ulp(t) approaches 1e-12, a boundary passing the absolute test can still
+  // round back to exactly t in `base + s.start_s`, stalling callers the
+  // same way the wrap case above would.
+  const double eps = 1e-12 + t * 4e-16;
   for (const Segment& s : segments_) {
-    if (s.start_s > local + 1e-12) return base + s.start_s;
+    if (s.start_s > local + eps) return base + s.start_s;
   }
   if (period_s_ > 0.0) return base + period_s_;  // wraps to segment 0
   return std::numeric_limits<double>::infinity();

@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "net/bandwidth_trace.h"
+#include "net/channel.h"
 #include "obs/trace.h"
 #include "util/indexed_min_heap.h"
 
@@ -35,39 +36,40 @@ namespace demuxabr {
 /// active flows share it equally (TCP-fair approximation). The simulation
 /// engine registers/unregisters flows (with the current time, so the service
 /// integral can advance) and reads service integrals and completion
-/// predictions.
-class Link {
+/// predictions. This is the single-bottleneck Channel; fleet::PathChannel
+/// composes several Links into a multi-hop carrier.
+class Link final : public Channel {
  public:
   explicit Link(BandwidthTrace trace) : trace_(std::move(trace)) {}
 
   /// Register one flow at time `now` (>= every earlier mutation time).
   /// Returns the service integral at `now` — the joining flow's v_start.
-  double add_flow(double now);
+  double add_flow(double now) override;
 
   /// Unregister one flow at time `now`. Removing from an idle link is a
   /// flow-accounting bug in the caller (double remove) that would corrupt
   /// processor sharing across every other flow on the link: asserts in
   /// debug builds, logs an error and clamps at zero in release.
-  void remove_flow(double now);
+  void remove_flow(double now) override;
 
-  [[nodiscard]] int active_flows() const { return active_flows_; }
+  [[nodiscard]] int active_flows() const override { return active_flows_; }
   /// Highest concurrent flow count ever observed (cross-session contention
   /// headline for shared fleet links).
   [[nodiscard]] int peak_flows() const { return peak_flows_; }
   /// Bumped on every population change; the fleet event engine uses it to
   /// detect that completion predictions keyed on this link went stale.
-  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
 
   /// Per-flow cumulative service [kbit] at `t` >= the last mutation time.
   /// Pure: walks capacity segments from the stored integral without
   /// mutating it, so repeated reads at any t give identical values.
-  [[nodiscard]] double service_at(double t) const;
+  [[nodiscard]] double service_at(double t) const override;
 
   /// Earliest time at which the service integral reaches `v_target`,
   /// assuming the current flow population persists (any population change
   /// re-predicts). Returns the last mutation time when the target has
   /// already been served; +infinity when capacity never delivers it.
-  [[nodiscard]] double time_when_service_reaches(double v_target) const;
+  [[nodiscard]] double time_when_service_reaches(double v_target) const override;
 
   // --- Completion registry (virtual-service targets). ---
   //
@@ -78,24 +80,26 @@ class Link {
 
   /// Register/refresh the completion target of flow `token` (caller-chosen
   /// dense id, unique per in-flight flow on this link).
-  void register_completion(std::uint32_t token, double v_target_kbit) {
+  void register_completion(std::uint32_t token, double v_target_kbit) override {
     completions_.update(token, v_target_kbit);
   }
-  void unregister_completion(std::uint32_t token) { completions_.erase(token); }
-  [[nodiscard]] bool has_completions() const { return !completions_.empty(); }
+  void unregister_completion(std::uint32_t token) override { completions_.erase(token); }
+  [[nodiscard]] bool has_completions() const override { return !completions_.empty(); }
   /// Token of the earliest finisher (smallest target, then smallest token).
-  [[nodiscard]] std::uint32_t earliest_completion_token() const {
+  [[nodiscard]] std::uint32_t earliest_completion_token() const override {
     return completions_.top().id;
   }
   /// Wall-clock time of the earliest registered completion; +infinity when
   /// none are registered.
-  [[nodiscard]] double earliest_completion_time() const {
+  [[nodiscard]] double earliest_completion_time() const override {
     if (completions_.empty()) return std::numeric_limits<double>::infinity();
     return time_when_service_reaches(completions_.top().key);
   }
 
   /// Total capacity at time t.
-  [[nodiscard]] double capacity_kbps(double t) const { return trace_.rate_kbps(t); }
+  [[nodiscard]] double capacity_kbps(double t) const override {
+    return trace_.rate_kbps(t);
+  }
 
   /// Rate each active flow receives at time t (capacity when idle, so a
   /// flow about to start can be quoted).
@@ -155,12 +159,14 @@ class Link {
   IndexedMinHeap completions_;  ///< v_target [kbit] per in-flight flow token
 };
 
-/// The network between client and server(s): one link per media type.
+/// The network between client and server(s): one carrier per media type.
 /// `shared` points both media types at the same Link object so concurrent
 /// audio+video downloads contend (the root of Shaka's mis-estimation, §3.3).
+/// A topology-aware fleet instead wires each member at a fleet::PathChannel
+/// via `over`, so both media types ride a multi-hop client→edge→core path.
 struct Network {
-  std::shared_ptr<Link> video_link;
-  std::shared_ptr<Link> audio_link;
+  std::shared_ptr<Channel> video_link;
+  std::shared_ptr<Channel> audio_link;
   /// Per-request startup latency (connection + request RTT).
   double rtt_s = 0.05;
 
@@ -181,8 +187,19 @@ struct Network {
     return net;
   }
 
+  /// Wire arbitrary carriers (e.g. topology paths). `audio` may equal
+  /// `video` for the shared case.
+  static Network over(std::shared_ptr<Channel> video, std::shared_ptr<Channel> audio,
+                      double rtt_s = 0.05) {
+    Network net;
+    net.video_link = std::move(video);
+    net.audio_link = std::move(audio);
+    net.rtt_s = rtt_s;
+    return net;
+  }
+
   [[nodiscard]] bool is_shared() const { return video_link == audio_link; }
-  [[nodiscard]] Link& link_for(bool is_video) const {
+  [[nodiscard]] Channel& link_for(bool is_video) const {
     return is_video ? *video_link : *audio_link;
   }
 };

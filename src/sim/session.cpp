@@ -154,7 +154,7 @@ std::optional<ProgressSample> StreamingSession::emit_progress(Flow& f, double t1
 void StreamingSession::abort_flow(Flow& f) {
   assert(f.active);
   if (f.on_link) {
-    Link& link = link_of(f);
+    Channel& link = link_of(f);
     link.remove_flow(now_);
     link.unregister_completion(f.token);
     f.on_link = false;
@@ -183,7 +183,7 @@ void StreamingSession::complete_flow(Flow& f) {
   // Final (partial-interval) progress sample, then the completion event.
   emit_progress(f, now_);
   if (f.on_link) {
-    Link& link = link_of(f);
+    Channel& link = link_of(f);
     link.remove_flow(now_);
     link.unregister_completion(f.token);
     f.on_link = false;
@@ -422,7 +422,7 @@ void StreamingSession::begin_step() {
   // as the flow's zero point and file its completion target with the link.
   for (Flow* f : {&audio_flow_, &video_flow_}) {
     if (f->active && !f->on_link && now_ >= f->data_start_t) {
-      Link& link = link_of(*f);
+      Channel& link = link_of(*f);
       f->v_start_kbit = link.add_flow(now_);
       f->v_target_kbit =
           f->v_start_kbit + static_cast<double>(f->total_bytes) * 0.008;

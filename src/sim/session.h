@@ -205,7 +205,7 @@ class StreamingSession {
   [[nodiscard]] int active_flow_count() const {
     return (audio_flow_.active ? 1 : 0) + (video_flow_.active ? 1 : 0);
   }
-  [[nodiscard]] Link& link_of(const Flow& f) const {
+  [[nodiscard]] Channel& link_of(const Flow& f) const {
     return network_.link_for(f.request.type == MediaType::kVideo);
   }
 

@@ -49,6 +49,25 @@ TEST(SquareWave, NextChangeAfterWrapsAcrossPeriods) {
   EXPECT_DOUBLE_EQ(trace.next_change_after(100.0), 120.0);
 }
 
+TEST(SquareWave, NextChangeAfterIsStrictlyIncreasingOnAwkwardPeriods) {
+  // Regression: with a period whose multiples round awkwardly, a boundary-
+  // to-boundary walk used to stall — floor(t/period)*period could land a
+  // full period below t at an exact FP wrap multiple, so next_change_after
+  // returned t itself and every lazy-integration loop silently truncated
+  // there. Walk several thousand boundaries and require strict progress.
+  const auto trace = BandwidthTrace::square_wave(
+      676.7267339026979, 1025.0480340390654, 4.1034567891234567,
+      5.3036690469870599);
+  double at = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double next = trace.next_change_after(at);
+    ASSERT_GT(next, at) << "stalled at boundary " << i;
+    at = next;
+  }
+  // And the walk covered real time (~period/2 per boundary).
+  EXPECT_GT(at, 5000.0);
+}
+
 TEST(Steps, NonRepeatingHoldsLastRate) {
   const auto trace =
       BandwidthTrace::steps({{10.0, 500.0}, {10.0, 1000.0}}, /*repeat=*/false);
