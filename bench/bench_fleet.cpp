@@ -13,13 +13,25 @@
 //
 //   bench_fleet --clients 200 --engine event_heap [--trace fixed]
 //               [--min-steps-per-s 40000] [--profile] [--trace-out PATH]
+//               [--topology | --disjoint] [--threads N] [--streaming]
+//               [--max-rss-mib F]
 //
 // CLI mode runs exactly the requested fleet, prints one row per engine, and
-// exits non-zero when a --min-steps-per-s floor is not met. --profile turns
-// on the engine self-profiler and the metrics registry and prints both;
-// --trace-out captures the run with a Tracer and writes Chrome trace-event
-// JSON (open in chrome://tracing or Perfetto) to PATH.
+// exits non-zero when a --min-steps-per-s floor is not met or peak RSS
+// exceeds --max-rss-mib. --profile turns on the engine self-profiler and
+// the metrics registry and prints both; --trace-out captures the run with a
+// Tracer and writes Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto) to PATH. --disjoint swaps the shared-core layout for causally
+// independent per-edge chains, which partition into parallel shards
+// (fleet/shard.h) driven by --threads; --streaming drops per-session logs
+// for O(shards + sketch) memory (fleet/metrics.h StreamingFleetStats).
+// Every row reports the process peak RSS (getrusage high-water mark —
+// cumulative, so within one process it reflects the largest run so far).
 #include <benchmark/benchmark.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include <algorithm>
 #include <chrono>
@@ -57,6 +69,23 @@ constexpr int kBarrierMaxClients = 100;
 
 const char* engine_name(fleet::Engine engine) {
   return engine == fleet::Engine::kBarrier ? "barrier" : "event_heap";
+}
+
+/// Process peak resident set in MiB (getrusage high-water mark; 0.0 where
+/// unavailable). Cumulative per process: a row's value reflects the largest
+/// allocation footprint of any run up to and including it.
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
 }
 
 /// 60% ExoPlayer, 25% dash.js, 15% coordinated — a plausible demuxed-ABR
@@ -131,11 +160,34 @@ fleet::TopologySpec sharded_spec(int edges, int clients_per_edge) {
   return spec;
 }
 
+/// Causally disjoint per-edge chains: one edge → core pair per shard, no
+/// shared links, so partition_fleet() splits the fleet into `edges`
+/// independent shards that run concurrently under --threads != 1 with a
+/// byte-identical merged fingerprint (tests/test_fleet_shard.cpp). Same
+/// per-capita scaling as sharded_spec, minus the shared core.
+fleet::TopologySpec disjoint_spec(int edges, int clients_per_edge) {
+  const double per_edge = static_cast<double>(clients_per_edge);
+  fleet::TopologySpec spec;
+  for (int e = 0; e < edges; ++e) {
+    const std::size_t edge = spec.add_link(
+        format("edge-%d", e), BandwidthTrace::constant(900.0 * per_edge));
+    const std::size_t core = spec.add_link(
+        format("core-%d", e), BandwidthTrace::constant(700.0 * per_edge));
+    spec.add_path(format("chain-%d", e), {edge, core});
+  }
+  spec.video_assignment = fleet::TopologySpec::block_assignment(
+      static_cast<std::size_t>(edges), static_cast<std::size_t>(clients_per_edge));
+  return spec;
+}
+
 struct FleetRunRecord {
   std::string trace;
   std::string engine;
-  std::string topology = "single";  ///< "single" or e.g. "sharded-10x10"
+  std::string topology = "single";  ///< "single", "sharded-10x10", "disjoint-10x50"
   int clients = 0;
+  int threads = 1;
+  bool streaming = false;
+  double peak_rss_mib = 0.0;  ///< process high-water mark after the run
   double wall_s = 0.0;
   std::size_t steps = 0;
   double simulated_s = 0.0;
@@ -164,9 +216,16 @@ FleetRunRecord run_configured(const ex::ExperimentSetup& setup,
   record.trace = tc.name;
   record.engine = engine_name(config.engine);
   record.clients = config.client_count;
+  record.threads = config.threads;
+  record.streaming = result.streaming.has_value();
+  record.peak_rss_mib = peak_rss_mib();
   record.steps = result.steps;
-  for (const fleet::ClientResult& client : result.clients) {
-    record.simulated_s += client.log.end_time_s - client.arrival_s;
+  if (result.streaming.has_value()) {
+    record.simulated_s = result.streaming->active_s_sum;
+  } else {
+    for (const fleet::ClientResult& client : result.clients) {
+      record.simulated_s += client.log.end_time_s - client.arrival_s;
+    }
   }
   record.metrics = compute_fleet_metrics(result);
   record.link_utilization = result.video_link.utilization();
@@ -189,25 +248,54 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
 /// (link 0 of TopologySpec::sharded, aliased by FleetResult::video_link).
 FleetRunRecord run_topology_case(const ex::ExperimentSetup& setup, int edges,
                                  int clients_per_edge, fleet::Engine engine,
-                                 bool profile = false) {
+                                 bool profile = false, int threads = 1,
+                                 bool streaming = false, bool disjoint = false) {
   const int clients = edges * clients_per_edge;
   fleet::FleetConfig config = fleet_config(clients, engine);
   config.profile = profile;
-  config.topology = sharded_spec(edges, clients_per_edge);
-  const TraceCase tc{"sharded-core-700k-per-client",
+  config.threads = threads;
+  if (streaming) config.streaming.client_threshold = 0;
+  config.topology = disjoint ? disjoint_spec(edges, clients_per_edge)
+                             : sharded_spec(edges, clients_per_edge);
+  const TraceCase tc{disjoint ? "disjoint-chains-700k-per-client"
+                              : "sharded-core-700k-per-client",
                      BandwidthTrace::constant(1000.0)};
   FleetRunRecord record = run_configured(setup, tc, config);
-  record.topology = format("sharded-%dx%d", edges, clients_per_edge);
+  record.topology = format(disjoint ? "disjoint-%dx%d" : "sharded-%dx%d", edges,
+                           clients_per_edge);
+  return record;
+}
+
+/// The million-client row: a flash crowd of 1000 causally independent
+/// shards x 1000 concurrent clients each, streaming metrics on (per-session
+/// logs would be ~10^6 × O(chunks) of memory; the sketches are O(shards)).
+/// ~2.4 G engine steps — minutes of wall time, so opt-in via
+/// BENCH_FLEET_MILLION=1.
+FleetRunRecord run_million_case(const ex::ExperimentSetup& setup) {
+  const int edges = 1000;
+  const int per_edge = 1000;
+  fleet::FleetConfig config = fleet_config(edges * per_edge,
+                                           fleet::Engine::kEventHeap);
+  config.arrivals = fleet::ArrivalProcess::kSimultaneous;  // 1M concurrent
+  config.threads = 0;  // hardware default
+  config.streaming.client_threshold = 0;
+  config.topology = disjoint_spec(edges, per_edge);
+  const TraceCase tc{"disjoint-chains-700k-per-client",
+                     BandwidthTrace::constant(1000.0)};
+  FleetRunRecord record = run_configured(setup, tc, config);
+  record.topology = format("disjoint-%dx%d", edges, per_edge);
   return record;
 }
 
 void print_record(const FleetRunRecord& r) {
   std::printf(
-      "  %-28s %-10s %-14s clients=%-4d wall=%7.2fs steps/s=%9.0f "
-      "sim-s/wall-s=%8.1f qoe=%7.1f jain=%.3f util=%.3f peak_flows=%d\n",
+      "  %-28s %-10s %-16s clients=%-7d threads=%d%s wall=%7.2fs "
+      "steps/s=%9.0f sim-s/wall-s=%8.1f qoe=%7.1f jain=%.3f util=%.3f "
+      "peak_flows=%d rss=%.0fMiB\n",
       r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
-      r.wall_s, r.steps_per_s(), r.sim_per_wall(), r.metrics.mean_qoe,
-      r.metrics.jain_fairness_video, r.link_utilization, r.peak_flows);
+      r.threads, r.streaming ? " streaming" : "", r.wall_s, r.steps_per_s(),
+      r.sim_per_wall(), r.metrics.mean_qoe, r.metrics.jain_fairness_video,
+      r.link_utilization, r.peak_flows, r.peak_rss_mib);
 }
 
 std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
@@ -219,18 +307,18 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
     const FleetRunRecord& r = records[i];
     out += format(
         "    {\"trace\": \"%s\", \"engine\": \"%s\", \"topology\": \"%s\", "
-        "\"clients\": %d, "
+        "\"clients\": %d, \"threads\": %d, \"streaming\": %s, "
         "\"wall_s\": %.6f, \"steps\": %zu, \"steps_per_s\": %.0f, "
         "\"sim_s\": %.1f, \"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
         "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
         "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
-        "\"peak_flows\": %d}%s\n",
+        "\"peak_flows\": %d, \"peak_rss_mib\": %.1f}%s\n",
         r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
-        r.wall_s, r.steps,
+        r.threads, r.streaming ? "true" : "false", r.wall_s, r.steps,
         r.steps_per_s(), r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
         r.metrics.jain_fairness_video, r.metrics.stall_ratio.p90,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
-        i + 1 < records.size() ? "," : "");
+        r.peak_rss_mib, i + 1 < records.size() ? "," : "");
   }
   out += "  ],\n";
   if (!profile_json.empty()) {
@@ -289,6 +377,52 @@ void emit_report_once() {
         run_topology_case(setup, 10, 10, fleet::Engine::kBarrier);
     print_record(r);
     records.push_back(r);
+  }
+  // Parallel disjoint-shard rows: 10 causally independent chains whose
+  // engines run concurrently on the ThreadPool. Fingerprints are
+  // byte-identical across thread counts (tests/test_fleet_shard.cpp), so
+  // the threads column measures speed and overhead, never drift.
+  std::printf("=== fleet: disjoint 10-chain topology, parallel shards ===\n");
+  for (const int threads : {1, 2}) {
+    const FleetRunRecord r =
+        run_topology_case(setup, 10, 50, fleet::Engine::kEventHeap,
+                          /*profile=*/false, threads, /*streaming=*/false,
+                          /*disjoint=*/true);
+    print_record(r);
+    records.push_back(r);
+  }
+  // Streaming-metrics rows: per-session logs off, memory O(shards + sketch
+  // buckets) instead of O(clients × log length); peak_rss_mib is the
+  // memory-bound witness.
+  std::printf("=== fleet: streaming-metrics mode (no per-session logs) ===\n");
+  for (const int per_edge : {50, 100}) {
+    const FleetRunRecord r = run_topology_case(
+        setup, 10, per_edge, fleet::Engine::kEventHeap, false, 2, true, true);
+    print_record(r);
+    records.push_back(r);
+  }
+  notes.push_back(
+      "threads>1 rows on single-core hosts measure shard-merge overhead, not "
+      "speedup; steps/s scales with physical cores (shards are causally "
+      "independent)");
+  notes.push_back(
+      "peak_rss_mib is the process getrusage high-water mark: cumulative "
+      "within the report run, so each row reflects the largest fleet "
+      "executed up to that point");
+  // The million-client row costs minutes of wall time: opt-in.
+  if (const char* million = std::getenv("BENCH_FLEET_MILLION");
+      million != nullptr && million[0] == '1') {
+    std::printf(
+        "=== fleet: 1M concurrent clients, 1000 disjoint shards, streaming "
+        "===\n");
+    const FleetRunRecord r = run_million_case(setup);
+    print_record(r);
+    records.push_back(r);
+  } else {
+    notes.push_back(
+        "set BENCH_FLEET_MILLION=1 to append the 1M-client streaming row "
+        "(1000 disjoint shards x 1000 concurrent clients; ~2.4G engine "
+        "steps, minutes of wall time)");
   }
   // One dedicated self-profiled event-heap run: phase wall-clock + heap
   // counters land in the report so a steps/s regression localises to a
@@ -369,8 +503,12 @@ struct CliOptions {
   std::string engine = "event_heap";  ///< barrier | event_heap | both
   std::string trace = "fixed";        ///< fixed | varying
   double min_steps_per_s = 0.0;       ///< 0 = no floor check
+  double max_rss_mib = 0.0;           ///< 0 = no RSS ceiling check
+  int threads = 1;                    ///< shard workers (0 = hardware)
+  bool streaming = false;             ///< streaming-metrics mode (no logs)
   bool profile = false;               ///< engine self-profile + metrics dump
   bool topology = false;              ///< sharded 10-edge multi-link fleet
+  bool disjoint = false;              ///< disjoint per-edge chains (parallel)
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
 };
 
@@ -378,7 +516,9 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: bench_fleet [--clients N] [--engine barrier|event_heap|both]\n"
                "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
-               "                   [--topology] [--profile] [--trace-out trace.json]\n"
+               "                   [--max-rss-mib F] [--threads N] [--streaming]\n"
+               "                   [--topology | --disjoint] [--profile]\n"
+               "                   [--trace-out trace.json]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -413,11 +553,23 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (const char* v5 = value_of("--trace-out", i)) {
       cli.trace_out = v5;
       cli.cli_mode = true;
+    } else if (const char* v6 = value_of("--max-rss-mib", i)) {
+      cli.max_rss_mib = std::atof(v6);
+      cli.cli_mode = true;
+    } else if (const char* v7 = value_of("--threads", i)) {
+      cli.threads = std::atoi(v7);
+      cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      cli.streaming = true;
+      cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       cli.profile = true;
       cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--topology") == 0) {
       cli.topology = true;
+      cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--disjoint") == 0) {
+      cli.disjoint = true;
       cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
@@ -452,28 +604,42 @@ int run_cli(const CliOptions& cli) {
   std::unique_ptr<obs::ScopedMetrics> scoped_metrics;
   if (cli.profile) scoped_metrics = std::make_unique<obs::ScopedMetrics>();
 
-  // --topology distributes the requested fleet over 10 equal shards (block
-  // assignment), rounding --clients down to a multiple of 10.
+  // --topology / --disjoint distribute the requested fleet over 10 equal
+  // shards (block assignment), rounding --clients down to a multiple of 10.
+  const bool multi_link = cli.topology || cli.disjoint;
   const int edges = 10;
-  const int per_edge = cli.topology ? std::max(1, cli.clients / edges) : 0;
-  if (cli.topology && cli.clients != edges * per_edge) {
+  const int per_edge = multi_link ? std::max(1, cli.clients / edges) : 0;
+  if (multi_link && cli.clients != edges * per_edge) {
     std::fprintf(stderr, "note: --topology rounds %d clients to %d (10 shards)\n",
                  cli.clients, edges * per_edge);
   }
 
   bool floor_met = true;
-  std::printf("=== fleet CLI: %d clients, trace=%s%s ===\n", cli.clients,
-              cli.trace.c_str(), cli.topology ? ", sharded 10-edge topology" : "");
+  std::printf("=== fleet CLI: %d clients, trace=%s%s%s%s ===\n", cli.clients,
+              cli.trace.c_str(),
+              cli.disjoint ? ", disjoint 10-chain topology"
+                           : (cli.topology ? ", sharded 10-edge topology" : ""),
+              cli.threads != 1 ? format(", threads=%d", cli.threads).c_str() : "",
+              cli.streaming ? ", streaming metrics" : "");
   for (const fleet::Engine engine : engines) {
-    const FleetRunRecord r =
-        cli.topology
-            ? run_topology_case(setup, edges, per_edge, engine, cli.profile)
-            : run_case(setup, tc, cli.clients, engine, cli.profile);
+    FleetRunRecord r;
+    if (multi_link) {
+      r = run_topology_case(setup, edges, per_edge, engine, cli.profile,
+                            cli.threads, cli.streaming, cli.disjoint);
+    } else {
+      fleet::FleetConfig config = fleet_config(cli.clients, engine);
+      config.profile = cli.profile;
+      config.threads = cli.threads;
+      if (cli.streaming) config.streaming.client_threshold = 0;
+      r = run_configured(setup, tc, config);
+    }
     print_record(r);
     // Machine-greppable line for CI floors and trend tracking.
-    std::printf("engine=%s topology=%s clients=%d steps_per_s=%.0f wall_s=%.3f\n",
-                r.engine.c_str(), r.topology.c_str(), r.clients,
-                r.steps_per_s(), r.wall_s);
+    std::printf(
+        "engine=%s topology=%s clients=%d threads=%d streaming=%d "
+        "steps_per_s=%.0f wall_s=%.3f peak_rss_mib=%.1f\n",
+        r.engine.c_str(), r.topology.c_str(), r.clients, r.threads,
+        r.streaming ? 1 : 0, r.steps_per_s(), r.wall_s, r.peak_rss_mib);
     if (cli.profile) {
       std::printf("%s", r.profile.to_table().c_str());
     }
@@ -481,6 +647,11 @@ int run_cli(const CliOptions& cli) {
       std::fprintf(stderr,
                    "FAIL: %s steps_per_s %.0f below floor %.0f\n",
                    r.engine.c_str(), r.steps_per_s(), cli.min_steps_per_s);
+      floor_met = false;
+    }
+    if (cli.max_rss_mib > 0.0 && r.peak_rss_mib > cli.max_rss_mib) {
+      std::fprintf(stderr, "FAIL: %s peak RSS %.1f MiB above ceiling %.1f MiB\n",
+                   r.engine.c_str(), r.peak_rss_mib, cli.max_rss_mib);
       floor_met = false;
     }
     if (scoped_tracer != nullptr) {

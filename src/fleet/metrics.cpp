@@ -1,6 +1,7 @@
 #include "fleet/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -9,28 +10,181 @@
 namespace demuxabr::fleet {
 namespace {
 
-/// Time-weighted mean |audio - video| buffer level over the session's series
-/// samples (both series are sampled at the same instants by the engine).
-double mean_buffer_imbalance(const SessionLog& log) {
-  const auto& audio = log.audio_buffer_s.points();
-  const auto& video = log.video_buffer_s.points();
-  const std::size_t n = std::min(audio.size(), video.size());
-  if (n < 2) return 0.0;
-  double integral = 0.0;
-  double total = 0.0;
-  for (std::size_t i = 1; i < n; ++i) {
-    const double dt = audio[i].t - audio[i - 1].t;
-    if (dt <= 0.0) continue;
-    integral += std::abs(audio[i - 1].value - video[i - 1].value) * dt;
-    total += dt;
+/// Jain's index from exact moment sums — float-for-float the formula of
+/// util/stats.h jain_fairness, evaluated on accumulated Σx / Σx² instead of
+/// a materialized vector (the streaming path never holds one).
+double jain_from_moments(double sum, double sq_sum, std::size_t n) {
+  if (n == 0) return 0.0;
+  if (sq_sum <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(n) * sq_sum);
+}
+
+/// Per-client derived scalars shared by the full and streaming aggregation
+/// paths (one definition so the two modes cannot drift).
+struct ClientScalars {
+  double video_kbps = 0.0;
+  double throughput = 0.0;  ///< bytes per active second
+  double stall_ratio = 0.0;
+  double startup_s = 0.0;
+  double imbalance_s = 0.0;
+  double active_s = 0.0;  ///< session wall time (end − arrival)
+};
+
+ClientScalars derive_scalars(const ClientResult& client) {
+  ClientScalars s;
+  s.video_kbps = client.qoe.avg_video_kbps;
+  s.active_s = client.log.end_time_s - client.arrival_s;
+  const double active_s = s.active_s;
+  if (active_s > 0.0) {
+    s.throughput =
+        static_cast<double>(client.log.total_downloaded_bytes()) / active_s;
+    s.stall_ratio = client.log.total_stall_s() / active_s;
   }
-  return total > 0.0 ? integral / total : 0.0;
+  s.startup_s = client.log.startup_delay_s;
+  s.imbalance_s = client.log.mean_buffer_imbalance_s();
+  return s;
 }
 
 }  // namespace
 
+StreamingFleetStats::StreamingFleetStats(double relative_error)
+    : video_kbps(relative_error),
+      stall_ratio(relative_error),
+      startup_delay_s(relative_error),
+      buffer_imbalance_s(relative_error) {}
+
+void StreamingFleetStats::add_client(const ClientResult& client) {
+  const ClientScalars s = derive_scalars(client);
+  ++clients;
+  if (client.log.completed) ++completed;
+  if (client.departed_early) ++departed_early;
+  qoe_sum += client.qoe.qoe_score;
+  active_s_sum += s.active_s;
+  video_kbps_sum += s.video_kbps;
+  video_kbps_sq_sum += s.video_kbps * s.video_kbps;
+  throughput_sum += s.throughput;
+  throughput_sq_sum += s.throughput * s.throughput;
+  video_kbps.add(s.video_kbps);
+  stall_ratio.add(s.stall_ratio);
+  startup_delay_s.add(s.startup_s);
+  buffer_imbalance_s.add(s.imbalance_s);
+  if (client.video_path >= 0 &&
+      static_cast<std::size_t>(client.video_path) < paths.size()) {
+    PathAcc& acc = paths[static_cast<std::size_t>(client.video_path)];
+    ++acc.clients;
+    acc.video_sum += s.video_kbps;
+    acc.video_sq_sum += s.video_kbps * s.video_kbps;
+    acc.throughput_sum += s.throughput;
+    acc.throughput_sq_sum += s.throughput * s.throughput;
+    acc.stall_ratio_sum += s.stall_ratio;
+  }
+}
+
+void StreamingFleetStats::merge(const StreamingFleetStats& other,
+                                const std::vector<std::size_t>* path_map) {
+  clients += other.clients;
+  completed += other.completed;
+  departed_early += other.departed_early;
+  qoe_sum += other.qoe_sum;
+  active_s_sum += other.active_s_sum;
+  video_kbps_sum += other.video_kbps_sum;
+  video_kbps_sq_sum += other.video_kbps_sq_sum;
+  throughput_sum += other.throughput_sum;
+  throughput_sq_sum += other.throughput_sq_sum;
+  video_kbps.merge(other.video_kbps);
+  stall_ratio.merge(other.stall_ratio);
+  startup_delay_s.merge(other.startup_delay_s);
+  buffer_imbalance_s.merge(other.buffer_imbalance_s);
+  for (std::size_t p = 0; p < other.paths.size(); ++p) {
+    const std::size_t target = path_map != nullptr ? (*path_map)[p] : p;
+    if (target >= paths.size()) continue;
+    PathAcc& into = paths[target];
+    const PathAcc& from = other.paths[p];
+    into.clients += from.clients;
+    into.video_sum += from.video_sum;
+    into.video_sq_sum += from.video_sq_sum;
+    into.throughput_sum += from.throughput_sum;
+    into.throughput_sq_sum += from.throughput_sq_sum;
+    into.stall_ratio_sum += from.stall_ratio_sum;
+  }
+}
+
+std::uint64_t client_outcome_digest(const ClientResult& client) {
+  // FNV-1a, folding each field's exact bit pattern. Client ids and path
+  // indices are deliberately absent: the shard runner retires clients under
+  // shard-local ids, and the digest must not see the renumbering.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_d = [&mix](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  for (const char c : client.player) mix(static_cast<unsigned char>(c));
+  mix_d(client.arrival_s);
+  mix(client.departed_early ? 1u : 0u);
+  const SessionLog& log = client.log;
+  mix(log.completed ? 1u : 0u);
+  mix_d(log.startup_delay_s);
+  mix_d(log.end_time_s);
+  const SessionTotals& t = log.totals;
+  mix(static_cast<std::uint64_t>(t.downloaded_bytes));
+  mix(static_cast<std::uint64_t>(t.download_records));
+  mix(static_cast<std::uint64_t>(t.abandoned_records));
+  mix(static_cast<std::uint64_t>(t.wasted_bytes));
+  mix(static_cast<std::uint64_t>(t.stall_events));
+  mix_d(t.stall_s);
+  mix_d(t.video_kbps_sum);
+  mix_d(t.audio_kbps_sum);
+  mix(static_cast<std::uint64_t>(t.video_chunks));
+  mix(static_cast<std::uint64_t>(t.audio_chunks));
+  mix(static_cast<std::uint64_t>(t.video_switches));
+  mix(static_cast<std::uint64_t>(t.audio_switches));
+  mix_d(t.switch_cost_kbps);
+  mix_d(t.imbalance_integral);
+  mix_d(t.imbalance_span_s);
+  return h;
+}
+
 FleetMetrics compute_fleet_metrics(const FleetResult& result) {
   FleetMetrics metrics;
+
+  if (result.streaming.has_value()) {
+    const StreamingFleetStats& s = *result.streaming;
+    metrics.clients = static_cast<int>(s.clients);
+    metrics.completed = static_cast<int>(s.completed);
+    metrics.departed_early = static_cast<int>(s.departed_early);
+    metrics.jain_fairness_video =
+        jain_from_moments(s.video_kbps_sum, s.video_kbps_sq_sum, s.clients);
+    metrics.jain_fairness_throughput =
+        jain_from_moments(s.throughput_sum, s.throughput_sq_sum, s.clients);
+    metrics.video_kbps = s.video_kbps.summary();
+    metrics.stall_ratio = s.stall_ratio.summary();
+    metrics.startup_delay_s = s.startup_delay_s.summary();
+    metrics.buffer_imbalance_s = s.buffer_imbalance_s.summary();
+    if (s.clients > 0) metrics.mean_qoe = s.qoe_sum / static_cast<double>(s.clients);
+    if (!result.paths.empty() && s.paths.size() == result.paths.size()) {
+      metrics.path_groups.resize(result.paths.size());
+      for (std::size_t p = 0; p < result.paths.size(); ++p) {
+        FleetMetrics::PathGroup& group = metrics.path_groups[p];
+        const StreamingFleetStats::PathAcc& acc = s.paths[p];
+        group.name = result.paths[p].name;
+        group.clients = static_cast<int>(acc.clients);
+        group.jain_fairness_video =
+            jain_from_moments(acc.video_sum, acc.video_sq_sum, acc.clients);
+        group.jain_fairness_throughput = jain_from_moments(
+            acc.throughput_sum, acc.throughput_sq_sum, acc.clients);
+        if (acc.clients > 0) {
+          group.mean_video_kbps = acc.video_sum / static_cast<double>(acc.clients);
+          group.mean_stall_ratio =
+              acc.stall_ratio_sum / static_cast<double>(acc.clients);
+        }
+      }
+    }
+    return metrics;
+  }
+
   metrics.clients = static_cast<int>(result.clients.size());
 
   std::vector<double> video_kbps;
@@ -43,15 +197,12 @@ FleetMetrics compute_fleet_metrics(const FleetResult& result) {
   for (const ClientResult& client : result.clients) {
     if (client.log.completed) ++metrics.completed;
     if (client.departed_early) ++metrics.departed_early;
-    video_kbps.push_back(client.qoe.avg_video_kbps);
-    const double active_s = client.log.end_time_s - client.arrival_s;
-    throughput.push_back(
-        active_s > 0.0
-            ? static_cast<double>(client.log.total_downloaded_bytes()) / active_s
-            : 0.0);
-    stall_ratio.push_back(active_s > 0.0 ? client.log.total_stall_s() / active_s : 0.0);
-    startup.push_back(client.log.startup_delay_s);
-    imbalance.push_back(mean_buffer_imbalance(client.log));
+    const ClientScalars s = derive_scalars(client);
+    video_kbps.push_back(s.video_kbps);
+    throughput.push_back(s.throughput);
+    stall_ratio.push_back(s.stall_ratio);
+    startup.push_back(s.startup_s);
+    imbalance.push_back(s.imbalance_s);
     qoe_sum += client.qoe.qoe_score;
   }
 
@@ -115,6 +266,27 @@ std::string fleet_fingerprint(const FleetResult& result) {
   std::ostringstream out;
   // `steps` is deliberately absent: it counts engine work units (barriers
   // vs heap events), a diagnostic that must not break cross-engine identity.
+  if (result.streaming.has_value()) {
+    // Streaming mode kept no per-client logs: the per-client half of the
+    // fingerprint collapses to the order-invariant digest plus exact
+    // counts. Every field below is bit-identical across engines, thread
+    // counts and shard decompositions; float accumulations whose order
+    // depends on the merge (qoe_sum, moment sums) are deliberately absent.
+    const StreamingFleetStats& s = *result.streaming;
+    out << "clients:" << s.clients << format(" end:%.17g", result.end_time_s)
+        << " split_audio:" << (result.split_audio ? 1 : 0) << "\n";
+    out << "streaming digest:" << format("%016llx",
+               static_cast<unsigned long long>(result.client_digest))
+        << " completed:" << s.completed << " departed:" << s.departed_early
+        << "\n";
+    if (!result.links.empty()) {
+      for (const LinkStats& link : result.links) fingerprint_link(out, link);
+    } else {
+      fingerprint_link(out, result.video_link);
+      if (result.split_audio) fingerprint_link(out, result.audio_link);
+    }
+    return out.str();
+  }
   out << "clients:" << result.clients.size()
       << format(" end:%.17g", result.end_time_s)
       << " split_audio:" << (result.split_audio ? 1 : 0) << "\n";
@@ -153,6 +325,13 @@ std::string summarize(const FleetResult& result, const FleetMetrics& metrics) {
   out << format("fleet: %d clients, %d completed, %d churned, %zu steps, end t=%.1fs\n",
                 metrics.clients, metrics.completed, metrics.departed_early,
                 result.steps, result.end_time_s);
+  if (result.streaming.has_value()) {
+    out << format(
+        "  streaming metrics: percentiles sketch-approximate (±%.1f%% relative), "
+        "digest %016llx\n",
+        result.streaming->video_kbps.relative_error() * 100.0,
+        static_cast<unsigned long long>(result.client_digest));
+  }
   out << format("  jain fairness: video bitrate %.4f, throughput %.4f\n",
                 metrics.jain_fairness_video, metrics.jain_fairness_throughput);
   out << format("  video kbps: p50=%.0f p90=%.0f min=%.0f max=%.0f mean=%.0f\n",

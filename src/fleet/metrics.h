@@ -7,11 +7,15 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+#include <optional>
+
 #include "fleet/shared_link.h"
 #include "fleet/topology.h"
 #include "media/track.h"
 #include "obs/profile.h"
 #include "sim/metrics.h"
+#include "util/sketch.h"
 #include "util/stats.h"
 
 namespace demuxabr::fleet {
@@ -30,10 +34,71 @@ struct ClientResult {
   QoeReport qoe;
 };
 
+/// O(1)-per-client aggregation of a fleet run for streaming-metrics mode:
+/// above FleetConfig::streaming.client_threshold the scheduler retires each
+/// client into this instead of keeping its ClientResult, so resident memory
+/// is O(shards + sketch buckets) rather than O(clients × log length). Every
+/// field merges associatively and commutatively — integer counts, exact
+/// moment sums (Jain fairness needs only Σx and Σx²) and mergeable
+/// QuantileSketches — so per-shard instances pooled in shard-id order equal
+/// the aggregate of the whole population (DESIGN.md §10).
+struct StreamingFleetStats {
+  std::size_t clients = 0;
+  std::size_t completed = 0;
+  std::size_t departed_early = 0;
+  double qoe_sum = 0.0;
+  /// Aggregate simulated session-seconds (Σ end − arrival): the
+  /// sim-throughput numerator benchmarks report when no per-client logs
+  /// exist to sum over.
+  double active_s_sum = 0.0;
+  /// First and second moments of the per-client fairness variables.
+  double video_kbps_sum = 0.0;
+  double video_kbps_sq_sum = 0.0;
+  double throughput_sum = 0.0;
+  double throughput_sq_sum = 0.0;
+  QuantileSketch video_kbps;
+  QuantileSketch stall_ratio;
+  QuantileSketch startup_delay_s;
+  QuantileSketch buffer_imbalance_s;
+
+  /// Per-video-path accumulators (topology runs; indexed like
+  /// FleetResult::paths). Enough for the PathGroup table: counts, moments
+  /// and the stall-ratio sum.
+  struct PathAcc {
+    std::size_t clients = 0;
+    double video_sum = 0.0;
+    double video_sq_sum = 0.0;
+    double throughput_sum = 0.0;
+    double throughput_sq_sum = 0.0;
+    double stall_ratio_sum = 0.0;
+  };
+  std::vector<PathAcc> paths;
+
+  explicit StreamingFleetStats(double relative_error = 0.01);
+
+  /// Fold one retired client in. The scalars mirror compute_fleet_metrics'
+  /// per-client derivations exactly.
+  void add_client(const ClientResult& client);
+
+  /// Pool `other` into this. `path_map` (when given) maps other.paths
+  /// indices to this->paths indices — the shard runner's local→global path
+  /// renumbering; nullptr means identical indexing.
+  void merge(const StreamingFleetStats& other,
+             const std::vector<std::size_t>* path_map = nullptr);
+};
+
 /// Outcome of one fleet run: per-client results (client-id order) plus
 /// shared-link accounting.
 struct FleetResult {
   std::vector<ClientResult> clients;
+  /// Streaming-metrics mode only: the O(shards) aggregate that replaces
+  /// `clients` (which stays empty) above the streaming threshold.
+  std::optional<StreamingFleetStats> streaming;
+  /// Order-invariant digest of every client's outcome scalars (wrapping sum
+  /// of per-client FNV-1a hashes over SessionTotals + lifecycle fields).
+  /// Identical across engines, thread counts and streaming/full modes — the
+  /// determinism handle when per-client logs are not retained.
+  std::uint64_t client_digest = 0;
   LinkStats video_link;
   LinkStats audio_link;  ///< duplicate of video_link when !split_audio
   /// Topology runs: per-link stats in link-declaration order (video_link
@@ -85,8 +150,18 @@ struct FleetMetrics {
 };
 
 /// Aggregate a fleet run; per-client QoE must already be populated (the
-/// scheduler does this).
+/// scheduler does this). Streaming-mode results aggregate from the
+/// StreamingFleetStats instead of the (empty) client vector; percentile
+/// fields are then sketch-approximate (within the sketch's relative error),
+/// counts/means/fairness exact.
 FleetMetrics compute_fleet_metrics(const FleetResult& result);
+
+/// FNV-1a hash of one client's outcome scalars (the SessionTotals choke-
+/// point aggregates plus lifecycle fields) — every input is bit-identical
+/// across engines and log modes. Summed with wraparound into
+/// FleetResult::client_digest so the total is independent of retirement
+/// and merge order.
+std::uint64_t client_outcome_digest(const ClientResult& client);
 
 /// Deterministic serialization of everything that identifies a fleet
 /// outcome: per-client arrival/departure/selection/stall/download accounting

@@ -54,10 +54,33 @@ enum class Engine {
   kEventHeap,  ///< default: indexed event heap + per-link completion registry
 };
 
+/// Streaming-metrics mode switch (DESIGN.md §10): fleets at or above
+/// `client_threshold` clients drop per-session logs and aggregate into
+/// mergeable sketches (fleet/metrics.h StreamingFleetStats) as clients
+/// retire. Default = never.
+struct StreamingMetricsConfig {
+  std::size_t client_threshold = std::numeric_limits<std::size_t>::max();
+  /// Relative accuracy of the percentile sketches (util/sketch.h alpha).
+  double relative_error = 0.01;
+
+  [[nodiscard]] bool enabled_for(std::size_t clients) const {
+    return clients >= client_threshold;
+  }
+};
+
 struct FleetConfig {
   int client_count = 2;
   std::uint64_t seed = 1;
   Engine engine = Engine::kEventHeap;
+
+  /// Worker threads for parallel shard execution (fleet/shard.h): a
+  /// multi-component topology is partitioned into causally independent
+  /// shards that run concurrently and merge deterministically. 1 = today's
+  /// fully serial path; 0 = ThreadPool::default_thread_count(). Results are
+  /// byte-identical for every value (tests/test_fleet_shard.cpp).
+  int threads = 1;
+
+  StreamingMetricsConfig streaming;
 
   ArrivalProcess arrivals = ArrivalProcess::kSimultaneous;
   double arrival_interval_s = 2.0;  ///< kDeterministic spacing

@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
-#include <future>
 #include <limits>
 #include <utility>
 
 #include "fleet/event_heap.h"
+#include "fleet/shard.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/indexed_min_heap.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
-#include "util/thread_pool.h"
 
 namespace demuxabr::fleet {
 
@@ -55,6 +55,12 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
   network.rtt_s = config_.rtt_s;
 
   SessionConfig session_config = config_.session;
+  if (streaming_) {
+    // Streaming-metrics mode: no per-session vectors, no series — the
+    // session maintains SessionTotals only (O(1) memory per session).
+    session_config.minimal_log = true;
+    session_config.record_series = false;
+  }
   session_config.start_time_s = plan.arrival_s;
   // The base max_sim_time_s is the per-client budget; the session cap is
   // absolute wall time.
@@ -89,7 +95,14 @@ void FleetScheduler::finalize_client(Client& client, double now) {
       !client.session->log().completed && client.plan.leave_at_s <= now;
   outcome.log = client.session->finish();
   outcome.qoe = compute_qoe(outcome.log, content_.ladder());
-  result_.clients.push_back(std::move(outcome));
+  // Wrapping uint64 sum of per-client hashes: retirement order (which
+  // differs between engines and shard decompositions) cannot leak.
+  result_.client_digest += client_outcome_digest(outcome);
+  if (streaming_) {
+    result_.streaming->add_client(outcome);
+  } else {
+    result_.clients.push_back(std::move(outcome));
+  }
   DMX_COUNT("fleet.retired", 1);
   // Release the session and player: long fleets churn through thousands of
   // clients and only a fraction are ever concurrently active.
@@ -99,8 +112,25 @@ void FleetScheduler::finalize_client(Client& client, double now) {
 
 FleetResult FleetScheduler::run() {
   assert(!config_.players.empty() && "FleetConfig::players must be non-empty");
-  const std::vector<ClientPlan> plans = plan_population(config_);
-  result_.clients.reserve(plans.size());
+  return run_plans(plan_population(config_));
+}
+
+FleetResult FleetScheduler::run_plans(const std::vector<ClientPlan>& plans) {
+  FleetResult result = run_engine(plans);
+  close_links(result, result.end_time_s);
+  return result;
+}
+
+FleetResult FleetScheduler::run_engine(const std::vector<ClientPlan>& plans) {
+  assert(!config_.players.empty() && "FleetConfig::players must be non-empty");
+  streaming_ = config_.streaming.enabled_for(plans.size());
+  if (streaming_) {
+    result_.streaming.emplace(config_.streaming.relative_error);
+    result_.streaming->paths.resize(
+        topology_.has_value() ? topology_->path_count() : 0);
+  } else {
+    result_.clients.reserve(plans.size());
+  }
   result_.split_audio =
       topology_.has_value() ? topology_->split_audio() : audio_link_.has_value();
   slots_.resize(plans.size());
@@ -135,23 +165,26 @@ FleetResult FleetScheduler::run() {
   // result layout is stable regardless of who finished first.
   std::sort(result_.clients.begin(), result_.clients.end(),
             [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
+  result_.end_time_s = end_time;
+  return std::move(result_);
+}
+
+void FleetScheduler::close_links(FleetResult& result, double end_time) {
   if (topology_.has_value()) {
     topology_->finalize(end_time);
-    result_.links = topology_->link_stats();
-    result_.paths = topology_->path_stats();
+    result.links = topology_->link_stats();
+    result.paths = topology_->path_stats();
     // Convenience aliases so single-link consumers keep working; the
-    // fingerprint serializes result_.links instead.
-    result_.video_link = result_.links.front();
-    result_.audio_link = result_.video_link;
+    // fingerprint serializes result.links instead.
+    result.video_link = result.links.front();
+    result.audio_link = result.video_link;
   } else {
     video_link_.finalize(end_time);
     if (audio_link_.has_value()) audio_link_->finalize(end_time);
-    result_.video_link = video_link_.stats();
-    result_.audio_link =
-        audio_link_.has_value() ? audio_link_->stats() : result_.video_link;
+    result.video_link = video_link_.stats();
+    result.audio_link =
+        audio_link_.has_value() ? audio_link_->stats() : result.video_link;
   }
-  result_.end_time_s = end_time;
-  return std::move(result_);
 }
 
 double FleetScheduler::run_barrier(const std::vector<ClientPlan>& plans) {
@@ -389,6 +422,11 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
 
 FleetResult run_fleet(const Content& content, const ManifestView& view,
                       const BandwidthTrace& bottleneck, const FleetConfig& config) {
+  if (config.threads != 1 && config.topology.has_value()) {
+    // Multi-component topologies run their shards concurrently; the runner
+    // falls back to the serial path when the topology is one component.
+    return run_fleet_sharded(content, view, bottleneck, config);
+  }
   FleetScheduler scheduler(content, view, bottleneck, config);
   return scheduler.run();
 }
@@ -399,37 +437,18 @@ std::vector<FleetReplication> run_replications(const Content& content,
                                                const FleetConfig& config,
                                                const ReplicationOptions& options) {
   const int count = std::max(1, options.replications);
-  const int threads = options.threads > 0
-                          ? options.threads
-                          : static_cast<int>(ThreadPool::default_thread_count());
-
-  const auto run_one = [&](int replication) {
-    FleetReplication rep;
-    rep.seed = config.seed +
-               static_cast<std::uint64_t>(replication) * options.seed_stride;
-    FleetConfig seeded = config;
-    seeded.seed = rep.seed;
-    rep.result = run_fleet(content, view, bottleneck, seeded);
-    rep.metrics = compute_fleet_metrics(rep.result);
-    return rep;
-  };
-
-  std::vector<FleetReplication> replications(static_cast<std::size_t>(count));
-  if (threads <= 1) {
-    for (int r = 0; r < count; ++r) replications[static_cast<std::size_t>(r)] = run_one(r);
-  } else {
-    ThreadPool pool(static_cast<unsigned>(threads));
-    std::vector<std::future<FleetReplication>> futures;
-    futures.reserve(static_cast<std::size_t>(count));
-    for (int r = 0; r < count; ++r) {
-      futures.push_back(pool.submit([&run_one, r] { return run_one(r); }));
-    }
-    // Collected in submission order: completion order never leaks through.
-    for (int r = 0; r < count; ++r) {
-      replications[static_cast<std::size_t>(r)] = futures[static_cast<std::size_t>(r)].get();
-    }
-  }
-  return replications;
+  // Deterministic fan-out / ordered-merge (util/parallel.h): results come
+  // back in replication order for every thread count.
+  return fan_out_ordered(
+      static_cast<std::size_t>(count), options.threads, [&](std::size_t r) {
+        FleetReplication rep;
+        rep.seed = config.seed + static_cast<std::uint64_t>(r) * options.seed_stride;
+        FleetConfig seeded = config;
+        seeded.seed = rep.seed;
+        rep.result = run_fleet(content, view, bottleneck, seeded);
+        rep.metrics = compute_fleet_metrics(rep.result);
+        return rep;
+      });
 }
 
 }  // namespace demuxabr::fleet

@@ -55,6 +55,23 @@ class FleetScheduler {
   /// Run the whole population to completion (or churn/cap). Call once.
   FleetResult run();
 
+  // --- Two-phase API for the shard runner (fleet/shard.h). ---
+
+  /// Run the engine over pre-built plans (arrival-sorted, ids dense in
+  /// [0, plans.size()) — the shard runner renumbers) WITHOUT closing the
+  /// link books. Call once; follow with close_links().
+  FleetResult run_engine(const std::vector<ClientPlan>& plans);
+
+  /// Advance every link/path integral to `end_time` (idle tails included)
+  /// and write the closing stats into `result`. The shard runner passes the
+  /// *global* max end time so per-link stats match the whole-topology
+  /// serial run byte for byte; run() passes the run's own end time.
+  void close_links(FleetResult& result, double end_time);
+
+  /// run_engine + close_links at the run's own end time, over caller-built
+  /// plans.
+  FleetResult run_plans(const std::vector<ClientPlan>& plans);
+
  private:
   struct Client {
     ClientPlan plan;
@@ -81,9 +98,12 @@ class FleetScheduler {
   std::optional<Topology> topology_;
   std::vector<std::unique_ptr<Client>> slots_;  ///< by client id
   FleetResult result_;
+  bool streaming_ = false;  ///< streaming-metrics mode active for this run
 };
 
-/// Convenience one-call runner.
+/// Convenience one-call runner. When `config.threads` != 1 and the topology
+/// splits into multiple connected components, dispatches to the parallel
+/// shard runner (fleet/shard.h) — results are byte-identical either way.
 FleetResult run_fleet(const Content& content, const ManifestView& view,
                       const BandwidthTrace& bottleneck, const FleetConfig& config);
 

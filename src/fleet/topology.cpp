@@ -206,7 +206,9 @@ Topology::Topology(TopologySpec spec) {
     LinkNode node;
     node.name = std::move(spec.links[l].name);
     node.trace = std::move(spec.links[l].trace);
-    node.trace_track = obs::kLinkTrackBase + static_cast<std::uint32_t>(l);
+    node.trace_track = spec.links[l].trace_track != 0
+                           ? spec.links[l].trace_track
+                           : obs::kLinkTrackBase + static_cast<std::uint32_t>(l);
     links_.push_back(std::move(node));
   }
 

@@ -41,6 +41,10 @@ namespace demuxabr::fleet {
 struct LinkSpec {
   std::string name;
   BandwidthTrace trace;
+  /// Observability trace track; 0 = auto (obs::kLinkTrackBase + link
+  /// index). The shard runner pins sub-topology links to their *global*
+  /// track ids so traces stay attributable after partitioning.
+  std::uint32_t trace_track = 0;
 };
 
 /// One route through the topology: an ordered list of link indices

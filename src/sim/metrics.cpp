@@ -26,24 +26,6 @@ void SessionLog::reserve_for(int chunks, double expected_duration_s, double delt
   selected_audio_kbps.reserve(2 * chunk_slots + 8);
 }
 
-double SessionLog::total_stall_s() const {
-  double total = 0.0;
-  for (const StallEvent& s : stalls) total += s.duration_s();
-  return total;
-}
-
-std::int64_t SessionLog::total_downloaded_bytes() const {
-  std::int64_t total = 0;
-  for (const DownloadRecord& d : downloads) total += d.bytes;
-  return total;
-}
-
-std::int64_t SessionLog::wasted_bytes() const {
-  std::int64_t total = 0;
-  for (const DownloadRecord& d : abandoned) total += d.bytes;
-  return total;
-}
-
 std::vector<std::string> SessionLog::selected_combination_labels() const {
   std::vector<std::string> labels;
   const std::size_t n = std::min(video_selection.size(), audio_selection.size());
@@ -56,12 +38,94 @@ std::vector<std::string> SessionLog::selected_combination_labels() const {
   return labels;
 }
 
+double SessionLog::total_stall_s() const {
+  if (minimal) return totals.stall_s;
+  double total = 0.0;
+  for (const StallEvent& s : stalls) total += s.duration_s();
+  return total;
+}
+
+std::int64_t SessionLog::total_downloaded_bytes() const {
+  if (minimal) return totals.downloaded_bytes;
+  std::int64_t total = 0;
+  for (const DownloadRecord& d : downloads) total += d.bytes;
+  return total;
+}
+
+std::int64_t SessionLog::wasted_bytes() const {
+  if (minimal) return totals.wasted_bytes;
+  std::int64_t total = 0;
+  for (const DownloadRecord& d : abandoned) total += d.bytes;
+  return total;
+}
+
+double SessionLog::mean_buffer_imbalance_s() const {
+  if (minimal) {
+    return totals.imbalance_span_s > 0.0
+               ? totals.imbalance_integral / totals.imbalance_span_s
+               : 0.0;
+  }
+  // Left-endpoint rule over the recorded series samples (both series are
+  // sampled at the same instants by the engine) — the arithmetic the
+  // minimal-mode incremental integral mirrors term for term.
+  const auto& audio = audio_buffer_s.points();
+  const auto& video = video_buffer_s.points();
+  const std::size_t n = std::min(audio.size(), video.size());
+  if (n < 2) return 0.0;
+  double integral = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dt = audio[i].t - audio[i - 1].t;
+    if (dt <= 0.0) continue;
+    integral += std::abs(audio[i - 1].value - video[i - 1].value) * dt;
+    total += dt;
+  }
+  return total > 0.0 ? integral / total : 0.0;
+}
+
 QoeReport compute_qoe(const SessionLog& log, const BitrateLadder& ladder,
                       const std::vector<AvCombination>* allowed, const QoeConfig& config) {
   QoeReport report;
   report.startup_delay_s = log.startup_delay_s;
   report.total_stall_s = log.total_stall_s();
   report.stall_count = static_cast<int>(log.stall_count());
+
+  if (log.minimal) {
+    // Minimal-log sessions carry the selection walk pre-aggregated
+    // (SessionTotals) instead of the per-chunk vectors. Reproduce the
+    // vector walk's arithmetic exactly for the sequential-download case:
+    // the selection vectors would be the first `*_chunks` slots filled and
+    // the tail empty (""), so empty slots contribute 0 to the bitrate sums
+    // and a partially-watched session pays exactly one extra switch per
+    // type at the fill boundary, costing the last selected bitrate.
+    // Not supported with seeks (they overwrite earlier slots); fleets
+    // don't script seeks. combo_switches needs per-slot alignment of the
+    // two types and stays 0 — no fleet aggregate consumes it.
+    const SessionTotals& t = log.totals;
+    const int chunks = log.total_chunks;
+    report.video_switches = t.video_switches;
+    report.audio_switches = t.audio_switches;
+    double switch_cost = t.switch_cost_kbps;
+    if (t.video_chunks > 0 && t.video_chunks < chunks) {
+      ++report.video_switches;
+      switch_cost += t.last_video_kbps;
+    }
+    if (t.audio_chunks > 0 && t.audio_chunks < chunks) {
+      ++report.audio_switches;
+      switch_cost += t.last_audio_kbps;
+    }
+    if (chunks > 0) {
+      report.avg_video_kbps = t.video_kbps_sum / static_cast<double>(chunks);
+      report.avg_audio_kbps = t.audio_kbps_sum / static_cast<double>(chunks);
+    }
+    const double utility = t.video_kbps_sum + config.audio_weight * t.audio_kbps_sum;
+    const double penalty = config.stall_penalty_per_s * report.total_stall_s +
+                           config.startup_penalty_per_s * report.startup_delay_s +
+                           config.switch_penalty_kbps * switch_cost;
+    report.qoe_score =
+        chunks > 0 ? (utility - penalty) / static_cast<double>(chunks) : 0.0;
+    return report;
+  }
 
   auto kbps_of = [&ladder](const std::string& id) {
     const TrackInfo* track = ladder.find(id);

@@ -41,11 +41,54 @@ struct SeekRecord {
   double to_position_s = 0.0;  ///< snapped to a chunk boundary
 };
 
+/// Scalar aggregates a session maintains incrementally at the exact points
+/// it appends to the record vectors, so every total is available in
+/// minimal-log mode (million-client streaming fleets drop the vectors) and
+/// bit-identical to re-deriving it from the full vectors when they exist.
+struct SessionTotals {
+  std::int64_t downloaded_bytes = 0;
+  std::int64_t download_records = 0;  ///< components (audio+video) completed
+  std::int64_t abandoned_records = 0;
+  std::int64_t wasted_bytes = 0;
+  double stall_s = 0.0;
+  std::int64_t stall_events = 0;
+
+  /// Selection aggregates in chunk order, mirroring compute_qoe's walk over
+  /// the selection vectors: bitrate sums over *filled* slots, per-type
+  /// switch counts and the |Δkbps| switch cost between consecutive fills.
+  double video_kbps_sum = 0.0;
+  double audio_kbps_sum = 0.0;
+  int video_chunks = 0;  ///< filled video selection slots
+  int audio_chunks = 0;
+  int video_switches = 0;
+  int audio_switches = 0;
+  double switch_cost_kbps = 0.0;
+  double last_video_kbps = 0.0;
+  double last_audio_kbps = 0.0;
+  std::string last_video_track;
+  std::string last_audio_track;
+
+  /// Time-weighted |audio − video| buffer-level integral over the series
+  /// sampling instants (left-endpoint rule — the exact arithmetic the fleet
+  /// layer historically ran over the recorded series points).
+  double imbalance_integral = 0.0;
+  double imbalance_span_s = 0.0;
+  double last_sample_t = 0.0;
+  double last_abs_imbalance_s = 0.0;
+  bool have_sample = false;
+};
+
 struct SessionLog {
   std::string player_name;
   double content_duration_s = 0.0;
   double chunk_duration_s = 0.0;
   int total_chunks = 0;
+  /// Minimal-log mode (SessionConfig::minimal_log): the record vectors and
+  /// selection vectors below stay empty; only `totals` and the scalar
+  /// fields are populated. O(1) memory per session.
+  bool minimal = false;
+
+  SessionTotals totals;
 
   std::vector<DownloadRecord> downloads;
   /// Downloads cancelled mid-flight (request abandonment); `bytes` holds the
@@ -79,11 +122,30 @@ struct SessionLog {
   /// reallocation churn on the common path.
   void reserve_for(int chunks, double expected_duration_s, double delta_s);
 
+  // Accessors answer from the record vectors in full-log mode (hand-built
+  // logs in tests never touch `totals`) and from the choke-point aggregates
+  // in minimal mode. For session-produced logs the two are bit-identical:
+  // the totals accumulate the same values in the same order the vectors
+  // record them.
   [[nodiscard]] double total_stall_s() const;
-  [[nodiscard]] std::size_t stall_count() const { return stalls.size(); }
+  [[nodiscard]] std::size_t stall_count() const {
+    return minimal ? static_cast<std::size_t>(totals.stall_events) : stalls.size();
+  }
   [[nodiscard]] std::int64_t total_downloaded_bytes() const;
   /// Bytes transferred by abandoned (cancelled) downloads.
   [[nodiscard]] std::int64_t wasted_bytes() const;
+  /// Completed download records (== downloads.size() in full-log mode).
+  [[nodiscard]] std::size_t download_count() const {
+    return minimal ? static_cast<std::size_t>(totals.download_records)
+                   : downloads.size();
+  }
+  [[nodiscard]] std::size_t abandoned_count() const {
+    return minimal ? static_cast<std::size_t>(totals.abandoned_records)
+                   : abandoned.size();
+  }
+  /// Time-weighted mean |audio − video| buffer level over the session
+  /// (§3.4's imbalance metric); 0 when fewer than two samples were taken.
+  [[nodiscard]] double mean_buffer_imbalance_s() const;
   /// Distinct combination labels selected over the session, in first-use order.
   [[nodiscard]] std::vector<std::string> selected_combination_labels() const;
 };

@@ -45,10 +45,13 @@ StreamingSession::StreamingSession(const Content& content, ManifestView view,
   log_.content_duration_s = content_duration_s_;
   log_.chunk_duration_s = content_.chunk_duration_s();
   log_.total_chunks = total_chunks_;
-  log_.video_selection.assign(static_cast<std::size_t>(total_chunks_), "");
-  log_.audio_selection.assign(static_cast<std::size_t>(total_chunks_), "");
-  log_.reserve_for(total_chunks_, content_duration_s_,
-                   config_.record_series ? config_.delta_s : 0.0);
+  log_.minimal = config_.minimal_log;
+  if (!config_.minimal_log) {
+    log_.video_selection.assign(static_cast<std::size_t>(total_chunks_), "");
+    log_.audio_selection.assign(static_cast<std::size_t>(total_chunks_), "");
+    log_.reserve_for(total_chunks_, content_duration_s_,
+                     config_.record_series ? config_.delta_s : 0.0);
+  }
 }
 
 PlayerContext StreamingSession::make_context() const {
@@ -166,7 +169,9 @@ void StreamingSession::abort_flow(Flow& f) {
   record.bytes = static_cast<std::int64_t>(f.bytes_done + 0.5);
   record.start_t = f.request_t;
   record.end_t = now_;
-  log_.abandoned.push_back(record);
+  log_.totals.wasted_bytes += record.bytes;
+  ++log_.totals.abandoned_records;
+  if (!config_.minimal_log) log_.abandoned.push_back(record);
   banked_bytes_ += f.bytes_done;
   f.bytes_done = 0.0;
   f.active = false;
@@ -198,13 +203,15 @@ void StreamingSession::complete_flow(Flow& f) {
     MediaType type;
     const std::string* track_id;
     const ChunkInfo* chunk;
+    const TrackInfo* track;
   };
   const int chunk_index = f.request.chunk_index;
-  Component components[2] = {{f.request.type, &f.request.track_id, f.chunk_info}, {}};
+  Component components[2] = {
+      {f.request.type, &f.request.track_id, f.chunk_info, f.track_info}, {}};
   int component_count = 1;
   if (f.request.muxed) {
     components[component_count++] = {MediaType::kAudio, &f.request.audio_track_id,
-                                     f.audio_chunk_info};
+                                     f.audio_chunk_info, f.audio_track_info};
   }
 
   for (int i = 0; i < component_count; ++i) {
@@ -213,17 +220,46 @@ void StreamingSession::complete_flow(Flow& f) {
         .push(chunk_index, component.chunk->duration_s, *component.track_id);
     next_chunk(component.type) = chunk_index + 1;
 
-    DownloadRecord record;
-    record.type = component.type;
-    record.track_id = *component.track_id;
-    record.chunk_index = chunk_index;
-    record.bytes = component.chunk->size_bytes;
-    record.start_t = f.request_t;
-    record.end_t = now_;
-    log_.downloads.push_back(std::move(record));
-    auto& selection = component.type == MediaType::kVideo ? log_.video_selection
-                                                          : log_.audio_selection;
-    selection[static_cast<std::size_t>(chunk_index)] = *component.track_id;
+    // Selection aggregates (SessionTotals): the same walk compute_qoe runs
+    // over the selection vectors, folded in at record time so minimal-log
+    // sessions keep exact bitrate sums and switch accounting.
+    SessionTotals& totals = log_.totals;
+    totals.downloaded_bytes += component.chunk->size_bytes;
+    ++totals.download_records;
+    const double kbps = component.track->avg_kbps;
+    if (component.type == MediaType::kVideo) {
+      if (totals.video_chunks > 0 && *component.track_id != totals.last_video_track) {
+        ++totals.video_switches;
+        totals.switch_cost_kbps += std::abs(kbps - totals.last_video_kbps);
+      }
+      totals.video_kbps_sum += kbps;
+      ++totals.video_chunks;
+      totals.last_video_track = *component.track_id;
+      totals.last_video_kbps = kbps;
+    } else {
+      if (totals.audio_chunks > 0 && *component.track_id != totals.last_audio_track) {
+        ++totals.audio_switches;
+        totals.switch_cost_kbps += std::abs(kbps - totals.last_audio_kbps);
+      }
+      totals.audio_kbps_sum += kbps;
+      ++totals.audio_chunks;
+      totals.last_audio_track = *component.track_id;
+      totals.last_audio_kbps = kbps;
+    }
+
+    if (!config_.minimal_log) {
+      DownloadRecord record;
+      record.type = component.type;
+      record.track_id = *component.track_id;
+      record.chunk_index = chunk_index;
+      record.bytes = component.chunk->size_bytes;
+      record.start_t = f.request_t;
+      record.end_t = now_;
+      log_.downloads.push_back(std::move(record));
+      auto& selection = component.type == MediaType::kVideo ? log_.video_selection
+                                                            : log_.audio_selection;
+      selection[static_cast<std::size_t>(chunk_index)] = *component.track_id;
+    }
   }
 
   const bool was_muxed = f.request.muxed;
@@ -261,6 +297,9 @@ void StreamingSession::perform_seek(const SeekEvent& seek) {
   record.at_t = now_;
   record.from_position_s = playhead_s_;
   record.to_position_s = target_position;
+  // Seeks overwrite earlier selection slots, which the minimal-log
+  // aggregates cannot represent; fleets never script seeks (asserted).
+  assert(!config_.minimal_log && "minimal_log does not support seeks");
   log_.seeks.push_back(record);
 
   // Cancel in-flight downloads (wasted bytes, accounted like abandonment).
@@ -374,7 +413,9 @@ void StreamingSession::handle_playback_transitions() {
       everything_downloaded) {
     playing_ = true;
     re_anchor();
-    log_.stalls.push_back({stall_start_t_, now_});
+    log_.totals.stall_s += now_ - stall_start_t_;
+    ++log_.totals.stall_events;
+    if (!config_.minimal_log) log_.stalls.push_back({stall_start_t_, now_});
     DMX_HIST("session.stall_s", now_ - stall_start_t_);
     DMX_TRACE_SPAN_END(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
                        "stall", now_,
@@ -389,6 +430,24 @@ void StreamingSession::sample_series() {
                     obs::TraceArgs()
                         .kv("audio", audio_buffer_.level_s())
                         .kv("video", video_buffer_.level_s()));
+  // A/V buffer-imbalance integral, folded in sample by sample with the same
+  // left-endpoint arithmetic the fleet layer historically ran over the
+  // recorded buffer series — so the §3.4 imbalance metric survives with the
+  // series recording off (streaming fleets).
+  {
+    SessionTotals& totals = log_.totals;
+    if (totals.have_sample) {
+      const double dt = now_ - totals.last_sample_t;
+      if (dt > 0.0) {
+        totals.imbalance_integral += totals.last_abs_imbalance_s * dt;
+        totals.imbalance_span_s += dt;
+      }
+    }
+    totals.last_sample_t = now_;
+    totals.last_abs_imbalance_s =
+        std::abs(audio_buffer_.level_s() - video_buffer_.level_s());
+    totals.have_sample = true;
+  }
   if (!config_.record_series) return;
   log_.audio_buffer_s.add(now_, audio_buffer_.level_s());
   log_.video_buffer_s.add(now_, video_buffer_.level_s());
@@ -570,7 +629,9 @@ void StreamingSession::abort_session() {
   }
   // Close an open stall so the log's stall accounting is complete.
   if (started_ && !playing_) {
-    log_.stalls.push_back({stall_start_t_, now_});
+    log_.totals.stall_s += now_ - stall_start_t_;
+    ++log_.totals.stall_events;
+    if (!config_.minimal_log) log_.stalls.push_back({stall_start_t_, now_});
     DMX_TRACE_SPAN_END(obs::kCatStall, config_.trace_track, obs::kLanePlayback,
                        "stall", now_,
                        obs::TraceArgs().kv("dur_s", now_ - stall_start_t_));

@@ -1,0 +1,48 @@
+// Deterministic fan-out / ordered-merge: the one parallelism recipe this
+// codebase uses (replication sweeps, experiment sweeps, fleet shard
+// execution). N independent jobs run on a work-stealing ThreadPool; results
+// come back indexed by submission order, so completion order — the only
+// nondeterministic quantity — never leaks into the output. threads <= 1
+// degenerates to the plain serial loop, bit-for-bit (no pool is built).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace demuxabr {
+
+/// Run job(i) for i in [0, count) and return the results indexed by i.
+/// `job` must be safe to invoke concurrently from pool workers (it may
+/// capture shared *immutable* state); the result type must be
+/// default-constructible and movable. `threads` 0 selects
+/// ThreadPool::default_thread_count(); exceptions from any job propagate
+/// (the first one in index order wins).
+template <typename Job>
+auto fan_out_ordered(std::size_t count, int threads, Job&& job)
+    -> std::vector<std::invoke_result_t<Job&, std::size_t>> {
+  using Result = std::invoke_result_t<Job&, std::size_t>;
+  std::vector<Result> results(count);
+  const int effective = threads == 0
+                            ? static_cast<int>(ThreadPool::default_thread_count())
+                            : threads;
+  if (effective <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = job(i);
+    return results;
+  }
+  ThreadPool pool(static_cast<unsigned>(effective));
+  std::vector<std::future<Result>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.submit([&job, i] { return job(i); }));
+  }
+  // Collected in submission order: completion order never leaks through.
+  for (std::size_t i = 0; i < count; ++i) results[i] = futures[i].get();
+  return results;
+}
+
+}  // namespace demuxabr

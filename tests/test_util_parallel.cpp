@@ -1,0 +1,67 @@
+// fan_out_ordered (util/parallel.h): the deterministic fan-out / ordered-
+// merge helper behind run_replications and the fleet shard runner. Results
+// must come back indexed by submission order regardless of completion order
+// or thread count, and threads <= 1 must degenerate to the plain serial
+// loop bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace demuxabr {
+namespace {
+
+TEST(FanOutOrdered, ResultsIndexedBySubmissionOrder) {
+  // Later jobs finish earlier (reverse sleep): completion order is the
+  // reverse of submission order, results must still line up by index.
+  const auto job = [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * (8 - i)));
+    return static_cast<int>(i * i);
+  };
+  for (const int threads : {1, 2, 8}) {
+    const std::vector<int> results = fan_out_ordered(8, threads, job);
+    ASSERT_EQ(results.size(), 8u) << "threads=" << threads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], static_cast<int>(i * i)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(FanOutOrdered, SerialParallelAndDefaultThreadCountAgree) {
+  const auto job = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  const std::vector<double> serial = fan_out_ordered(16, 1, job);
+  const std::vector<double> parallel = fan_out_ordered(16, 4, job);
+  const std::vector<double> defaulted = fan_out_ordered(16, 0, job);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, defaulted);
+}
+
+TEST(FanOutOrdered, DegenerateCounts) {
+  const auto job = [](std::size_t i) { return static_cast<int>(i) + 41; };
+  EXPECT_TRUE(fan_out_ordered(0, 4, job).empty());
+  const std::vector<int> one = fan_out_ordered(1, 4, job);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+}
+
+TEST(FanOutOrdered, JobsRunConcurrentlyWhenAsked) {
+  // Four jobs that each wait until all four have started can only finish if
+  // four workers actually run them at once.
+  std::atomic<int> arrived{0};
+  const auto job = [&arrived](std::size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 4) std::this_thread::yield();
+    return 1;
+  };
+  const std::vector<int> results = fan_out_ordered(4, 4, job);
+  ASSERT_EQ(results.size(), 4u);
+  for (const int r : results) EXPECT_EQ(r, 1);
+}
+
+}  // namespace
+}  // namespace demuxabr

@@ -1,0 +1,167 @@
+// QuantileSketch (util/sketch.h): the mergeable percentile sketch behind
+// streaming fleet metrics. Two property suites:
+//
+//  1. Accuracy: on random log-uniform streams spanning several decades, the
+//     quantile answer is within the configured relative error of the exact
+//     order statistic at rank q * (n - 1) — the bucket containing that
+//     sample answers, and its representative value is within alpha of every
+//     sample it can hold.
+//  2. Mergeability: K per-shard sketches pooled in ANY order answer every
+//     quantile query exactly like the sketch of the undivided stream
+//     (integer bucket counts make the merge associative + commutative) —
+//     the property the parallel shard runner's metric merge leans on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sketch.h"
+
+namespace demuxabr {
+namespace {
+
+/// Exact order statistic at the sketch's rank convention q * (n - 1): the
+/// sample at floor(rank) of the sorted stream (no interpolation — a sketch
+/// cannot see gaps between neighbouring samples).
+double exact_rank_value(const std::vector<double>& sorted, double fraction) {
+  const double rank = fraction * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+void expect_within_alpha(const QuantileSketch& sketch,
+                         const std::vector<double>& sorted, double fraction) {
+  const double exact = exact_rank_value(sorted, fraction);
+  const double est = sketch.quantile(fraction);
+  EXPECT_NEAR(est, exact, sketch.relative_error() * exact + 1e-12)
+      << "q=" << fraction << " n=" << sorted.size();
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOverRandomStreams) {
+  for (const double alpha : {0.01, 0.05}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      Rng rng(seed * 131);
+      QuantileSketch sketch(alpha);
+      std::vector<double> values;
+      values.reserve(4000);
+      // Log-uniform over 6 decades: stall ratios (~1e-3) through
+      // throughputs (~1e3) in one stream.
+      for (int i = 0; i < 4000; ++i) {
+        const double x = std::pow(10.0, rng.uniform(-3.0, 3.0));
+        values.push_back(x);
+        sketch.add(x);
+      }
+      std::sort(values.begin(), values.end());
+      ASSERT_EQ(sketch.count(), values.size());
+      // count / min / max are tracked exactly, not sketched.
+      EXPECT_DOUBLE_EQ(sketch.min(), values.front());
+      EXPECT_DOUBLE_EQ(sketch.max(), values.back());
+      for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        expect_within_alpha(sketch, values, q);
+      }
+      // ~1400 buckets cover 9 decades at alpha = 0.01; 6 decades must fit
+      // comfortably (the memory claim of streaming mode).
+      EXPECT_LT(sketch.bucket_count(), 2000u);
+    }
+  }
+}
+
+TEST(QuantileSketch, MergedShardSketchesEqualPooledStreamExactly) {
+  const double alpha = 0.02;
+  const std::size_t kShards = 7;
+  Rng rng(977);
+  QuantileSketch pooled(alpha);
+  std::vector<QuantileSketch> shards(kShards, QuantileSketch(alpha));
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    // ~10% exact zeros: the zero bucket must merge too (healthy fleets have
+    // mostly-zero stall ratios).
+    const double x = rng.bernoulli(0.1) ? 0.0 : std::pow(10.0, rng.uniform(-2.0, 4.0));
+    values.push_back(x);
+    pooled.add(x);
+    shards[static_cast<std::size_t>(i) % kShards].add(x);
+  }
+
+  QuantileSketch forward(alpha);
+  QuantileSketch backward(alpha);
+  for (std::size_t s = 0; s < kShards; ++s) forward.merge(shards[s]);
+  for (std::size_t s = kShards; s-- > 0;) backward.merge(shards[s]);
+
+  ASSERT_EQ(forward.count(), pooled.count());
+  ASSERT_EQ(backward.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(forward.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(forward.max(), pooled.max());
+  // sum is a float accumulation whose order differs between the pooled
+  // stream and the per-shard partials — near, not bit-equal.
+  EXPECT_NEAR(forward.sum(), pooled.sum(), 1e-9 * std::abs(pooled.sum()));
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    // Bucket counts are integers: merge order is bit-irrelevant.
+    EXPECT_DOUBLE_EQ(forward.quantile(q), pooled.quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(backward.quantile(q), pooled.quantile(q)) << "q=" << q;
+  }
+
+  // The merged estimates still honour the accuracy bound vs the exact
+  // order statistics of the pooled stream.
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    expect_within_alpha(forward, values, q);
+  }
+}
+
+TEST(QuantileSketch, ZeroAndDegenerateInputs) {
+  QuantileSketch empty(0.01);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_EQ(empty.summary().count, 0u);
+
+  QuantileSketch zeros(0.01);
+  for (int i = 0; i < 100; ++i) zeros.add(0.0);
+  EXPECT_EQ(zeros.count(), 100u);
+  EXPECT_DOUBLE_EQ(zeros.quantile(0.99), 0.0);
+  EXPECT_EQ(zeros.bucket_count(), 0u);  // all in the exact zero bucket
+
+  // Negative and non-finite samples clamp to 0 rather than poisoning the
+  // log-spaced grid.
+  QuantileSketch dirty(0.01);
+  dirty.add(-5.0);
+  dirty.add(std::numeric_limits<double>::quiet_NaN());
+  dirty.add(std::numeric_limits<double>::infinity());
+  dirty.add(2.0);
+  EXPECT_EQ(dirty.count(), 4u);
+  EXPECT_DOUBLE_EQ(dirty.min(), 0.0);
+  EXPECT_NEAR(dirty.max(), 2.0, 0.01 * 2.0);
+  EXPECT_DOUBLE_EQ(dirty.quantile(0.0), 0.0);
+}
+
+TEST(QuantileSketch, SummaryMatchesDirectQuantiles) {
+  QuantileSketch sketch(0.01);
+  std::vector<double> values;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(10.0, 5000.0);
+    values.push_back(x);
+    sketch.add(x);
+  }
+  const PercentileSummary s = sketch.summary();
+  EXPECT_EQ(s.count, 500u);
+  EXPECT_DOUBLE_EQ(s.p50, sketch.quantile(0.50));
+  EXPECT_DOUBLE_EQ(s.p90, sketch.quantile(0.90));
+  EXPECT_DOUBLE_EQ(s.p99, sketch.quantile(0.99));
+  EXPECT_DOUBLE_EQ(s.mean, sketch.mean());
+  EXPECT_DOUBLE_EQ(s.min, sketch.min());
+  EXPECT_DOUBLE_EQ(s.max, sketch.max());
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    expect_within_alpha(sketch, values, q);
+  }
+}
+
+}  // namespace
+}  // namespace demuxabr
