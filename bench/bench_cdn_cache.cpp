@@ -1,17 +1,53 @@
 // §1 motivation reproduction: storage footprint (M x N muxed vs M + N
 // demuxed tracks) and CDN cache effectiveness for a viewer population.
+// Besides the console table, emits the two-tier CdnChain sweep (storage
+// mode x fill policy, with tier eviction counts) machine-readably to
+// BENCH_cdn.json (cwd).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "httpsim/cdn_chain.h"
 #include "httpsim/workload.h"
 #include "media/content.h"
+#include "util/csv.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace {
 
 using namespace demuxabr;
+
+/// One two-tier chain run: Zipf-popular (video, audio) picks per user, every
+/// chunk fetched once per user — the same demand shape as run_cdn_workload,
+/// but served through the edge -> regional -> origin hierarchy.
+CdnChain::Stats run_chain_workload(const Content& content,
+                                   const ObjectCatalog& catalog,
+                                   StorageMode mode, FillPolicy fill,
+                                   std::int64_t edge_cap,
+                                   std::int64_t regional_cap, int users) {
+  CdnChain chain(&catalog, edge_cap, regional_cap, fill);
+  Rng rng(11);
+  ZipfDistribution video_dist(content.ladder().video_count(), 0.8);
+  ZipfDistribution audio_dist(content.ladder().audio_count(), 0.8);
+  for (int user = 0; user < users; ++user) {
+    const std::string video =
+        content.ladder().video()[video_dist.sample(rng)].id;
+    const std::string audio =
+        content.ladder().audio()[audio_dist.sample(rng)].id;
+    for (int chunk = 0; chunk < content.num_chunks(); ++chunk) {
+      if (mode == StorageMode::kMuxed) {
+        (void)chain.fetch(chunk_object_key(video + "+" + audio, chunk));
+      } else {
+        (void)chain.fetch(chunk_object_key(video, chunk));
+        (void)chain.fetch(chunk_object_key(audio, chunk));
+      }
+    }
+  }
+  return chain.stats();
+}
 
 void print_once() {
   static bool printed = false;
@@ -41,6 +77,60 @@ void print_once() {
                   result.cdn.byte_hit_ratio(),
                   static_cast<double>(result.cdn.bytes_from_origin) / 1e6);
     }
+  }
+
+  // Two-tier chain sweep -> BENCH_cdn.json: storage mode x fill policy at a
+  // quarter-catalog edge and a full-catalog regional, eviction churn
+  // included per tier.
+  const ObjectCatalog demuxed = build_demuxed_catalog(content);
+  const ObjectCatalog muxed = build_muxed_catalog(content);
+  const std::int64_t edge_cap = demuxed.total_bytes() / 4;
+  const std::int64_t regional_cap = demuxed.total_bytes();
+  std::printf("two-tier chain (edge=25%% of demuxed catalog, regional=100%%):\n");
+  std::string json = "{\n  \"bench\": \"cdn_cache\",\n  \"content\": \"drama-300s\",\n";
+  json += format(
+      "  \"storage\": {\"demuxed_mb\": %.1f, \"muxed_mb\": %.1f, "
+      "\"ratio\": %.2f},\n  \"chain_runs\": [\n",
+      static_cast<double>(storage.demuxed_bytes) / 1e6,
+      static_cast<double>(storage.muxed_bytes) / 1e6,
+      storage.muxed_to_demuxed_ratio());
+  bool first = true;
+  for (const StorageMode mode : {StorageMode::kDemuxed, StorageMode::kMuxed}) {
+    for (const FillPolicy fill : {FillPolicy::kBothTiers, FillPolicy::kEdgeOnly}) {
+      const ObjectCatalog& catalog =
+          mode == StorageMode::kMuxed ? muxed : demuxed;
+      const CdnChain::Stats stats = run_chain_workload(
+          content, catalog, mode, fill, edge_cap, regional_cap, 200);
+      std::printf(
+          "  %-7s fill=%-10s hit=%.3f regional=%lld origin-egress=%.1f MB "
+          "evictions=%zu+%zu\n",
+          storage_mode_name(mode), fill_policy_name(fill),
+          stats.edge_hit_ratio(), static_cast<long long>(stats.regional_hits),
+          static_cast<double>(stats.bytes_from_origin) / 1e6,
+          stats.edge_evictions, stats.regional_evictions);
+      json += first ? "" : ",\n";
+      json += format(
+          "    {\"mode\": \"%s\", \"fill_policy\": \"%s\", \"users\": 200, "
+          "\"requests\": %lld, \"edge_hit_ratio\": %.4f, "
+          "\"regional_hits\": %lld, \"origin_fetches\": %lld, "
+          "\"origin_egress_mb\": %.1f, \"edge_evictions\": %zu, "
+          "\"regional_evictions\": %zu}",
+          storage_mode_name(mode), fill_policy_name(fill),
+          static_cast<long long>(stats.requests), stats.edge_hit_ratio(),
+          static_cast<long long>(stats.regional_hits),
+          static_cast<long long>(stats.origin_fetches),
+          static_cast<double>(stats.bytes_from_origin) / 1e6,
+          stats.edge_evictions, stats.regional_evictions);
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  const Status written = write_file("BENCH_cdn.json", json);
+  if (written.ok()) {
+    std::printf("report written to BENCH_cdn.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_cdn.json: %s\n",
+                 written.error().c_str());
   }
   std::printf("\n");
 }

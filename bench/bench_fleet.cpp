@@ -13,18 +13,23 @@
 //
 //   bench_fleet --clients 200 --engine event_heap [--trace fixed]
 //               [--min-steps-per-s 40000] [--profile] [--trace-out PATH]
-//               [--topology | --disjoint] [--threads N] [--streaming]
-//               [--max-rss-mib F]
+//               [--topology | --disjoint | --cdn] [--threads N] [--streaming]
+//               [--max-rss-mib F] [--min-cdn-hit F]
 //
 // CLI mode runs exactly the requested fleet, prints one row per engine, and
-// exits non-zero when a --min-steps-per-s floor is not met or peak RSS
-// exceeds --max-rss-mib. --profile turns on the engine self-profiler and
+// exits non-zero when a --min-steps-per-s floor is not met, peak RSS
+// exceeds --max-rss-mib, or (under --cdn) the demuxed edge hit ratio falls
+// below --min-cdn-hit. --profile turns on the engine self-profiler and
 // the metrics registry and prints both; --trace-out captures the run with a
 // Tracer and writes Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto) to PATH. --disjoint swaps the shared-core layout for causally
 // independent per-edge chains, which partition into parallel shards
 // (fleet/shard.h) driven by --threads; --streaming drops per-session logs
 // for O(shards + sketch) memory (fleet/metrics.h StreamingFleetStats).
+// --cdn puts an LRU edge cache on every chain's access link
+// (fleet/cdn_fleet.h) and runs the same seeds under demuxed and muxed
+// origin storage back to back — the paper's §1 storage axis as a cache
+// hit-ratio gap.
 // Every row reports the process peak RSS (getrusage high-water mark —
 // cumulative, so within one process it reflects the largest run so far).
 #include <benchmark/benchmark.h>
@@ -44,7 +49,9 @@
 #include <vector>
 
 #include "core/coordinated_player.h"
+#include "core/muxed_player.h"
 #include "experiments/scenarios.h"
+#include "fleet/cdn_fleet.h"
 #include "fleet/scheduler.h"
 #include "fleet/topology.h"
 #include "obs/metrics.h"
@@ -180,13 +187,33 @@ fleet::TopologySpec disjoint_spec(int edges, int clients_per_edge) {
   return spec;
 }
 
+/// Disjoint chains with an LRU edge cache on every access link (the
+/// client-side hop, so edge hits skip the per-chain core entirely). The
+/// layout partitions into `edges` shards like disjoint_spec.
+fleet::TopologySpec cdn_spec(int edges, int clients_per_edge,
+                             std::int64_t cache_bytes) {
+  fleet::TopologySpec spec = disjoint_spec(edges, clients_per_edge);
+  for (std::size_t l = 0; l < spec.links.size(); l += 2) {
+    spec.links[l].cache = fleet::CacheSpec{cache_bytes, -1};
+  }
+  return spec;
+}
+
 struct FleetRunRecord {
   std::string trace;
   std::string engine;
   std::string topology = "single";  ///< "single", "sharded-10x10", "disjoint-10x50"
+  std::string storage = "none";     ///< origin storage of cache-aware rows
   int clients = 0;
   int threads = 1;
   bool streaming = false;
+  // CDN plane aggregates, summed over every cache node (zero when the run
+  // has no caches).
+  std::int64_t cdn_requests = 0;
+  double cdn_hit_ratio = 0.0;
+  double cdn_byte_hit_ratio = 0.0;
+  double cdn_origin_mb = 0.0;
+  std::size_t cdn_evictions = 0;
   double peak_rss_mib = 0.0;  ///< process high-water mark after the run
   double wall_s = 0.0;
   std::size_t steps = 0;
@@ -231,6 +258,30 @@ FleetRunRecord run_configured(const ex::ExperimentSetup& setup,
   record.link_utilization = result.video_link.utilization();
   record.peak_flows = result.video_link.peak_flows;
   record.profile = result.profile;
+  if (!result.cdns.empty()) {
+    std::int64_t edge_hits = 0;
+    std::int64_t edge_bytes = 0;
+    std::int64_t total_bytes = 0;
+    std::int64_t origin_bytes = 0;
+    for (const fleet::CdnStats& cdn : result.cdns) {
+      record.cdn_requests += cdn.requests;
+      edge_hits += cdn.edge_hits;
+      edge_bytes += cdn.edge_hit_bytes;
+      total_bytes += cdn.edge_hit_bytes + cdn.regional_hit_bytes + cdn.origin_bytes;
+      origin_bytes += cdn.origin_bytes;
+      record.cdn_evictions += cdn.edge_evictions;
+    }
+    if (record.cdn_requests > 0) {
+      record.cdn_hit_ratio = static_cast<double>(edge_hits) /
+                             static_cast<double>(record.cdn_requests);
+    }
+    if (total_bytes > 0) {
+      record.cdn_byte_hit_ratio =
+          static_cast<double>(edge_bytes) / static_cast<double>(total_bytes);
+    }
+    record.cdn_origin_mb = static_cast<double>(origin_bytes) / (1024.0 * 1024.0);
+    record.storage = storage_mode_name(config.cdn.storage);
+  }
   return record;
 }
 
@@ -266,6 +317,36 @@ FleetRunRecord run_topology_case(const ex::ExperimentSetup& setup, int edges,
   return record;
 }
 
+std::vector<fleet::PlayerShare> muxed_population() {
+  std::vector<fleet::PlayerShare> mix;
+  mix.push_back({"muxed", [] { return std::make_unique<MuxedPlayer>(); }, 1.0});
+  return mix;
+}
+
+/// Cache-aware row: disjoint chains with an LRU edge cache on every access
+/// link, sized to a quarter of the demuxed catalog, same seeds and ladder
+/// in both storage modes. Demuxed rows keep the usual demuxed-ABR
+/// population; muxed rows run the MuxedPlayer against A×V combination
+/// objects, so the §1 storage axis shows up as a cache hit-ratio gap.
+FleetRunRecord run_cdn_case(const ex::ExperimentSetup& setup, int edges,
+                            int clients_per_edge, StorageMode storage,
+                            int threads = 1) {
+  const int clients = edges * clients_per_edge;
+  fleet::FleetConfig config = fleet_config(clients, fleet::Engine::kEventHeap);
+  config.threads = threads;
+  config.cdn.storage = storage;
+  if (storage == StorageMode::kMuxed) config.players = muxed_population();
+  const auto demuxed_catalog =
+      fleet::make_fleet_catalog(setup.content, StorageMode::kDemuxed);
+  config.topology =
+      cdn_spec(edges, clients_per_edge, demuxed_catalog->total_bytes() / 4);
+  const TraceCase tc{"disjoint-chains-700k-per-client",
+                     BandwidthTrace::constant(1000.0)};
+  FleetRunRecord record = run_configured(setup, tc, config);
+  record.topology = format("cdn-%dx%d", edges, clients_per_edge);
+  return record;
+}
+
 /// The million-client row: a flash crowd of 1000 causally independent
 /// shards x 1000 concurrent clients each, streaming metrics on (per-session
 /// logs would be ~10^6 × O(chunks) of memory; the sketches are O(shards)).
@@ -296,6 +377,14 @@ void print_record(const FleetRunRecord& r) {
       r.threads, r.streaming ? " streaming" : "", r.wall_s, r.steps_per_s(),
       r.sim_per_wall(), r.metrics.mean_qoe, r.metrics.jain_fairness_video,
       r.link_utilization, r.peak_flows, r.peak_rss_mib);
+  if (r.storage != "none") {
+    std::printf(
+        "    cdn: storage=%s requests=%lld hit=%.3f byte_hit=%.3f "
+        "origin_mb=%.1f evictions=%zu\n",
+        r.storage.c_str(), static_cast<long long>(r.cdn_requests),
+        r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
+        r.cdn_evictions);
+  }
 }
 
 std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
@@ -307,18 +396,25 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
     const FleetRunRecord& r = records[i];
     out += format(
         "    {\"trace\": \"%s\", \"engine\": \"%s\", \"topology\": \"%s\", "
-        "\"clients\": %d, \"threads\": %d, \"streaming\": %s, "
+        "\"storage\": \"%s\", \"clients\": %d, \"threads\": %d, "
+        "\"streaming\": %s, "
         "\"wall_s\": %.6f, \"steps\": %zu, \"steps_per_s\": %.0f, "
         "\"sim_s\": %.1f, \"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
         "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
         "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
-        "\"peak_flows\": %d, \"peak_rss_mib\": %.1f}%s\n",
-        r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
-        r.threads, r.streaming ? "true" : "false", r.wall_s, r.steps,
-        r.steps_per_s(), r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
+        "\"peak_flows\": %d, \"peak_rss_mib\": %.1f, "
+        "\"cdn_requests\": %lld, \"cdn_hit_ratio\": %.4f, "
+        "\"cdn_byte_hit_ratio\": %.4f, \"cdn_origin_mb\": %.1f, "
+        "\"cdn_evictions\": %zu}%s\n",
+        r.trace.c_str(), r.engine.c_str(), r.topology.c_str(),
+        r.storage.c_str(), r.clients, r.threads,
+        r.streaming ? "true" : "false", r.wall_s, r.steps, r.steps_per_s(),
+        r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
         r.metrics.jain_fairness_video, r.metrics.stall_ratio.p90,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
-        r.peak_rss_mib, i + 1 < records.size() ? "," : "");
+        r.peak_rss_mib, static_cast<long long>(r.cdn_requests),
+        r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
+        r.cdn_evictions, i + 1 < records.size() ? "," : "");
   }
   out += "  ],\n";
   if (!profile_json.empty()) {
@@ -401,6 +497,19 @@ void emit_report_once() {
     print_record(r);
     records.push_back(r);
   }
+  // Cache-aware rows: the same seeds and ladder under demuxed vs muxed
+  // origin storage — the §1 storage axis as an edge hit-ratio gap (cache
+  // sized to a quarter of the demuxed catalog on every chain).
+  std::printf("=== fleet: cache-aware 10-chain topology, demuxed vs muxed ===\n");
+  for (const StorageMode storage : {StorageMode::kDemuxed, StorageMode::kMuxed}) {
+    const FleetRunRecord r = run_cdn_case(setup, 10, 20, storage, 2);
+    print_record(r);
+    records.push_back(r);
+  }
+  notes.push_back(
+      "cdn-10x20 row pair: identical seeds/ladder, only origin storage "
+      "differs; muxed A\\u00d7V combination objects inflate the working set, "
+      "so the same edge capacity yields a lower hit ratio");
   notes.push_back(
       "threads>1 rows on single-core hosts measure shard-merge overhead, not "
       "speedup; steps/s scales with physical cores (shards are causally "
@@ -509,6 +618,8 @@ struct CliOptions {
   bool profile = false;               ///< engine self-profile + metrics dump
   bool topology = false;              ///< sharded 10-edge multi-link fleet
   bool disjoint = false;              ///< disjoint per-edge chains (parallel)
+  bool cdn = false;                   ///< cache-aware chains, demuxed vs muxed
+  double min_cdn_hit = 0.0;           ///< demuxed hit-ratio floor (0 = off)
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
 };
 
@@ -517,8 +628,8 @@ struct CliOptions {
                "usage: bench_fleet [--clients N] [--engine barrier|event_heap|both]\n"
                "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
                "                   [--max-rss-mib F] [--threads N] [--streaming]\n"
-               "                   [--topology | --disjoint] [--profile]\n"
-               "                   [--trace-out trace.json]\n"
+               "                   [--topology | --disjoint | --cdn] [--profile]\n"
+               "                   [--min-cdn-hit F] [--trace-out trace.json]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -571,6 +682,12 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--disjoint") == 0) {
       cli.disjoint = true;
       cli.cli_mode = true;
+    } else if (std::strcmp(argv[i], "--cdn") == 0) {
+      cli.cdn = true;
+      cli.cli_mode = true;
+    } else if (const char* v8 = value_of("--min-cdn-hit", i)) {
+      cli.min_cdn_hit = std::atof(v8);
+      cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
     }
@@ -604,9 +721,10 @@ int run_cli(const CliOptions& cli) {
   std::unique_ptr<obs::ScopedMetrics> scoped_metrics;
   if (cli.profile) scoped_metrics = std::make_unique<obs::ScopedMetrics>();
 
-  // --topology / --disjoint distribute the requested fleet over 10 equal
-  // shards (block assignment), rounding --clients down to a multiple of 10.
-  const bool multi_link = cli.topology || cli.disjoint;
+  // --topology / --disjoint / --cdn distribute the requested fleet over 10
+  // equal shards (block assignment), rounding --clients down to a multiple
+  // of 10.
+  const bool multi_link = cli.topology || cli.disjoint || cli.cdn;
   const int edges = 10;
   const int per_edge = multi_link ? std::max(1, cli.clients / edges) : 0;
   if (multi_link && cli.clients != edges * per_edge) {
@@ -615,6 +733,48 @@ int run_cli(const CliOptions& cli) {
   }
 
   bool floor_met = true;
+
+  // --cdn mode: the demuxed-vs-muxed storage pair on cache-aware chains
+  // (always event-heap; the cross-engine identity is covered by tests).
+  if (cli.cdn) {
+    std::printf("=== fleet CLI: %d clients, cache-aware 10-chain topology, "
+                "demuxed vs muxed%s ===\n",
+                edges * per_edge,
+                cli.threads != 1 ? format(", threads=%d", cli.threads).c_str()
+                                 : "");
+    for (const StorageMode storage : {StorageMode::kDemuxed, StorageMode::kMuxed}) {
+      const FleetRunRecord r =
+          run_cdn_case(setup, edges, per_edge, storage, cli.threads);
+      print_record(r);
+      // Machine-greppable line for CI floors and trend tracking.
+      std::printf(
+          "engine=%s topology=%s storage=%s clients=%d threads=%d "
+          "steps_per_s=%.0f wall_s=%.3f peak_rss_mib=%.1f cdn_hit=%.4f "
+          "cdn_byte_hit=%.4f cdn_origin_mb=%.1f cdn_evictions=%zu\n",
+          r.engine.c_str(), r.topology.c_str(), r.storage.c_str(), r.clients,
+          r.threads, r.steps_per_s(), r.wall_s, r.peak_rss_mib,
+          r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
+          r.cdn_evictions);
+      if (cli.min_steps_per_s > 0.0 && r.steps_per_s() < cli.min_steps_per_s) {
+        std::fprintf(stderr, "FAIL: %s steps_per_s %.0f below floor %.0f\n",
+                     r.storage.c_str(), r.steps_per_s(), cli.min_steps_per_s);
+        floor_met = false;
+      }
+      if (cli.max_rss_mib > 0.0 && r.peak_rss_mib > cli.max_rss_mib) {
+        std::fprintf(stderr,
+                     "FAIL: %s peak RSS %.1f MiB above ceiling %.1f MiB\n",
+                     r.storage.c_str(), r.peak_rss_mib, cli.max_rss_mib);
+        floor_met = false;
+      }
+      if (cli.min_cdn_hit > 0.0 && storage == StorageMode::kDemuxed &&
+          r.cdn_hit_ratio < cli.min_cdn_hit) {
+        std::fprintf(stderr, "FAIL: demuxed cdn hit ratio %.4f below floor %.4f\n",
+                     r.cdn_hit_ratio, cli.min_cdn_hit);
+        floor_met = false;
+      }
+    }
+    return floor_met ? 0 : 1;
+  }
   std::printf("=== fleet CLI: %d clients, trace=%s%s%s%s ===\n", cli.clients,
               cli.trace.c_str(),
               cli.disjoint ? ", disjoint 10-chain topology"

@@ -1,0 +1,122 @@
+// CDN edge caches as first-class topology nodes (ROADMAP "per-CDN fleets").
+//
+// A TopologySpec link carrying a CacheSpec becomes a CDN node: an LRU edge
+// cache (plus an optional regional tier with CdnChain semantics) backed by
+// an ObjectCatalog built from the fleet's MediaContent in either
+// StorageMode. CdnState implements the session-facing FlowRouter hook:
+//
+//   * admit — when a flow's RTT elapses, look the chunk's object key up in
+//     the cache co-located with the flow's path. A resident object (edge
+//     hit) rides the derived client→edge prefix channel; anything else
+//     rides the full path to the origin. A regional hit saves origin
+//     egress (stats) but still traverses the full path — the regional tier
+//     sits next to the origin, not next to the client.
+//   * delivered — at flow completion (deferred to the completing session's
+//     next begin_step) the object fills the cache tiers, so cache warmth
+//     dynamically changes which links later chunks traverse.
+//
+// Determinism: both hooks only ever run inside begin_step, which both fleet
+// engines execute in ascending client id per timestamp with completions
+// before registrations (sim/flow_router.h). All counters are integers. A
+// cached link and every path through it share one connected component
+// (shard.cpp copies LinkSpec wholesale), so caches are shard-local and the
+// sharded merge stays byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/topology.h"
+#include "httpsim/catalog.h"
+#include "httpsim/lru_cache.h"
+#include "sim/flow_router.h"
+
+namespace demuxabr::fleet {
+
+/// Closing stats of one CDN node (cache-bearing link) of a fleet run. All
+/// counts are integers, so the fingerprint lines they feed are trivially
+/// byte-identical across engines and thread counts.
+struct CdnStats {
+  std::string link_name;
+  std::size_t link = 0;  ///< topology link index (global after shard merge)
+
+  std::int64_t requests = 0;        ///< cacheable requests routed past this node
+  std::int64_t edge_hits = 0;       ///< served from the edge tier (short route)
+  std::int64_t regional_hits = 0;   ///< served from the regional tier (full route)
+  std::int64_t origin_fetches = 0;  ///< cold: pulled from the origin
+  std::int64_t uncacheable = 0;     ///< keys absent from the catalog (not counted above)
+
+  std::int64_t edge_hit_bytes = 0;
+  std::int64_t regional_hit_bytes = 0;
+  std::int64_t origin_bytes = 0;  ///< origin egress this node caused
+
+  std::size_t edge_evictions = 0;
+  std::size_t regional_evictions = 0;
+  std::int64_t edge_used_bytes = 0;  ///< resident bytes at close
+  std::size_t edge_objects = 0;      ///< resident objects at close
+
+  [[nodiscard]] double hit_ratio() const {
+    return requests > 0
+               ? static_cast<double>(edge_hits) / static_cast<double>(requests)
+               : 0.0;
+  }
+  [[nodiscard]] double byte_hit_ratio() const {
+    const std::int64_t total = edge_hit_bytes + regional_hit_bytes + origin_bytes;
+    return total > 0 ? static_cast<double>(edge_hit_bytes) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// The shard-local cache plane of one fleet run: owns every CDN node's LRU
+/// tiers and routes flows per request. Wire into each session's Network as
+/// its FlowRouter (FleetScheduler does this); must outlive the sessions.
+class CdnState final : public FlowRouter {
+ public:
+  /// `spec` names which links carry caches; `topology` (built from the same
+  /// spec) provides each path's cache route; `catalog` is the shared
+  /// read-only origin inventory. Both referents must outlive this object.
+  CdnState(const TopologySpec& spec, Topology& topology,
+           std::shared_ptr<const ObjectCatalog> catalog);
+
+  FlowRoute admit(const DownloadRequest& request, Channel& origin_route,
+                  double now) override;
+  void delivered(const DownloadRequest& request, std::uint64_t ticket,
+                 double now) override;
+
+  /// Closing per-node snapshot, ascending link index (folds in eviction /
+  /// residency counters from the LRU tiers).
+  [[nodiscard]] std::vector<CdnStats> stats() const;
+
+ private:
+  /// delivered() action encoded in the admit() ticket.
+  enum Action : std::uint64_t { kNone = 0, kFillEdge = 1, kFillBoth = 2 };
+
+  struct Node {
+    std::size_t link = 0;
+    LruCache edge;
+    std::unique_ptr<LruCache> regional;  ///< null = single-tier node
+    CdnStats stats;
+
+    Node(std::size_t link_index, const CacheSpec& cache);
+  };
+
+  [[nodiscard]] static std::uint64_t make_ticket(std::size_t node, Action action) {
+    return ((static_cast<std::uint64_t>(node) + 1) << 2) | action;
+  }
+  [[nodiscard]] std::string key_of(const DownloadRequest& request) const;
+
+  std::shared_ptr<const ObjectCatalog> catalog_;
+  std::vector<Node> nodes_;  ///< ascending link index
+  /// Default carrier (spec-path channel) → (node index, hit channel).
+  /// Pointer-keyed lookup only — never iterated, so determinism holds.
+  std::unordered_map<const Channel*, std::pair<std::size_t, Channel*>> routes_;
+};
+
+/// Build the origin catalog for `content` in the given storage mode.
+[[nodiscard]] std::shared_ptr<const ObjectCatalog> make_fleet_catalog(
+    const Content& content, StorageMode storage);
+
+}  // namespace demuxabr::fleet

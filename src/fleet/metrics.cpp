@@ -260,6 +260,20 @@ void fingerprint_link(std::ostringstream& out, const LinkStats& stats) {
                 stats.offered_kbit, stats.delivered_kbit, stats.peak_flows);
 }
 
+/// All-integer CDN lines: byte-identical across engines and thread counts
+/// by construction (no float accumulation order to worry about).
+void fingerprint_cdns(std::ostringstream& out, const FleetResult& result) {
+  for (const CdnStats& cdn : result.cdns) {
+    out << "cdn " << cdn.link_name << " req=" << cdn.requests
+        << " edge=" << cdn.edge_hits << " regional=" << cdn.regional_hits
+        << " origin=" << cdn.origin_fetches << " uncache=" << cdn.uncacheable
+        << " edge_b=" << cdn.edge_hit_bytes << " regional_b=" << cdn.regional_hit_bytes
+        << " origin_b=" << cdn.origin_bytes << " evict=" << cdn.edge_evictions
+        << "+" << cdn.regional_evictions << " resident=" << cdn.edge_used_bytes
+        << "/" << cdn.edge_objects << "\n";
+  }
+}
+
 }  // namespace
 
 std::string fleet_fingerprint(const FleetResult& result) {
@@ -285,6 +299,7 @@ std::string fleet_fingerprint(const FleetResult& result) {
       fingerprint_link(out, result.video_link);
       if (result.split_audio) fingerprint_link(out, result.audio_link);
     }
+    fingerprint_cdns(out, result);
     return out.str();
   }
   out << "clients:" << result.clients.size()
@@ -317,6 +332,7 @@ std::string fleet_fingerprint(const FleetResult& result) {
     fingerprint_link(out, result.video_link);
     if (result.split_audio) fingerprint_link(out, result.audio_link);
   }
+  fingerprint_cdns(out, result);
   return out.str();
 }
 
@@ -370,6 +386,15 @@ std::string summarize(const FleetResult& result, const FleetMetrics& metrics) {
   } else {
     link_line(result.video_link);
     if (result.split_audio) link_line(result.audio_link);
+  }
+  for (const CdnStats& cdn : result.cdns) {
+    out << format(
+        "  cdn %s: hit=%.3f byte_hit=%.3f regional=%lld origin_mb=%.1f "
+        "evictions=%zu resident_mb=%.1f\n",
+        cdn.link_name.c_str(), cdn.hit_ratio(), cdn.byte_hit_ratio(),
+        static_cast<long long>(cdn.regional_hits),
+        static_cast<double>(cdn.origin_bytes) / 1e6, cdn.edge_evictions,
+        static_cast<double>(cdn.edge_used_bytes) / 1e6);
   }
   return out.str();
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fleet/cdn_fleet.h"
 #include "fleet/shared_link.h"
 #include "fleet/topology.h"
 #include "media/track.h"
@@ -106,6 +107,9 @@ struct FleetResult {
   /// summaries. Both empty for single-link fleets.
   std::vector<LinkStats> links;
   std::vector<PathSummary> paths;
+  /// Cache-aware runs: per-CDN-node closing stats, ascending link index
+  /// (fleet/cdn_fleet.h). Part of the fingerprint — all-integer counters.
+  std::vector<CdnStats> cdns;
   bool split_audio = false;
   double end_time_s = 0.0;  ///< wall time at which the last client finished
   /// Engine work units executed: global barriers (kBarrier) or heap events

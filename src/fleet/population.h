@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fleet/topology.h"
+#include "httpsim/catalog.h"
 #include "sim/player.h"
 #include "sim/session.h"
 
@@ -105,6 +106,20 @@ struct FleetConfig {
   /// ignored. Unset = today's single shared bottleneck. A
   /// TopologySpec::single() topology is byte-identical to unset.
   std::optional<TopologySpec> topology;
+
+  /// Cache-aware fleets (fleet/cdn_fleet.h): configuration of the CDN nodes
+  /// declared via CacheSpec-bearing topology links. Ignored when no link
+  /// carries a cache.
+  struct CdnConfig {
+    /// Storage mode of the origin catalog (the paper's §1 axis): demuxed
+    /// audio/video objects vs muxed A×V combination objects.
+    StorageMode storage = StorageMode::kDemuxed;
+    /// Pre-built origin catalog, shared read-only across shards. Null = the
+    /// scheduler builds one from its Content in `storage` mode (the shard
+    /// runner builds it once and injects it into every shard).
+    std::shared_ptr<const ObjectCatalog> catalog;
+  };
+  CdnConfig cdn;
 
   /// Collect per-phase wall-clock timings of the engine loop into
   /// FleetResult::profile (obs/profile.h). Purely observational — results

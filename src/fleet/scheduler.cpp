@@ -27,6 +27,15 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
                   audio_trace.has_value() ? "video-bottleneck" : "bottleneck") {
   if (config_.topology.has_value()) {
     topology_.emplace(*config_.topology);
+    if (topology_->has_caches()) {
+      // Cache-aware run: one shard-local cache plane routing every session's
+      // flows. The shard runner pre-builds the catalog and shares it
+      // read-only across shards; a serial run builds its own here.
+      catalog_ = config_.cdn.catalog != nullptr
+                     ? config_.cdn.catalog
+                     : make_fleet_catalog(content_, config_.cdn.storage);
+      cdn_ = std::make_unique<CdnState>(*config_.topology, *topology_, catalog_);
+    }
   } else if (audio_trace.has_value()) {
     audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck");
   }
@@ -53,6 +62,7 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
         audio_link_.has_value() ? audio_link_->link() : video_link_.link();
   }
   network.rtt_s = config_.rtt_s;
+  network.router = cdn_.get();  // null for cache-less fleets
 
   SessionConfig session_config = config_.session;
   if (streaming_) {
@@ -178,6 +188,7 @@ void FleetScheduler::close_links(FleetResult& result, double end_time) {
     // fingerprint serializes result.links instead.
     result.video_link = result.links.front();
     result.audio_link = result.video_link;
+    if (cdn_ != nullptr) result.cdns = cdn_->stats();
   } else {
     video_link_.finalize(end_time);
     if (audio_link_.has_value()) audio_link_->finalize(end_time);
@@ -276,7 +287,10 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
   // shared Links of a plain fleet, or one PathChannel per topology path.
   std::vector<Channel*> links;
   if (topology_.has_value()) {
-    for (std::size_t p = 0; p < topology_->path_count(); ++p) {
+    // Every channel with a completion registry, including the derived
+    // cache-hit prefix channels above path_count() — flows routed onto them
+    // must surface their completions like any other carrier.
+    for (std::size_t p = 0; p < topology_->channel_count(); ++p) {
       links.push_back(topology_->path_channel(p).get());
     }
   } else {

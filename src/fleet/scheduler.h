@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "fleet/cdn_fleet.h"
 #include "fleet/metrics.h"
 #include "fleet/population.h"
 #include "fleet/shared_link.h"
@@ -96,6 +97,10 @@ class FleetScheduler {
   SharedLink video_link_;  ///< unused when topology_ is set
   std::optional<SharedLink> audio_link_;
   std::optional<Topology> topology_;
+  /// Cache-aware runs only: the origin catalog (possibly shared read-only
+  /// across shards) and this run's cache plane / flow router.
+  std::shared_ptr<const ObjectCatalog> catalog_;
+  std::unique_ptr<CdnState> cdn_;
   std::vector<std::unique_ptr<Client>> slots_;  ///< by client id
   FleetResult result_;
   bool streaming_ = false;  ///< streaming-metrics mode active for this run

@@ -205,6 +205,16 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
   proto.threads = 1;
   proto.streaming.client_threshold =
       streaming ? 0 : std::numeric_limits<std::size_t>::max();
+  // Cache-aware fleets: build the origin catalog ONCE and share it
+  // read-only across every shard's CdnState (the caches themselves are
+  // shard-local — a cached link and all its paths form one component).
+  bool any_cache = false;
+  for (const LinkSpec& link : config.topology->links) {
+    any_cache |= link.cache.has_value();
+  }
+  if (any_cache && proto.cdn.catalog == nullptr) {
+    proto.cdn.catalog = make_fleet_catalog(content, proto.cdn.storage);
+  }
 
   std::vector<std::unique_ptr<FleetScheduler>> schedulers;
   schedulers.reserve(partition.shards.size());
@@ -255,6 +265,11 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
     for (std::size_t p = 0; p < shard.path_ids.size(); ++p) {
       merged.paths[shard.path_ids[p]] = std::move(result.paths[p]);
     }
+    for (CdnStats& cdn : result.cdns) {
+      // Rewrite the shard-local link index to the global topology's.
+      cdn.link = shard.link_ids[cdn.link];
+      merged.cdns.push_back(std::move(cdn));
+    }
     if (streaming) {
       merged.streaming->merge(*result.streaming, &shard.path_ids);
     } else {
@@ -276,6 +291,11 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
     std::sort(merged.clients.begin(), merged.clients.end(),
               [](const ClientResult& a, const ClientResult& b) { return a.id < b.id; });
   }
+  // Shards are visited in shard-id order (smallest link first) but a later
+  // shard can own an earlier cached link id; re-sort so the merged order —
+  // and hence the fingerprint — matches the serial run's ascending order.
+  std::sort(merged.cdns.begin(), merged.cdns.end(),
+            [](const CdnStats& a, const CdnStats& b) { return a.link < b.link; });
   merged.video_link = merged.links.front();
   merged.audio_link = merged.video_link;
   return merged;

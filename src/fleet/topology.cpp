@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -87,6 +88,15 @@ std::string TopologySpec::validate() const {
       if (i > 0 && seen[i] == seen[i - 1]) {
         return format("path %zu traverses link %zu twice", p, seen[i]);
       }
+    }
+  }
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    std::size_t cached_hops = 0;
+    for (const std::size_t hop : paths[p].hops) {
+      if (links[hop].cache.has_value()) ++cached_hops;
+    }
+    if (cached_hops > 1) {
+      return format("path %zu traverses %zu cached links (max 1)", p, cached_hops);
     }
   }
   for (const std::size_t p : video_assignment) {
@@ -223,6 +233,41 @@ Topology::Topology(TopologySpec spec) {
     for (const std::size_t hop : path->hops_) links_[hop].paths.push_back(p);
     paths_.push_back(std::move(path));
   }
+  spec_path_count_ = paths_.size();
+
+  // Derived hit channels: for every spec path with a cached hop, the route a
+  // cache hit rides — the hop prefix ending at the cached link. When the
+  // cached link is the last hop the full path already IS that route, so the
+  // hit reuses its channel (which also keeps a cached single-link topology
+  // bit-identical to the plain fleet: routing can never diverge there).
+  // Derived channels are full topology citizens — they join their links'
+  // path lists, affected sets and rel_links below, so populations riding
+  // them shape every fair share exactly like spec-path populations.
+  cache_routes_.resize(spec_path_count_);
+  for (const LinkSpec& link : spec.links) has_caches_ |= link.cache.has_value();
+  if (has_caches_) {
+    for (std::size_t p = 0; p < spec_path_count_; ++p) {
+      const std::vector<std::size_t>& hops = paths_[p]->hops_;
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (!spec.links[hops[i]].cache.has_value()) continue;
+        if (i + 1 == hops.size()) {
+          cache_routes_[p] = PathCacheRoute{hops[i], paths_[p].get()};
+        } else {
+          const std::size_t index = paths_.size();
+          auto hit = std::unique_ptr<PathChannel>(new PathChannel());
+          hit->topo_ = this;
+          hit->index_ = index;
+          hit->name_ = paths_[p]->name_ + ":hit";
+          hit->hops_.assign(hops.begin(), hops.begin() + static_cast<std::ptrdiff_t>(i + 1));
+          hit->binding_s_.assign(hit->hops_.size(), 0.0);
+          for (const std::size_t hop : hit->hops_) links_[hop].paths.push_back(index);
+          cache_routes_[p] = PathCacheRoute{hops[i], hit.get()};
+          paths_.push_back(std::move(hit));
+        }
+        break;  // validate(): at most one cached hop per path
+      }
+    }
+  }
 
   for (LinkNode& node : links_) {
     node.saturating = true;
@@ -259,7 +304,7 @@ std::shared_ptr<Channel> Topology::path_channel(std::size_t p) {
 
 std::size_t Topology::video_path_for(int client_id) const {
   const auto id = static_cast<std::size_t>(client_id);
-  if (video_assignment_.empty()) return id % paths_.size();
+  if (video_assignment_.empty()) return id % spec_path_count_;
   return video_assignment_[id % video_assignment_.size()];
 }
 
@@ -449,8 +494,9 @@ std::vector<LinkStats> Topology::link_stats() const {
 
 std::vector<PathSummary> Topology::path_stats() const {
   std::vector<PathSummary> stats;
-  stats.reserve(paths_.size());
-  for (const std::unique_ptr<PathChannel>& path : paths_) {
+  stats.reserve(spec_path_count_);
+  for (std::size_t p = 0; p < spec_path_count_; ++p) {
+    const std::unique_ptr<PathChannel>& path = paths_[p];
     PathSummary s;
     s.name = path->name_;
     for (const std::size_t hop : path->hops_) s.hop_names.push_back(links_[hop].name);

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,21 @@
 
 namespace demuxabr::fleet {
 
+/// A CDN cache co-located with a topology link (fleet/cdn_fleet.h). A
+/// request whose object is resident in the edge tier rides only the hop
+/// prefix of its path up to this link; misses ride the full path to the
+/// origin and fill the cache at flow completion.
+struct CacheSpec {
+  /// Edge LRU capacity in bytes; 0 = unbounded.
+  std::int64_t capacity_bytes = 0;
+  /// Optional second tier with CdnChain semantics (a regional cache close
+  /// to the origin: hits save origin egress but still ride the full path).
+  /// Negative = no regional tier; 0 = unbounded regional.
+  std::int64_t regional_capacity_bytes = -1;
+
+  [[nodiscard]] bool has_regional() const { return regional_capacity_bytes >= 0; }
+};
+
 /// One named bottleneck of the topology.
 struct LinkSpec {
   std::string name;
@@ -45,6 +61,10 @@ struct LinkSpec {
   /// index). The shard runner pins sub-topology links to their *global*
   /// track ids so traces stay attributable after partitioning.
   std::uint32_t trace_track = 0;
+  /// CDN cache at this link. At most one hop of any path may carry a cache
+  /// (validate() enforces it). Copied wholesale by the shard runner, so a
+  /// cache and every path through it stay inside one connected component.
+  std::optional<CacheSpec> cache;
 };
 
 /// One route through the topology: an ordered list of link indices
@@ -90,7 +110,8 @@ struct TopologySpec {
                                                    std::size_t clients_per_path);
 
   /// Empty string when well-formed; otherwise a description of the first
-  /// problem (no links, empty/out-of-range/duplicate hops, bad assignment).
+  /// problem (no links, empty/out-of-range/duplicate hops, bad assignment,
+  /// a path traversing more than one cached link).
   [[nodiscard]] std::string validate() const;
 };
 
@@ -108,6 +129,15 @@ struct PathSummary {
 };
 
 class Topology;
+
+/// Cache-routing handle of one spec path (fleet/cdn_fleet.h): the cached
+/// hop's link index plus the Channel a cache hit rides — the derived
+/// "<path>:hit" channel over the hop prefix ending at the cached link, or
+/// the path's own channel when the cached link is its last hop.
+struct PathCacheRoute {
+  std::size_t link = 0;
+  Channel* hit_channel = nullptr;
+};
 
 /// The Channel a session rides in a topology fleet: one route of links.
 /// All state mutates only at flow-population changes of the affected set,
@@ -174,14 +204,29 @@ class Topology {
   explicit Topology(TopologySpec spec);
 
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
-  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  /// Spec paths only — the routes clients are assigned to. Derived hit
+  /// channels (cache-aware routing) live above this index; see
+  /// channel_count().
+  [[nodiscard]] std::size_t path_count() const { return spec_path_count_; }
+  /// All channels: spec paths first, then the derived "<path>:hit" prefix
+  /// channels cache hits ride. The event-heap engine watches completions on
+  /// every channel, so it enumerates up to this count.
+  [[nodiscard]] std::size_t channel_count() const { return paths_.size(); }
   [[nodiscard]] const std::string& link_name(std::size_t l) const {
     return links_[l].name;
   }
 
-  /// Non-owning handle to path `p` (aliasing shared_ptr; lifetime is the
-  /// Topology's). Wire into a session's Network.
+  /// Non-owning handle to channel `p` (aliasing shared_ptr; lifetime is the
+  /// Topology's). Wire into a session's Network. Valid for any index below
+  /// channel_count(); sessions' default carriers use spec-path indices.
   [[nodiscard]] std::shared_ptr<Channel> path_channel(std::size_t p);
+
+  /// True when any link carries a CacheSpec.
+  [[nodiscard]] bool has_caches() const { return has_caches_; }
+  /// Cache route of spec path `p` (empty when no hop is cached).
+  [[nodiscard]] const std::optional<PathCacheRoute>& cache_route(std::size_t p) const {
+    return cache_routes_[p];
+  }
 
   [[nodiscard]] std::size_t video_path_for(int client_id) const;
   [[nodiscard]] std::size_t audio_path_for(int client_id) const;
@@ -195,6 +240,8 @@ class Topology {
   /// Per-link closing stats, link-declaration order. binding_s aggregates
   /// the binding-constraint time of every path this link bottlenecked.
   [[nodiscard]] std::vector<LinkStats> link_stats() const;
+  /// Spec paths only (derived hit channels report through link_stats and
+  /// the fleet's CdnStats).
   [[nodiscard]] std::vector<PathSummary> path_stats() const;
 
   /// Name one obs trace track per link (obs::kLinkTrackBase + index).
@@ -258,7 +305,12 @@ class Topology {
   std::vector<std::size_t> video_assignment_;
   std::vector<std::size_t> audio_assignment_;
   std::vector<LinkNode> links_;
+  /// Spec paths [0, spec_path_count_), then derived hit channels.
   std::vector<std::unique_ptr<PathChannel>> paths_;
+  std::size_t spec_path_count_ = 0;
+  bool has_caches_ = false;
+  /// Per spec path: its cached hop + hit channel, if any.
+  std::vector<std::optional<PathCacheRoute>> cache_routes_;
   /// Precomputed affected sets per path (sorted): paths sharing a link
   /// with p, and the union of those paths' hops.
   std::vector<std::vector<std::size_t>> affected_paths_;

@@ -4,10 +4,25 @@
 
 namespace demuxabr {
 
+const char* fill_policy_name(FillPolicy policy) {
+  return policy == FillPolicy::kBothTiers ? "both_tiers" : "edge_only";
+}
+
 CdnChain::CdnChain(const ObjectCatalog* origin, std::int64_t edge_capacity_bytes,
-                   std::int64_t regional_capacity_bytes)
-    : origin_(origin), edge_(edge_capacity_bytes), regional_(regional_capacity_bytes) {
+                   std::int64_t regional_capacity_bytes, FillPolicy fill)
+    : origin_(origin),
+      edge_(edge_capacity_bytes),
+      regional_(regional_capacity_bytes),
+      fill_(fill) {
   assert(origin != nullptr);
+}
+
+CdnChain::Stats CdnChain::stats() const {
+  Stats out = stats_;
+  out.edge_evictions = edge_.eviction_count();
+  out.regional_evictions = regional_.eviction_count();
+  out.fill = fill_;
+  return out;
 }
 
 CdnChain::FetchResult CdnChain::fetch(const std::string& key) {
@@ -31,7 +46,7 @@ CdnChain::FetchResult CdnChain::fetch(const std::string& key) {
   result.served_by = ServedBy::kOrigin;
   ++stats_.origin_fetches;
   stats_.bytes_from_origin += size;
-  regional_.put(key, size);
+  if (fill_ == FillPolicy::kBothTiers) regional_.put(key, size);
   edge_.put(key, size);
   return result;
 }

@@ -4,6 +4,7 @@
 // many edges' misses).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -13,10 +14,19 @@
 
 namespace demuxabr {
 
+/// What an origin fetch populates on its way down the chain. kBothTiers is
+/// the classic hierarchy (regional absorbs other edges' future misses);
+/// kEdgeOnly models a pull-through regional that only caches on its *own*
+/// hits — cheaper regional storage, more origin egress.
+enum class FillPolicy { kBothTiers, kEdgeOnly };
+
+[[nodiscard]] const char* fill_policy_name(FillPolicy policy);
+
 class CdnChain {
  public:
   CdnChain(const ObjectCatalog* origin, std::int64_t edge_capacity_bytes,
-           std::int64_t regional_capacity_bytes);
+           std::int64_t regional_capacity_bytes,
+           FillPolicy fill = FillPolicy::kBothTiers);
 
   enum class ServedBy { kEdge, kRegional, kOrigin, kNotFound };
 
@@ -35,6 +45,12 @@ class CdnChain {
     std::int64_t regional_hits = 0;
     std::int64_t origin_fetches = 0;
     std::int64_t bytes_from_origin = 0;
+    /// Churn snapshots of the tier caches (LruCache::eviction_count) and the
+    /// chain's fill policy, folded in by stats() so one struct carries the
+    /// whole bench row.
+    std::size_t edge_evictions = 0;
+    std::size_t regional_evictions = 0;
+    FillPolicy fill = FillPolicy::kBothTiers;
 
     [[nodiscard]] double edge_hit_ratio() const {
       return requests > 0 ? static_cast<double>(edge_hits) / static_cast<double>(requests)
@@ -47,7 +63,7 @@ class CdnChain {
     }
   };
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] const LruCache& edge() const { return edge_; }
   [[nodiscard]] const LruCache& regional() const { return regional_; }
 
@@ -55,6 +71,7 @@ class CdnChain {
   const ObjectCatalog* origin_;
   LruCache edge_;
   LruCache regional_;
+  FillPolicy fill_;
   Stats stats_;
 };
 

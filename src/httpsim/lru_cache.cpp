@@ -19,7 +19,14 @@ void LruCache::put(const std::string& key, std::int64_t bytes) {
   assert(bytes >= 0);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // Re-registration may change the object's size (VBR re-encode): account
+    // the delta and re-run eviction so the capacity bound keeps holding. An
+    // entry grown past the whole capacity evicts itself (it sits at the
+    // front, so everything behind it goes first).
     lru_.splice(lru_.begin(), lru_, it->second);
+    used_bytes_ += bytes - it->second->bytes;
+    it->second->bytes = bytes;
+    evict_until_fits(0);
     return;
   }
   if (capacity_bytes_ > 0 && bytes > capacity_bytes_) return;  // object can never fit

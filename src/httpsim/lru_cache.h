@@ -16,8 +16,9 @@ class LruCache {
   /// Look up (and touch) an object. True on hit.
   bool get(const std::string& key);
 
-  /// Insert an object (no-op if it already exists; still touches it).
-  /// Evicts least-recently-used objects until the new object fits.
+  /// Insert an object. An existing key is touched and re-sized to `bytes`
+  /// (the delta counts against capacity, re-running eviction). Evicts
+  /// least-recently-used objects until the new object fits.
   void put(const std::string& key, std::int64_t bytes);
 
   [[nodiscard]] bool contains(const std::string& key) const;

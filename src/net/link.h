@@ -164,11 +164,18 @@ class Link final : public Channel {
 /// audio+video downloads contend (the root of Shaka's mis-estimation, §3.3).
 /// A topology-aware fleet instead wires each member at a fleet::PathChannel
 /// via `over`, so both media types ride a multi-hop client→edge→core path.
+class FlowRouter;
+
 struct Network {
   std::shared_ptr<Channel> video_link;
   std::shared_ptr<Channel> audio_link;
   /// Per-request startup latency (connection + request RTT).
   double rtt_s = 0.05;
+  /// Optional cache-aware request router (sim/flow_router.h). Consulted at
+  /// flow registration; may redirect a request onto a shorter carrier (an
+  /// edge-cache hit path). Non-owning — the fleet scheduler outlives every
+  /// session it wires. Null = every flow rides its default link.
+  FlowRouter* router = nullptr;
 
   static Network shared(BandwidthTrace trace, double rtt_s = 0.05) {
     Network net;

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/flow_router.h"
 #include "util/logging.h"
 
 namespace demuxabr {
@@ -162,6 +163,10 @@ void StreamingSession::abort_flow(Flow& f) {
     link.unregister_completion(f.token);
     f.on_link = false;
   }
+  // Aborted flows owe the router nothing: the object never fully arrived,
+  // so no cache fill happens (the request itself was counted at admit).
+  f.channel = nullptr;
+  f.route_ticket = 0;
   DownloadRecord record;
   record.type = f.request.type;
   record.track_id = f.request.track_id;
@@ -193,6 +198,14 @@ void StreamingSession::complete_flow(Flow& f) {
     link.unregister_completion(f.token);
     f.on_link = false;
   }
+  // Owe the router its completion notice (a cache fill); deferred to the
+  // next begin_step so router mutations stay in client-id order per
+  // timestamp across both fleet engines.
+  if (network_.router != nullptr) {
+    pending_deliveries_.push_back({f.request, f.route_ticket});
+  }
+  f.channel = nullptr;
+  f.route_ticket = 0;
   banked_bytes_ += static_cast<double>(f.total_bytes);
   f.bytes_done = 0.0;
 
@@ -477,18 +490,37 @@ bool StreamingSession::done() const {
 }
 
 void StreamingSession::begin_step() {
+  // Deliveries owed from completions fire before this session's own
+  // registrations, so a chunk completed at t is cached before any lookup at
+  // t by this or any higher-id session (sim/flow_router.h ordering).
+  flush_deliveries();
   // Register flows whose RTT phase ended: record the link's service integral
   // as the flow's zero point and file its completion target with the link.
   for (Flow* f : {&audio_flow_, &video_flow_}) {
     if (f->active && !f->on_link && now_ >= f->data_start_t) {
-      Channel& link = link_of(*f);
-      f->v_start_kbit = link.add_flow(now_);
+      Channel* channel = &network_.link_for(f->request.type == MediaType::kVideo);
+      f->route_ticket = 0;
+      if (network_.router != nullptr) {
+        const FlowRoute route = network_.router->admit(f->request, *channel, now_);
+        if (route.channel != nullptr) channel = route.channel;
+        f->route_ticket = route.ticket;
+      }
+      f->channel = channel;
+      f->v_start_kbit = channel->add_flow(now_);
       f->v_target_kbit =
           f->v_start_kbit + static_cast<double>(f->total_bytes) * 0.008;
-      link.register_completion(f->token, f->v_target_kbit);
+      channel->register_completion(f->token, f->v_target_kbit);
       f->on_link = true;
     }
   }
+}
+
+void StreamingSession::flush_deliveries() {
+  if (pending_deliveries_.empty()) return;
+  for (const PendingDelivery& delivery : pending_deliveries_) {
+    network_.router->delivered(delivery.request, delivery.ticket, now_);
+  }
+  pending_deliveries_.clear();
 }
 
 double StreamingSession::next_event_time() const {

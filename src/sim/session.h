@@ -187,6 +187,12 @@ class StreamingSession {
     std::int64_t sampled_bytes = 0;  ///< bytes already reported via samples
     double last_sample_t = 0.0;
     bool on_link = false;
+    /// The carrier this flow registered on: the network's default link, or
+    /// the router's pick (a cache-hit prefix channel). Valid while on_link.
+    Channel* channel = nullptr;
+    /// Router ticket from FlowRouter::admit, echoed via delivered() at
+    /// completion; 0 = no notification owed.
+    std::uint64_t route_ticket = 0;
     std::uint32_t token = 0;        ///< completion-registry id on the link
     double v_start_kbit = 0.0;      ///< link service integral at registration
     double v_target_kbit = 0.0;     ///< service integral at completion
@@ -212,6 +218,9 @@ class StreamingSession {
     return (audio_flow_.active ? 1 : 0) + (video_flow_.active ? 1 : 0);
   }
   [[nodiscard]] Channel& link_of(const Flow& f) const {
+    // Routed flows carry their channel; anything else (and pre-registration
+    // states) falls back to the media type's default link.
+    if (f.channel != nullptr) return *f.channel;
     return network_.link_for(f.request.type == MediaType::kVideo);
   }
 
@@ -243,6 +252,8 @@ class StreamingSession {
   void complete_flow(Flow& f);
   /// Cancel an in-flight download (request abandonment).
   void abort_flow(Flow& f);
+  /// Hand queued completed downloads to the router (begin_step only).
+  void flush_deliveries();
   /// Emit the pending progress sample up to t1; returns it when non-empty.
   std::optional<ProgressSample> emit_progress(Flow& f, double t1);
   void handle_playback_transitions();
@@ -288,6 +299,16 @@ class StreamingSession {
   Flow audio_flow_;
   Flow video_flow_;
   std::size_t next_seek_ = 0;  ///< index into config_.seeks
+
+  /// Completed downloads owed to the router (cache fills). Queued by
+  /// complete_flow, flushed at the next begin_step — deferring the mutation
+  /// to the registration phase keeps router state changes in client-id
+  /// order per timestamp in both fleet engines (sim/flow_router.h).
+  struct PendingDelivery {
+    DownloadRequest request;
+    std::uint64_t ticket = 0;
+  };
+  std::vector<PendingDelivery> pending_deliveries_;
 
   SessionLog log_;
 };

@@ -39,6 +39,36 @@ TEST_F(CdnChainTest, RegionalServesEdgeEvictions) {
   EXPECT_EQ(chain.stats().regional_hits, 1);
 }
 
+TEST_F(CdnChainTest, StatsSurfaceEvictionsAndFillPolicy) {
+  const std::int64_t one_chunk = catalog_.size_of(chunk_object_key("V1", 0));
+  CdnChain chain(&catalog_, one_chunk + 1, 0);
+  (void)chain.fetch(chunk_object_key("V1", 0));
+  (void)chain.fetch(chunk_object_key("V1", 1));  // evicts chunk 0 from edge
+  const CdnChain::Stats stats = chain.stats();
+  EXPECT_EQ(stats.edge_evictions, 1u);
+  EXPECT_EQ(stats.regional_evictions, 0u);
+  EXPECT_EQ(stats.fill, FillPolicy::kBothTiers);
+  EXPECT_STREQ(fill_policy_name(stats.fill), "both_tiers");
+}
+
+TEST_F(CdnChainTest, EdgeOnlyFillLeavesRegionalCold) {
+  CdnChain chain(&catalog_, 0, 0, FillPolicy::kEdgeOnly);
+  const std::string key = chunk_object_key("V2", 3);
+  (void)chain.fetch(key);
+  EXPECT_TRUE(chain.edge().contains(key));
+  EXPECT_FALSE(chain.regional().contains(key));
+  EXPECT_EQ(chain.stats().fill, FillPolicy::kEdgeOnly);
+  EXPECT_STREQ(fill_policy_name(FillPolicy::kEdgeOnly), "edge_only");
+  // Re-fetch after an edge eviction must go back to the origin: nothing
+  // was staged in the regional tier.
+  const std::int64_t one_chunk = catalog_.size_of(key);
+  CdnChain tiny(&catalog_, one_chunk + 1, 0, FillPolicy::kEdgeOnly);
+  (void)tiny.fetch(key);
+  (void)tiny.fetch(chunk_object_key("V2", 4));  // evicts `key` from edge
+  EXPECT_EQ(tiny.fetch(key).served_by, CdnChain::ServedBy::kOrigin);
+  EXPECT_EQ(tiny.stats().regional_hits, 0);
+}
+
 TEST_F(CdnChainTest, UnknownKeyNotCounted) {
   CdnChain chain(&catalog_, 0, 0);
   const auto result = chain.fetch("nope");

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <list>
+#include <map>
+#include <random>
+#include <string>
+
 #include "httpsim/catalog.h"
 #include "httpsim/cdn.h"
 #include "httpsim/lru_cache.h"
@@ -60,6 +66,107 @@ TEST(LruCache, ClearResets) {
   cache.clear();
   EXPECT_EQ(cache.used_bytes(), 0);
   EXPECT_FALSE(cache.contains("a"));
+}
+
+TEST(LruCache, ResizingPutUpdatesUsedBytes) {
+  LruCache cache(100);
+  cache.put("a", 10);
+  cache.put("b", 20);
+  cache.put("a", 50);  // same key, new size: used = 50 + 20, no eviction
+  EXPECT_EQ(cache.used_bytes(), 70);
+  EXPECT_EQ(cache.object_count(), 2u);
+  EXPECT_EQ(cache.eviction_count(), 0u);
+}
+
+TEST(LruCache, ResizingPutRunsEviction) {
+  LruCache cache(100);
+  cache.put("a", 10);
+  cache.put("b", 20);
+  cache.put("a", 90);  // growing a past capacity evicts LRU entry b
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_EQ(cache.used_bytes(), 90);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(LruCache, GrowingEntryPastCapacityEvictsItself) {
+  LruCache cache(100);
+  cache.put("a", 10);
+  cache.put("a", 150);  // no resident set can hold it: cache ends empty
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.used_bytes(), 0);
+  EXPECT_EQ(cache.object_count(), 0u);
+}
+
+// Randomized differential test: drive the cache and a transparent oracle
+// (recency list + key->iterator map, exact same admit/touch/evict rules)
+// with the same seeded op stream and compare every observable after every
+// step. Catches bookkeeping drift (the stale-used_bytes resize bug) that
+// targeted cases miss.
+TEST(LruCache, RandomizedOpsMatchRecencyListOracle) {
+  constexpr std::int64_t kCapacity = 100;
+  constexpr int kKeys = 20;
+  LruCache cache(kCapacity);
+
+  struct OracleEntry {
+    std::string key;
+    std::int64_t bytes = 0;
+  };
+  std::list<OracleEntry> recency;  // front = MRU
+  std::map<std::string, std::list<OracleEntry>::iterator> index;
+  std::int64_t oracle_used = 0;
+  std::size_t oracle_evictions = 0;
+  const auto oracle_evict_until_fits = [&](std::int64_t incoming) {
+    while (!recency.empty() && oracle_used + incoming > kCapacity) {
+      oracle_used -= recency.back().bytes;
+      index.erase(recency.back().key);
+      recency.pop_back();
+      ++oracle_evictions;
+    }
+  };
+
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> key_dist(0, kKeys - 1);
+  std::uniform_int_distribution<std::int64_t> size_dist(1, 30);
+  std::uniform_int_distribution<int> op_dist(0, 2);
+  for (int step = 0; step < 5000; ++step) {
+    const std::string key = "obj" + std::to_string(key_dist(rng));
+    if (op_dist(rng) == 0) {  // get: touch on hit
+      const bool hit = cache.get(key);
+      const auto it = index.find(key);
+      EXPECT_EQ(hit, it != index.end()) << "step " << step;
+      if (it != index.end()) recency.splice(recency.begin(), recency, it->second);
+    } else {  // put: admit / touch-and-resize
+      const std::int64_t bytes = size_dist(rng);
+      cache.put(key, bytes);
+      const auto it = index.find(key);
+      if (it != index.end()) {
+        recency.splice(recency.begin(), recency, it->second);
+        oracle_used += bytes - it->second->bytes;
+        it->second->bytes = bytes;
+        oracle_evict_until_fits(0);
+      } else if (bytes <= kCapacity) {
+        oracle_evict_until_fits(bytes);
+        recency.push_front({key, bytes});
+        index[key] = recency.begin();
+        oracle_used += bytes;
+      }
+    }
+
+    // Invariants + full observable state, every step.
+    std::int64_t sum = 0;
+    for (const OracleEntry& entry : recency) sum += entry.bytes;
+    ASSERT_EQ(oracle_used, sum) << "oracle drift at step " << step;
+    ASSERT_LE(cache.used_bytes(), kCapacity) << "step " << step;
+    ASSERT_EQ(cache.used_bytes(), oracle_used) << "step " << step;
+    ASSERT_EQ(cache.object_count(), index.size()) << "step " << step;
+    ASSERT_EQ(cache.eviction_count(), oracle_evictions) << "step " << step;
+    for (int k = 0; k < kKeys; ++k) {
+      const std::string probe = "obj" + std::to_string(k);
+      ASSERT_EQ(cache.contains(probe), index.count(probe) == 1)
+          << "step " << step << " key " << probe;
+    }
+  }
 }
 
 class CatalogTest : public ::testing::Test {
