@@ -30,12 +30,19 @@
 // (fleet/cdn_fleet.h) and runs the same seeds under demuxed and muxed
 // origin storage back to back — the paper's §1 storage axis as a cache
 // hit-ratio gap.
-// Every row reports the process peak RSS (getrusage high-water mark —
-// cumulative, so within one process it reflects the largest run so far).
+// Every row reports two memory numbers: rss_mib, the point-in-time resident
+// set sampled right after the run (/proc/self/statm — per-row, comparable
+// across rows), and peak_rss_mib, the getrusage high-water mark (cumulative
+// within the process, so it reflects the largest run so far).
+//
+// Rows are noisy on shared hosts; each row runs --repeat times (default 3)
+// and reports the run with the median steps/s, keeping that run's wall_s
+// and metrics so the row stays internally consistent.
 #include <benchmark/benchmark.h>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include <algorithm>
@@ -78,9 +85,14 @@ const char* engine_name(fleet::Engine engine) {
   return engine == fleet::Engine::kBarrier ? "barrier" : "event_heap";
 }
 
+/// How many times each report/CLI row runs; the row with the median steps/s
+/// is the one reported. Overridden by --repeat in CLI mode.
+int g_repeat = 3;
+
 /// Process peak resident set in MiB (getrusage high-water mark; 0.0 where
 /// unavailable). Cumulative per process: a row's value reflects the largest
-/// allocation footprint of any run up to and including it.
+/// allocation footprint of any run up to and including it. Pair with
+/// current_rss_mib() for a per-row point-in-time sample.
 double peak_rss_mib() {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage{};
@@ -90,6 +102,28 @@ double peak_rss_mib() {
 #else
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
 #endif
+#else
+  return 0.0;
+#endif
+}
+
+/// Current resident set in MiB sampled from /proc/self/statm (Linux-only;
+/// 0.0 elsewhere). Unlike the getrusage peak this is a point-in-time value,
+/// so per-row samples are comparable across rows regardless of what ran
+/// earlier in the process.
+double current_rss_mib() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0.0;
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  const int got = std::fscanf(statm, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (got != 2) return 0.0;
+  const long page_bytes = sysconf(_SC_PAGESIZE);
+  if (page_bytes <= 0) return 0.0;
+  return static_cast<double>(resident_pages) * static_cast<double>(page_bytes) /
+         (1024.0 * 1024.0);
 #else
   return 0.0;
 #endif
@@ -214,6 +248,7 @@ struct FleetRunRecord {
   double cdn_byte_hit_ratio = 0.0;
   double cdn_origin_mb = 0.0;
   std::size_t cdn_evictions = 0;
+  double rss_mib = 0.0;       ///< current resident set right after the run
   double peak_rss_mib = 0.0;  ///< process high-water mark after the run
   double wall_s = 0.0;
   std::size_t steps = 0;
@@ -245,6 +280,7 @@ FleetRunRecord run_configured(const ex::ExperimentSetup& setup,
   record.clients = config.client_count;
   record.threads = config.threads;
   record.streaming = result.streaming.has_value();
+  record.rss_mib = current_rss_mib();
   record.peak_rss_mib = peak_rss_mib();
   record.steps = result.steps;
   if (result.streaming.has_value()) {
@@ -368,15 +404,32 @@ FleetRunRecord run_million_case(const ex::ExperimentSetup& setup) {
   return record;
 }
 
+/// Run one row `repeat` times and keep the run with the median steps/s.
+/// wall_s, RSS and metrics all come from that same run, so the reported row
+/// is an actual run, not a blend. Shared benchmark hosts swing single
+/// samples by tens of percent; the median is what report history and CI
+/// floors can rely on.
+template <typename RunRow>
+FleetRunRecord run_median(int repeat, const RunRow& run_row) {
+  std::vector<FleetRunRecord> runs;
+  runs.reserve(static_cast<std::size_t>(std::max(repeat, 1)));
+  for (int i = 0; i < std::max(repeat, 1); ++i) runs.push_back(run_row());
+  std::sort(runs.begin(), runs.end(),
+            [](const FleetRunRecord& a, const FleetRunRecord& b) {
+              return a.steps_per_s() < b.steps_per_s();
+            });
+  return runs[runs.size() / 2];
+}
+
 void print_record(const FleetRunRecord& r) {
   std::printf(
       "  %-28s %-10s %-16s clients=%-7d threads=%d%s wall=%7.2fs "
       "steps/s=%9.0f sim-s/wall-s=%8.1f qoe=%7.1f jain=%.3f util=%.3f "
-      "peak_flows=%d rss=%.0fMiB\n",
+      "peak_flows=%d rss=%.0fMiB peak_rss=%.0fMiB\n",
       r.trace.c_str(), r.engine.c_str(), r.topology.c_str(), r.clients,
       r.threads, r.streaming ? " streaming" : "", r.wall_s, r.steps_per_s(),
       r.sim_per_wall(), r.metrics.mean_qoe, r.metrics.jain_fairness_video,
-      r.link_utilization, r.peak_flows, r.peak_rss_mib);
+      r.link_utilization, r.peak_flows, r.rss_mib, r.peak_rss_mib);
   if (r.storage != "none") {
     std::printf(
         "    cdn: storage=%s requests=%lld hit=%.3f byte_hit=%.3f "
@@ -402,7 +455,7 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
         "\"sim_s\": %.1f, \"sim_s_per_wall_s\": %.1f, \"mean_qoe\": %.1f, "
         "\"jain_video\": %.4f, \"stall_ratio_p90\": %.4f, "
         "\"video_kbps_p50\": %.0f, \"link_utilization\": %.4f, "
-        "\"peak_flows\": %d, \"peak_rss_mib\": %.1f, "
+        "\"peak_flows\": %d, \"rss_mib\": %.1f, \"peak_rss_mib\": %.1f, "
         "\"cdn_requests\": %lld, \"cdn_hit_ratio\": %.4f, "
         "\"cdn_byte_hit_ratio\": %.4f, \"cdn_origin_mb\": %.1f, "
         "\"cdn_evictions\": %zu}%s\n",
@@ -412,7 +465,7 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
         r.simulated_s, r.sim_per_wall(), r.metrics.mean_qoe,
         r.metrics.jain_fairness_video, r.metrics.stall_ratio.p90,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
-        r.peak_rss_mib, static_cast<long long>(r.cdn_requests),
+        r.rss_mib, r.peak_rss_mib, static_cast<long long>(r.cdn_requests),
         r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
         r.cdn_evictions, i + 1 < records.size() ? "," : "");
   }
@@ -448,7 +501,8 @@ void emit_report_once() {
         if (engine == fleet::Engine::kBarrier && clients > kBarrierMaxClients) {
           continue;  // noted once below
         }
-        const FleetRunRecord r = run_case(setup, tc, clients, engine);
+        const FleetRunRecord r = run_median(
+            g_repeat, [&] { return run_case(setup, tc, clients, engine); });
         print_record(r);
         records.push_back(r);
       }
@@ -463,14 +517,16 @@ void emit_report_once() {
   // barrier point for cross-engine sanity at matched scale.
   std::printf("=== fleet: sharded 10-edge topology (client -> edge -> core) ===\n");
   for (const int per_edge : {1, 10, 50}) {
-    const FleetRunRecord r =
-        run_topology_case(setup, 10, per_edge, fleet::Engine::kEventHeap);
+    const FleetRunRecord r = run_median(g_repeat, [&] {
+      return run_topology_case(setup, 10, per_edge, fleet::Engine::kEventHeap);
+    });
     print_record(r);
     records.push_back(r);
   }
   {
-    const FleetRunRecord r =
-        run_topology_case(setup, 10, 10, fleet::Engine::kBarrier);
+    const FleetRunRecord r = run_median(g_repeat, [&] {
+      return run_topology_case(setup, 10, 10, fleet::Engine::kBarrier);
+    });
     print_record(r);
     records.push_back(r);
   }
@@ -480,10 +536,11 @@ void emit_report_once() {
   // the threads column measures speed and overhead, never drift.
   std::printf("=== fleet: disjoint 10-chain topology, parallel shards ===\n");
   for (const int threads : {1, 2}) {
-    const FleetRunRecord r =
-        run_topology_case(setup, 10, 50, fleet::Engine::kEventHeap,
-                          /*profile=*/false, threads, /*streaming=*/false,
-                          /*disjoint=*/true);
+    const FleetRunRecord r = run_median(g_repeat, [&] {
+      return run_topology_case(setup, 10, 50, fleet::Engine::kEventHeap,
+                               /*profile=*/false, threads, /*streaming=*/false,
+                               /*disjoint=*/true);
+    });
     print_record(r);
     records.push_back(r);
   }
@@ -492,8 +549,10 @@ void emit_report_once() {
   // memory-bound witness.
   std::printf("=== fleet: streaming-metrics mode (no per-session logs) ===\n");
   for (const int per_edge : {50, 100}) {
-    const FleetRunRecord r = run_topology_case(
-        setup, 10, per_edge, fleet::Engine::kEventHeap, false, 2, true, true);
+    const FleetRunRecord r = run_median(g_repeat, [&] {
+      return run_topology_case(setup, 10, per_edge, fleet::Engine::kEventHeap,
+                               false, 2, true, true);
+    });
     print_record(r);
     records.push_back(r);
   }
@@ -502,7 +561,8 @@ void emit_report_once() {
   // sized to a quarter of the demuxed catalog on every chain).
   std::printf("=== fleet: cache-aware 10-chain topology, demuxed vs muxed ===\n");
   for (const StorageMode storage : {StorageMode::kDemuxed, StorageMode::kMuxed}) {
-    const FleetRunRecord r = run_cdn_case(setup, 10, 20, storage, 2);
+    const FleetRunRecord r = run_median(
+        g_repeat, [&] { return run_cdn_case(setup, 10, 20, storage, 2); });
     print_record(r);
     records.push_back(r);
   }
@@ -515,9 +575,16 @@ void emit_report_once() {
       "speedup; steps/s scales with physical cores (shards are causally "
       "independent)");
   notes.push_back(
-      "peak_rss_mib is the process getrusage high-water mark: cumulative "
-      "within the report run, so each row reflects the largest fleet "
-      "executed up to that point");
+      "rss_mib is the point-in-time resident set sampled right after the "
+      "row's run (/proc/self/statm), comparable across rows; peak_rss_mib "
+      "is the process getrusage high-water mark, cumulative within the "
+      "report run, so it reflects the largest fleet executed up to that "
+      "point");
+  notes.push_back(format(
+      "each row is the median-steps/s run of %d repeats (wall_s and metrics "
+      "come from that same run); the million-client and profiled rows run "
+      "once",
+      g_repeat));
   // The million-client row costs minutes of wall time: opt-in.
   if (const char* million = std::getenv("BENCH_FLEET_MILLION");
       million != nullptr && million[0] == '1') {
@@ -620,6 +687,7 @@ struct CliOptions {
   bool disjoint = false;              ///< disjoint per-edge chains (parallel)
   bool cdn = false;                   ///< cache-aware chains, demuxed vs muxed
   double min_cdn_hit = 0.0;           ///< demuxed hit-ratio floor (0 = off)
+  int repeat = 3;                     ///< runs per row; median steps/s kept
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
 };
 
@@ -629,7 +697,7 @@ struct CliOptions {
                "                   [--trace fixed|varying] [--min-steps-per-s F]\n"
                "                   [--max-rss-mib F] [--threads N] [--streaming]\n"
                "                   [--topology | --disjoint | --cdn] [--profile]\n"
-               "                   [--min-cdn-hit F] [--trace-out trace.json]\n"
+               "                   [--min-cdn-hit F] [--repeat N] [--trace-out trace.json]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -688,6 +756,10 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (const char* v8 = value_of("--min-cdn-hit", i)) {
       cli.min_cdn_hit = std::atof(v8);
       cli.cli_mode = true;
+    } else if (const char* v9 = value_of("--repeat", i)) {
+      cli.repeat = std::atoi(v9);
+      if (cli.repeat < 1) cli_usage_and_exit();
+      cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
     }
@@ -743,16 +815,18 @@ int run_cli(const CliOptions& cli) {
                 cli.threads != 1 ? format(", threads=%d", cli.threads).c_str()
                                  : "");
     for (const StorageMode storage : {StorageMode::kDemuxed, StorageMode::kMuxed}) {
-      const FleetRunRecord r =
-          run_cdn_case(setup, edges, per_edge, storage, cli.threads);
+      const FleetRunRecord r = run_median(cli.repeat, [&] {
+        return run_cdn_case(setup, edges, per_edge, storage, cli.threads);
+      });
       print_record(r);
       // Machine-greppable line for CI floors and trend tracking.
       std::printf(
           "engine=%s topology=%s storage=%s clients=%d threads=%d "
-          "steps_per_s=%.0f wall_s=%.3f peak_rss_mib=%.1f cdn_hit=%.4f "
-          "cdn_byte_hit=%.4f cdn_origin_mb=%.1f cdn_evictions=%zu\n",
+          "steps_per_s=%.0f wall_s=%.3f rss_mib=%.1f peak_rss_mib=%.1f "
+          "cdn_hit=%.4f cdn_byte_hit=%.4f cdn_origin_mb=%.1f "
+          "cdn_evictions=%zu\n",
           r.engine.c_str(), r.topology.c_str(), r.storage.c_str(), r.clients,
-          r.threads, r.steps_per_s(), r.wall_s, r.peak_rss_mib,
+          r.threads, r.steps_per_s(), r.wall_s, r.rss_mib, r.peak_rss_mib,
           r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
           r.cdn_evictions);
       if (cli.min_steps_per_s > 0.0 && r.steps_per_s() < cli.min_steps_per_s) {
@@ -781,25 +855,29 @@ int run_cli(const CliOptions& cli) {
                            : (cli.topology ? ", sharded 10-edge topology" : ""),
               cli.threads != 1 ? format(", threads=%d", cli.threads).c_str() : "",
               cli.streaming ? ", streaming metrics" : "");
+  // A traced run stays single-shot: the tracer is process-global, so
+  // repeats would interleave their events in one trace file.
+  const int repeat = cli.trace_out.empty() ? cli.repeat : 1;
   for (const fleet::Engine engine : engines) {
-    FleetRunRecord r;
-    if (multi_link) {
-      r = run_topology_case(setup, edges, per_edge, engine, cli.profile,
-                            cli.threads, cli.streaming, cli.disjoint);
-    } else {
+    const FleetRunRecord r = run_median(repeat, [&] {
+      if (multi_link) {
+        return run_topology_case(setup, edges, per_edge, engine, cli.profile,
+                                 cli.threads, cli.streaming, cli.disjoint);
+      }
       fleet::FleetConfig config = fleet_config(cli.clients, engine);
       config.profile = cli.profile;
       config.threads = cli.threads;
       if (cli.streaming) config.streaming.client_threshold = 0;
-      r = run_configured(setup, tc, config);
-    }
+      return run_configured(setup, tc, config);
+    });
     print_record(r);
     // Machine-greppable line for CI floors and trend tracking.
     std::printf(
         "engine=%s topology=%s clients=%d threads=%d streaming=%d "
-        "steps_per_s=%.0f wall_s=%.3f peak_rss_mib=%.1f\n",
+        "steps_per_s=%.0f wall_s=%.3f rss_mib=%.1f peak_rss_mib=%.1f\n",
         r.engine.c_str(), r.topology.c_str(), r.clients, r.threads,
-        r.streaming ? 1 : 0, r.steps_per_s(), r.wall_s, r.peak_rss_mib);
+        r.streaming ? 1 : 0, r.steps_per_s(), r.wall_s, r.rss_mib,
+        r.peak_rss_mib);
     if (cli.profile) {
       std::printf("%s", r.profile.to_table().c_str());
     }

@@ -7,8 +7,11 @@ namespace {
 constexpr std::uint64_t kNeverSynced = std::numeric_limits<std::uint64_t>::max();
 }  // namespace
 
-EventHeap::EventHeap(std::uint32_t session_count, std::uint32_t link_count)
-    : link_base_(session_count), link_epochs_(link_count, kNeverSynced) {
+EventHeap::EventHeap(std::uint32_t session_count, std::uint32_t link_count,
+                     MonotonicArena* arena)
+    : heap_(ArenaAllocator<HeapEntry>(arena)),
+      link_base_(session_count),
+      link_epochs_(link_count, kNeverSynced, ArenaAllocator<std::uint64_t>(arena)) {
   heap_.reserve(session_count + link_count);
 }
 
@@ -24,15 +27,6 @@ void EventHeap::sync_link(std::uint32_t link_index, const Channel& link, bool fo
   } else {
     heap_.erase(id);
   }
-}
-
-EventHeap::Event EventHeap::top() const {
-  const IndexedMinHeap::Entry entry = heap_.top();
-  Event event;
-  event.is_link = entry.id >= link_base_;
-  event.index = event.is_link ? entry.id - link_base_ : entry.id;
-  event.t = entry.key;
-  return event;
 }
 
 }  // namespace demuxabr::fleet

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "util/arena.h"
 #include "util/indexed_min_heap.h"
 
 namespace demuxabr::fleet {
@@ -32,8 +33,11 @@ namespace demuxabr::fleet {
 class EventHeap {
  public:
   /// Entity id layout: sessions occupy [0, session_count), link `i` maps to
-  /// session_count + i.
-  EventHeap(std::uint32_t session_count, std::uint32_t link_count);
+  /// session_count + i. `arena` (optional, must outlive the heap) backs the
+  /// heap's storage — the scheduler passes its per-shard arena so engine
+  /// bookkeeping never touches the global heap after construction.
+  EventHeap(std::uint32_t session_count, std::uint32_t link_count,
+            MonotonicArena* arena = nullptr);
 
   struct Event {
     bool is_link = false;
@@ -52,7 +56,14 @@ class EventHeap {
   void sync_link(std::uint32_t link_index, const Channel& link, bool force = false);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] Event top() const;
+  [[nodiscard]] Event top() const {
+    const IndexedMinHeap::Entry entry = heap_.top();
+    Event event;
+    event.is_link = entry.id >= link_base_;
+    event.index = event.is_link ? entry.id - link_base_ : entry.id;
+    event.t = entry.key;
+    return event;
+  }
   void pop() {
     heap_.pop();
     ++stats_.pops;
@@ -69,12 +80,12 @@ class EventHeap {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  IndexedMinHeap heap_;
+  BasicIndexedMinHeap<ArenaAllocator<HeapEntry>> heap_;
   Stats stats_;
   std::uint32_t link_base_;
   /// Last-synced Link::epoch() per link; starts at a sentinel no real epoch
   /// takes so the first sync always refreshes.
-  std::vector<std::uint64_t> link_epochs_;
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> link_epochs_;
 };
 
 }  // namespace demuxabr::fleet

@@ -24,9 +24,10 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
       view_(std::move(view)),
       config_(std::move(config)),
       video_link_(std::move(bottleneck),
-                  audio_trace.has_value() ? "video-bottleneck" : "bottleneck") {
+                  audio_trace.has_value() ? "video-bottleneck" : "bottleneck",
+                  &arena_) {
   if (config_.topology.has_value()) {
-    topology_.emplace(*config_.topology);
+    topology_.emplace(*config_.topology, &arena_);
     if (topology_->has_caches()) {
       // Cache-aware run: one shard-local cache plane routing every session's
       // flows. The shard runner pre-builds the catalog and shares it
@@ -37,7 +38,7 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
       cdn_ = std::make_unique<CdnState>(*config_.topology, *topology_, catalog_);
     }
   } else if (audio_trace.has_value()) {
-    audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck");
+    audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck", &arena_);
   }
 }
 
@@ -79,6 +80,8 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
   session_config.flow_token_base = 2u * static_cast<std::uint32_t>(plan.id);
   // One trace track per session, keyed by client id.
   session_config.trace_track = static_cast<std::uint32_t>(plan.id);
+  // Pending-delivery queues (cache-aware fleets) draw from the shard arena.
+  session_config.arena = &arena_;
   if (obs::Tracer* tr = obs::tracer()) {
     tr->name_track(session_config.trace_track,
                    format("c%d %s", plan.id, plan.player_label.c_str()));
@@ -161,14 +164,16 @@ FleetResult FleetScheduler::run_engine(const std::vector<ClientPlan>& plans) {
         tr->name_track(obs::kLinkTrackBase + 1, "link " + audio_link_->name());
       }
     }
-    tr->name_track(obs::kEngineTrack, config_.engine == Engine::kBarrier
-                                          ? "engine barrier"
-                                          : "engine event_heap");
+    tr->name_track(obs::kEngineTrack,
+                   resolve_engine(config_.engine, plans.size()) == Engine::kBarrier
+                       ? "engine barrier"
+                       : "engine event_heap");
   }
 
-  const double end_time = config_.engine == Engine::kBarrier
-                              ? run_barrier(plans)
-                              : run_event_heap(plans);
+  const double end_time =
+      resolve_engine(config_.engine, plans.size()) == Engine::kBarrier
+          ? run_barrier(plans)
+          : run_event_heap(plans);
   DMX_COUNT("fleet.steps", result_.steps);
 
   // Clients finalize in retirement order; re-sort to client-id order so the
@@ -299,7 +304,7 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
   }
 
   EventHeap heap(static_cast<std::uint32_t>(plans.size()),
-                 static_cast<std::uint32_t>(links.size()));
+                 static_cast<std::uint32_t>(links.size()), &arena_);
 
   // Self-profiling (obs/profile.h): phase wall-clock only when requested —
   // a null PhaseStats* makes PhaseTimer clock-free — heap counters always.
@@ -309,9 +314,26 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
   obs::PhaseStats* const register_stats =
       config_.profile ? &profile.register_phase : nullptr;
   obs::PhaseStats* const admit_stats = config_.profile ? &profile.admit : nullptr;
-  const auto sync_links = [&] {
-    for (std::size_t i = 0; i < links.size(); ++i) {
-      heap.sync_link(static_cast<std::uint32_t>(i), *links[i]);
+  // Per-drain-phase link re-keying over the *dirty* set: a topology records
+  // the channels whose epochs moved since the last call (population changes
+  // mark exactly the affected set), so only those are re-synced; plain
+  // fleets just check their one or two links, where the epoch-lazy test
+  // inside sync_link makes a clean link a couple of loads. Either way the
+  // heap's link keys are exact after every call — the same invariant the
+  // historical sync-all-links-after-every-event loop maintained, at a
+  // fraction of the checks.
+  Topology* const topo = topology_.has_value() ? &*topology_ : nullptr;
+  if (topo != nullptr) topo->clear_dirty();
+  const auto sync_dirty = [&] {
+    if (topo != nullptr) {
+      for (const std::uint32_t idx : topo->dirty_channels()) {
+        heap.sync_link(idx, *links[idx]);
+      }
+      topo->clear_dirty();
+    } else {
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        heap.sync_link(static_cast<std::uint32_t>(i), *links[i]);
+      }
     }
   };
   // A session is keyed on its own (link-independent) events plus its
@@ -339,7 +361,14 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
     }
   };
 
-  std::vector<std::uint32_t> touched;  // sessions processed at this timestamp
+  // Reusable drain scratch: sessions processed at this timestamp, plus the
+  // batch of session entries popped in phase A. Steady-state drain work
+  // allocates nothing — both vectors reach their high-water capacity early,
+  // and even that growth comes from the shard arena, not the heap.
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> touched{
+      ArenaAllocator<std::uint32_t>(&arena_)};
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> batch{
+      ArenaAllocator<std::uint32_t>(&arena_)};
   admit_due();
   while (true) {
     const double t_event =
@@ -358,37 +387,32 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
     // barrier engine fires all of a step's events before the *next* step's
     // begin_step registers flows, so flow removals at t must land before
     // additions at t here too (same intermediate counts, same link peaks).
+    //
+    // The drain is batched by timestamp (DESIGN.md §12): every entity due
+    // at t is popped and processed in (key, id) pop order with ONE dirty
+    // link re-sync per phase instead of one full sweep per event. This is
+    // byte-identical to the per-event-sync loop because (a) session ids
+    // sit below every link id, so all due sessions pop before any link
+    // entry regardless of how link keys move at t, (b) session keys never
+    // change during a drain (re-keying waits for the registration phase),
+    // and (c) a mutation at t can never pull a completion below t —
+    // service integrals are continuous, so a target above V(t) stays
+    // above it no matter how the population changes at t.
     const double t = t_event;
     now = t;
     touched.clear();
+    // Phase A pops at equal key come off the heap in ascending id order (the
+    // (key, id) tie-break), so `touched` stays sorted and duplicate-free
+    // until a link event fires; only phase B makes the sort below necessary.
+    bool touched_unordered = false;
     int guard = 0;
     std::optional<obs::PhaseTimer> drain_timer(std::in_place, drain_stats);
-    while (!heap.empty() && heap.top().t <= t) {
-      if (++guard > 10000000) {
-        DMX_ERROR << "event-heap engine wedged at t=" << t << " — aborting drain";
-        assert(false && "event drain did not converge");
-        break;
-      }
-      const EventHeap::Event event = heap.top();
-      std::uint32_t id = 0;
-      if (event.is_link) {
-        // The link's earliest registered completion is due: route the event
-        // to the owning session (token = 2*id + is_video). Firing it bumps
-        // the link epoch, so sync_links() below re-keys or clears the entry.
-        Channel& link = *links[event.index];
-        if (!link.has_completions()) {
-          heap.sync_link(static_cast<std::uint32_t>(event.index), link, true);
-          continue;
-        }
-        id = link.earliest_completion_token() / 2u;
-      } else {
-        heap.pop();
-        id = event.index;
-      }
+
+    const auto process = [&](std::uint32_t id, bool is_link) {
       DMX_TRACE_INSTANT(obs::kCatEngine, obs::kEngineTrack, obs::kLanePlayback,
                         "pop", t,
                         obs::TraceArgs()
-                            .kv("link", event.is_link ? 1 : 0)
+                            .kv("link", is_link ? 1 : 0)
                             .kv("client", static_cast<std::int64_t>(id)));
       Client& client = *slots_[id];
       StreamingSession& session = *client.session;
@@ -405,8 +429,46 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
         // RTT ends exactly at t would otherwise keep the key pinned at t.
         touched.push_back(id);
       }
-      sync_links();
       ++result_.steps;
+    };
+
+    // Phase A: every session with its own event at t. One batch pop is
+    // exhaustive — processing a session cannot schedule another session at
+    // t (keys re-key only at registration), so the due set is exactly what
+    // the heap holds now.
+    batch.clear();
+    while (!heap.empty() && !heap.top().is_link && heap.top().t <= t) {
+      batch.push_back(heap.top().index);
+      heap.pop();
+    }
+    for (const std::uint32_t id : batch) process(id, false);
+    sync_dirty();
+
+    // Phase B: link completions at t, one at a time — firing one can
+    // surface another (on the same link, or on a different link through a
+    // population change), and the (key, id) pop order must decide what
+    // fires next exactly as the per-event-sync loop did.
+    while (!heap.empty() && heap.top().t <= t) {
+      if (++guard > 10000000) {
+        DMX_ERROR << "event-heap engine wedged at t=" << t << " — aborting drain";
+        assert(false && "event drain did not converge");
+        break;
+      }
+      const EventHeap::Event event = heap.top();
+      // Only link entries can remain: phase A drained every due session and
+      // session keys cannot move during the drain.
+      assert(event.is_link && "session entry surfaced during link phase");
+      // The link's earliest registered completion is due: route the event
+      // to the owning session (token = 2*id + is_video). Firing it bumps
+      // the link epoch, so sync_dirty() below re-keys or clears the entry.
+      Channel& link = *links[event.index];
+      if (!link.has_completions()) {
+        heap.sync_link(static_cast<std::uint32_t>(event.index), link, true);
+        continue;
+      }
+      process(link.earliest_completion_token() / 2u, true);
+      touched_unordered = true;
+      sync_dirty();
     }
     drain_timer.reset();
 
@@ -414,15 +476,17 @@ double FleetScheduler::run_event_heap(const std::vector<ClientPlan>& plans) {
     // flows whose RTT ended join their links, and every touched session
     // gets its next event key.
     std::optional<obs::PhaseTimer> register_timer(std::in_place, register_stats);
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    if (touched_unordered) {
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    }
     for (const std::uint32_t id : touched) {
       Client& client = *slots_[id];
       if (!client.session) continue;  // finalized later in the same drain
       client.session->begin_step();
       schedule(client);
     }
-    sync_links();
+    sync_dirty();
     register_timer.reset();
 
     // Admissions exactly at t join after the events at t, as in the barrier.

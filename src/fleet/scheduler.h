@@ -38,6 +38,7 @@
 #include "media/content.h"
 #include "net/bandwidth_trace.h"
 #include "sim/session.h"
+#include "util/arena.h"
 
 namespace demuxabr::fleet {
 
@@ -94,6 +95,13 @@ class FleetScheduler {
   const Content& content_;
   ManifestView view_;
   FleetConfig config_;
+  /// Per-shard monotonic arena (DESIGN.md §12) backing run-lifetime engine
+  /// state: every channel's completion registry, the event heap, drain
+  /// scratch, and session pending-delivery queues. Declared before the
+  /// links/topology that allocate from it so it outlives them (members
+  /// destroy in reverse order). Single-threaded: each shard runs its own
+  /// scheduler, hence its own arena.
+  MonotonicArena arena_;
   SharedLink video_link_;  ///< unused when topology_ is set
   std::optional<SharedLink> audio_link_;
   std::optional<Topology> topology_;

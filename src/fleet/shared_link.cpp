@@ -4,8 +4,10 @@
 
 namespace demuxabr::fleet {
 
-SharedLink::SharedLink(BandwidthTrace trace, std::string name)
-    : link_(std::make_shared<Link>(std::move(trace))), name_(std::move(name)) {}
+SharedLink::SharedLink(BandwidthTrace trace, std::string name,
+                       MonotonicArena* arena)
+    : link_(std::make_shared<Link>(std::move(trace), arena)),
+      name_(std::move(name)) {}
 
 LinkStats SharedLink::stats() const {
   LinkStats stats;

@@ -45,7 +45,10 @@ struct LinkStats {
 /// Wraps the Link every client's Network points at.
 class SharedLink {
  public:
-  explicit SharedLink(BandwidthTrace trace, std::string name = "bottleneck");
+  /// `arena` (optional, must outlive the link) backs the Link's completion
+  /// registry — see Link's constructor.
+  explicit SharedLink(BandwidthTrace trace, std::string name = "bottleneck",
+                      MonotonicArena* arena = nullptr);
 
   /// The underlying Link; hand this to each client's Network so their flows
   /// contend (processor sharing spans sessions, not just one client's A/V).

@@ -16,10 +16,18 @@ namespace {
 /// hoisted per-hop inverse populations. validate() enforces it.
 constexpr std::size_t kMaxHops = 16;
 
-std::vector<std::size_t> sorted_unique(std::vector<std::size_t> v) {
+std::vector<std::uint32_t> sorted_unique(std::vector<std::uint32_t> v) {
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
   return v;
+}
+
+/// Append `rows` as one CSR block: values into `csr`, the new row boundary
+/// into `offsets` (which must already hold the leading 0).
+void push_csr_row(std::vector<std::uint32_t>& csr, std::vector<std::uint32_t>& offsets,
+                  const std::vector<std::uint32_t>& row) {
+  csr.insert(csr.end(), row.begin(), row.end());
+  offsets.push_back(static_cast<std::uint32_t>(csr.size()));
 }
 
 }  // namespace
@@ -123,33 +131,34 @@ double PathChannel::service_at(double t) const {
   if (t <= clock_s_) return service_kbit_;
   if (active_flows_ <= 0) return service_kbit_;  // idle: nobody is served
   const std::vector<Topology::LinkNode>& links = topo_->links_;
-  const std::size_t hop_count = hops_.size();
+  const std::uint32_t* const hops = topo_->hops_of(index_);
+  const std::size_t hop_count = topo_->hop_count_of(index_);
   double inv[kMaxHops];
   for (std::size_t i = 0; i < hop_count; ++i) {
     // Every hop carries at least this path's flows, so the count is >= 1.
-    inv[i] = 1.0 / static_cast<double>(links[hops_[i]].active_flows);
+    inv[i] = 1.0 / static_cast<double>(links[hops[i]].active_flows);
   }
   double v = service_kbit_;
   double at = clock_s_;
   while (at < t) {
     double boundary = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < hop_count; ++i) {
-      boundary = std::min(boundary, links[hops_[i]].trace.next_change_after(at));
+      boundary = std::min(boundary, links[hops[i]].trace.next_change_after(at));
     }
     const double seg_end = std::min(boundary, t);
     const double dt = seg_end - at;
     if (dt <= 0.0) break;
     // Binding hop: smallest fair share; ties keep the earliest hop.
     std::size_t b = 0;
-    double best = links[hops_[0]].trace.rate_kbps(at) * inv[0];
+    double best = links[hops[0]].trace.rate_kbps(at) * inv[0];
     for (std::size_t i = 1; i < hop_count; ++i) {
-      const double share = links[hops_[i]].trace.rate_kbps(at) * inv[i];
+      const double share = links[hops[i]].trace.rate_kbps(at) * inv[i];
       if (share < best) {
         best = share;
         b = i;
       }
     }
-    v += links[hops_[b]].trace.rate_kbps(at) * dt * inv[b];
+    v += links[hops[b]].trace.rate_kbps(at) * dt * inv[b];
     at = seg_end;
   }
   return v;
@@ -159,10 +168,11 @@ double PathChannel::time_when_service_reaches(double v_target) const {
   if (v_target <= service_kbit_) return clock_s_;
   if (active_flows_ <= 0) return std::numeric_limits<double>::infinity();
   const std::vector<Topology::LinkNode>& links = topo_->links_;
-  const std::size_t hop_count = hops_.size();
+  const std::uint32_t* const hops = topo_->hops_of(index_);
+  const std::size_t hop_count = topo_->hop_count_of(index_);
   double inv[kMaxHops];
   for (std::size_t i = 0; i < hop_count; ++i) {
-    inv[i] = 1.0 / static_cast<double>(links[hops_[i]].active_flows);
+    inv[i] = 1.0 / static_cast<double>(links[hops[i]].active_flows);
   }
   double v = service_kbit_;
   double at = clock_s_;
@@ -171,11 +181,11 @@ double PathChannel::time_when_service_reaches(double v_target) const {
   for (int guard = 0; guard < 1000000; ++guard) {
     double boundary = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < hop_count; ++i) {
-      boundary = std::min(boundary, links[hops_[i]].trace.next_change_after(at));
+      boundary = std::min(boundary, links[hops[i]].trace.next_change_after(at));
     }
-    double per_flow_kbps = links[hops_[0]].trace.rate_kbps(at) * inv[0];
+    double per_flow_kbps = links[hops[0]].trace.rate_kbps(at) * inv[0];
     for (std::size_t i = 1; i < hop_count; ++i) {
-      const double share = links[hops_[i]].trace.rate_kbps(at) * inv[i];
+      const double share = links[hops[i]].trace.rate_kbps(at) * inv[i];
       if (share < per_flow_kbps) per_flow_kbps = share;
     }
     if (per_flow_kbps > 0.0) {
@@ -193,16 +203,18 @@ double PathChannel::time_when_service_reaches(double v_target) const {
 
 double PathChannel::capacity_kbps(double t) const {
   const std::vector<Topology::LinkNode>& links = topo_->links_;
+  const std::uint32_t* const hops = topo_->hops_of(index_);
+  const std::size_t hop_count = topo_->hop_count_of(index_);
   double cap = std::numeric_limits<double>::infinity();
-  for (const std::size_t hop : hops_) {
-    cap = std::min(cap, links[hop].trace.rate_kbps(t));
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    cap = std::min(cap, links[hops[i]].trace.rate_kbps(t));
   }
   return cap;
 }
 
 // --- Topology ---
 
-Topology::Topology(TopologySpec spec) {
+Topology::Topology(TopologySpec spec, MonotonicArena* arena) {
   const std::string problem = spec.validate();
   assert(problem.empty() && "TopologySpec::validate failed");
   if (!problem.empty()) {
@@ -222,18 +234,24 @@ Topology::Topology(TopologySpec spec) {
     links_.push_back(std::move(node));
   }
 
-  paths_.reserve(spec.paths.size());
+  spec_path_count_ = spec.paths.size();
+  for (const LinkSpec& link : spec.links) has_caches_ |= link.cache.has_value();
+
+  // Channel hop lists, built nested first and flattened below. Channel
+  // count is fixed up front (spec paths + derived hit channels) so paths_
+  // never reallocates once sessions hold pointers into it.
+  std::vector<std::vector<std::uint32_t>> channel_hops;
+  std::vector<std::string> channel_names;
+  channel_hops.reserve(spec.paths.size());
   for (std::size_t p = 0; p < spec.paths.size(); ++p) {
-    auto path = std::unique_ptr<PathChannel>(new PathChannel());
-    path->topo_ = this;
-    path->index_ = p;
-    path->name_ = std::move(spec.paths[p].name);
-    path->hops_ = std::move(spec.paths[p].hops);
-    path->binding_s_.assign(path->hops_.size(), 0.0);
-    for (const std::size_t hop : path->hops_) links_[hop].paths.push_back(p);
-    paths_.push_back(std::move(path));
+    std::vector<std::uint32_t> hops;
+    hops.reserve(spec.paths[p].hops.size());
+    for (const std::size_t hop : spec.paths[p].hops) {
+      hops.push_back(static_cast<std::uint32_t>(hop));
+    }
+    channel_hops.push_back(std::move(hops));
+    channel_names.push_back(std::move(spec.paths[p].name));
   }
-  spec_path_count_ = paths_.size();
 
   // Derived hit channels: for every spec path with a cached hop, the route a
   // cache hit rides — the hop prefix ending at the cached link. When the
@@ -241,65 +259,113 @@ Topology::Topology(TopologySpec spec) {
   // hit reuses its channel (which also keeps a cached single-link topology
   // bit-identical to the plain fleet: routing can never diverge there).
   // Derived channels are full topology citizens — they join their links'
-  // path lists, affected sets and rel_links below, so populations riding
+  // path lists, affected sets and rel spans below, so populations riding
   // them shape every fair share exactly like spec-path populations.
-  cache_routes_.resize(spec_path_count_);
-  for (const LinkSpec& link : spec.links) has_caches_ |= link.cache.has_value();
+  //
+  // (link index, hit channel index) per cached spec path; resolved into
+  // cache_routes_ once paths_ is fully built and pointers are stable.
+  std::vector<std::optional<std::pair<std::size_t, std::size_t>>> cache_hits(
+      spec_path_count_);
   if (has_caches_) {
     for (std::size_t p = 0; p < spec_path_count_; ++p) {
-      const std::vector<std::size_t>& hops = paths_[p]->hops_;
-      for (std::size_t i = 0; i < hops.size(); ++i) {
-        if (!spec.links[hops[i]].cache.has_value()) continue;
-        if (i + 1 == hops.size()) {
-          cache_routes_[p] = PathCacheRoute{hops[i], paths_[p].get()};
+      // Index, don't hold a reference: appending a derived channel can
+      // reallocate channel_hops.
+      for (std::size_t i = 0; i < channel_hops[p].size(); ++i) {
+        const std::uint32_t cached_hop = channel_hops[p][i];
+        if (!spec.links[cached_hop].cache.has_value()) continue;
+        if (i + 1 == channel_hops[p].size()) {
+          cache_hits[p] = {cached_hop, p};
         } else {
-          const std::size_t index = paths_.size();
-          auto hit = std::unique_ptr<PathChannel>(new PathChannel());
-          hit->topo_ = this;
-          hit->index_ = index;
-          hit->name_ = paths_[p]->name_ + ":hit";
-          hit->hops_.assign(hops.begin(), hops.begin() + static_cast<std::ptrdiff_t>(i + 1));
-          hit->binding_s_.assign(hit->hops_.size(), 0.0);
-          for (const std::size_t hop : hit->hops_) links_[hop].paths.push_back(index);
-          cache_routes_[p] = PathCacheRoute{hops[i], hit.get()};
-          paths_.push_back(std::move(hit));
+          const std::size_t index = channel_hops.size();
+          std::vector<std::uint32_t> prefix(
+              channel_hops[p].begin(),
+              channel_hops[p].begin() + static_cast<std::ptrdiff_t>(i + 1));
+          channel_hops.push_back(std::move(prefix));
+          channel_names.push_back(channel_names[p] + ":hit");
+          cache_hits[p] = {cached_hop, index};
         }
         break;  // validate(): at most one cached hop per path
       }
     }
   }
 
-  for (LinkNode& node : links_) {
-    node.saturating = true;
-    std::vector<std::size_t> rel;
-    for (const std::size_t q : node.paths) {
-      if (paths_[q]->hops_.size() > 1) node.saturating = false;
-      rel.insert(rel.end(), paths_[q]->hops_.begin(), paths_[q]->hops_.end());
+  const std::size_t channel_count = channel_hops.size();
+
+  // Per-link rider sets, channel-insertion order (spec paths first, then
+  // derived channels — the order the nested layout historically built).
+  std::vector<std::vector<std::uint32_t>> link_paths(links_.size());
+  for (std::size_t p = 0; p < channel_count; ++p) {
+    for (const std::uint32_t hop : channel_hops[p]) {
+      link_paths[hop].push_back(static_cast<std::uint32_t>(p));
     }
-    node.rel_links = sorted_unique(std::move(rel));
   }
 
-  affected_paths_.resize(paths_.size());
-  affected_links_.resize(paths_.size());
-  for (std::size_t p = 0; p < paths_.size(); ++p) {
-    std::vector<std::size_t> affected;
-    for (const std::size_t hop : paths_[p]->hops_) {
-      affected.insert(affected.end(), links_[hop].paths.begin(),
-                      links_[hop].paths.end());
-    }
-    affected_paths_[p] = sorted_unique(std::move(affected));
-    std::vector<std::size_t> touched;
-    for (const std::size_t q : affected_paths_[p]) {
-      touched.insert(touched.end(), paths_[q]->hops_.begin(), paths_[q]->hops_.end());
-    }
-    affected_links_[p] = sorted_unique(std::move(touched));
+  // Flatten everything into the CSR arrays.
+  hop_offsets_.assign(1, 0);
+  for (std::size_t p = 0; p < channel_count; ++p) {
+    push_csr_row(hop_csr_, hop_offsets_, channel_hops[p]);
   }
+  binding_csr_.assign(hop_csr_.size(), 0.0);
+
+  link_paths_offsets_.assign(1, 0);
+  rel_offsets_.assign(1, 0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    LinkNode& node = links_[l];
+    node.saturating = true;
+    std::vector<std::uint32_t> rel;
+    for (const std::uint32_t q : link_paths[l]) {
+      if (channel_hops[q].size() > 1) node.saturating = false;
+      rel.insert(rel.end(), channel_hops[q].begin(), channel_hops[q].end());
+    }
+    push_csr_row(link_paths_csr_, link_paths_offsets_, link_paths[l]);
+    push_csr_row(rel_csr_, rel_offsets_, sorted_unique(std::move(rel)));
+  }
+
+  aff_paths_offsets_.assign(1, 0);
+  aff_links_offsets_.assign(1, 0);
+  for (std::size_t p = 0; p < channel_count; ++p) {
+    std::vector<std::uint32_t> affected;
+    for (const std::uint32_t hop : channel_hops[p]) {
+      affected.insert(affected.end(), link_paths[hop].begin(), link_paths[hop].end());
+    }
+    affected = sorted_unique(std::move(affected));
+    std::vector<std::uint32_t> touched;
+    for (const std::uint32_t q : affected) {
+      touched.insert(touched.end(), channel_hops[q].begin(), channel_hops[q].end());
+    }
+    push_csr_row(aff_paths_csr_, aff_paths_offsets_, affected);
+    push_csr_row(aff_links_csr_, aff_links_offsets_, sorted_unique(std::move(touched)));
+  }
+
+  // The channels themselves: one contiguous vector, sized exactly once.
+  paths_.reserve(channel_count);
+  for (std::size_t p = 0; p < channel_count; ++p) {
+    PathChannel channel;
+    channel.topo_ = this;
+    channel.index_ = static_cast<std::uint32_t>(p);
+    channel.name_ = std::move(channel_names[p]);
+    // Completion-registry storage from the shard arena (when given): drain-
+    // loop registry growth bumps a pointer instead of calling malloc.
+    channel.completions_ = BasicIndexedMinHeap<ArenaAllocator<HeapEntry>>(
+        ArenaAllocator<HeapEntry>(arena));
+    paths_.push_back(std::move(channel));
+  }
+  cache_routes_.resize(spec_path_count_);
+  for (std::size_t p = 0; p < spec_path_count_; ++p) {
+    if (cache_hits[p].has_value()) {
+      cache_routes_[p] = PathCacheRoute{cache_hits[p]->first,
+                                        &paths_[cache_hits[p]->second]};
+    }
+  }
+
+  channel_dirty_.assign(channel_count, 0);
+  dirty_channels_.reserve(channel_count);
 }
 
 std::shared_ptr<Channel> Topology::path_channel(std::size_t p) {
   // Aliasing, non-owning: sessions are torn down before the Topology (the
   // FleetScheduler owns both, Topology outermost).
-  return {std::shared_ptr<Channel>(), paths_[p].get()};
+  return {std::shared_ptr<Channel>(), &paths_[p]};
 }
 
 std::size_t Topology::video_path_for(int client_id) const {
@@ -315,7 +381,7 @@ std::size_t Topology::audio_path_for(int client_id) const {
 }
 
 void Topology::population_change(std::size_t p, int delta, double now) {
-  PathChannel& path = *paths_[p];
+  PathChannel& path = paths_[p];
   if (delta < 0 && path.active_flows_ <= 0) {
     DMX_COUNT("path.double_removes", 1);
     assert(false && "PathChannel::remove_flow on an idle path (double remove)");
@@ -330,22 +396,46 @@ void Topology::population_change(std::size_t p, int delta, double now) {
   // advancing them here would only re-partition their integrals (a
   // floating-point difference) without an epoch bump to re-key cached
   // completion predictions.
-  for (const std::size_t q : affected_paths_[p]) advance_path(q, now);
-  for (const std::size_t l : affected_links_[p]) advance_link(l, now);
+  {
+    const std::uint32_t* const aff = aff_paths_csr_.data() + aff_paths_offsets_[p];
+    const std::size_t count = aff_paths_offsets_[p + 1] - aff_paths_offsets_[p];
+    for (std::size_t i = 0; i < count; ++i) advance_path(aff[i], now);
+  }
+  {
+    const std::uint32_t* const aff = aff_links_csr_.data() + aff_links_offsets_[p];
+    const std::size_t count = aff_links_offsets_[p + 1] - aff_links_offsets_[p];
+    for (std::size_t i = 0; i < count; ++i) advance_link(aff[i], now);
+  }
 
   path.active_flows_ += delta;
   path.peak_flows_ = std::max(path.peak_flows_, path.active_flows_);
-  for (const std::size_t hop : path.hops_) {
-    LinkNode& node = links_[hop];
-    node.active_flows += delta;
-    node.peak_flows = std::max(node.peak_flows, node.active_flows);
-    DMX_TRACE_COUNTER(obs::kCatLink, node.trace_track, "active_flows", now,
-                      obs::TraceArgs().kv("flows", node.active_flows));
+  {
+    const std::uint32_t* const hops = hops_of(p);
+    const std::size_t hop_count = hop_count_of(p);
+    for (std::size_t i = 0; i < hop_count; ++i) {
+      LinkNode& node = links_[hops[i]];
+      node.active_flows += delta;
+      node.peak_flows = std::max(node.peak_flows, node.active_flows);
+      DMX_TRACE_COUNTER(obs::kCatLink, node.trace_track, "active_flows", now,
+                        obs::TraceArgs().kv("flows", node.active_flows));
+    }
   }
   // Every affected path's completion predictions went stale (its rate, or
   // its binding constraint, may have moved): bump their epochs so the
-  // event-heap engine lazily re-keys them.
-  for (const std::size_t q : affected_paths_[p]) ++paths_[q]->epoch_;
+  // event-heap engine lazily re-keys them, and record them on the dirty
+  // list the engine syncs per drain phase.
+  {
+    const std::uint32_t* const aff = aff_paths_csr_.data() + aff_paths_offsets_[p];
+    const std::size_t count = aff_paths_offsets_[p + 1] - aff_paths_offsets_[p];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t q = aff[i];
+      ++paths_[q].epoch_;
+      if (channel_dirty_[q] == 0) {
+        channel_dirty_[q] = 1;
+        dirty_channels_.push_back(q);
+      }
+    }
+  }
   if (delta > 0) {
     DMX_COUNT("path.flows_added", 1);
   } else {
@@ -354,7 +444,7 @@ void Topology::population_change(std::size_t p, int delta, double now) {
 }
 
 void Topology::advance_path(std::size_t p, double now) {
-  PathChannel& path = *paths_[p];
+  PathChannel& path = paths_[p];
   if (now <= path.clock_s_) return;
   if (path.active_flows_ <= 0) {
     // Idle: V_P is frozen (nobody is served), only the clock moves — the
@@ -362,32 +452,34 @@ void Topology::advance_path(std::size_t p, double now) {
     path.clock_s_ = now;
     return;
   }
-  const std::size_t hop_count = path.hops_.size();
+  const std::uint32_t* const hops = hops_of(p);
+  const std::size_t hop_count = hop_count_of(p);
+  double* const binding = binding_csr_.data() + hop_offsets_[p];
   double inv[kMaxHops];
   for (std::size_t i = 0; i < hop_count; ++i) {
-    inv[i] = 1.0 / static_cast<double>(links_[path.hops_[i]].active_flows);
+    inv[i] = 1.0 / static_cast<double>(links_[hops[i]].active_flows);
   }
   double at = path.clock_s_;
   while (at < now) {
     double boundary = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < hop_count; ++i) {
-      boundary = std::min(boundary, links_[path.hops_[i]].trace.next_change_after(at));
+      boundary = std::min(boundary, links_[hops[i]].trace.next_change_after(at));
     }
     const double seg_end = std::min(boundary, now);
     const double dt = seg_end - at;
     if (dt <= 0.0) break;  // defensive: a trace must advance time
     std::size_t b = 0;
-    double best = links_[path.hops_[0]].trace.rate_kbps(at) * inv[0];
+    double best = links_[hops[0]].trace.rate_kbps(at) * inv[0];
     for (std::size_t i = 1; i < hop_count; ++i) {
-      const double share = links_[path.hops_[i]].trace.rate_kbps(at) * inv[i];
+      const double share = links_[hops[i]].trace.rate_kbps(at) * inv[i];
       if (share < best) {
         best = share;
         b = i;
       }
     }
-    const double offered = links_[path.hops_[b]].trace.rate_kbps(at) * dt;
+    const double offered = links_[hops[b]].trace.rate_kbps(at) * dt;
     path.service_kbit_ += offered * inv[b];
-    path.binding_s_[b] += dt;
+    binding[b] += dt;
     at = seg_end;
   }
   path.clock_s_ = now;
@@ -426,12 +518,16 @@ void Topology::advance_link(std::size_t l, double now) {
   // Multi-hop traffic: this link delivers sum over traversing paths q of
   // N_q * rate_q, which can be below capacity when a flow's binding
   // constraint sits elsewhere. Segment boundaries come from every link
-  // whose capacity enters those rates (rel_links), so each segment
+  // whose capacity enters those rates (rel span), so each segment
   // integrates a constant.
+  const std::uint32_t* const rel = rel_csr_.data() + rel_offsets_[l];
+  const std::size_t rel_count = rel_offsets_[l + 1] - rel_offsets_[l];
+  const std::uint32_t* const riders = link_paths_csr_.data() + link_paths_offsets_[l];
+  const std::size_t rider_count = link_paths_offsets_[l + 1] - link_paths_offsets_[l];
   while (at < now) {
     double boundary = std::numeric_limits<double>::infinity();
-    for (const std::size_t r : node.rel_links) {
-      boundary = std::min(boundary, links_[r].trace.next_change_after(at));
+    for (std::size_t i = 0; i < rel_count; ++i) {
+      boundary = std::min(boundary, links_[rel[i]].trace.next_change_after(at));
     }
     const double seg_end = std::min(boundary, now);
     const double dt = seg_end - at;
@@ -444,12 +540,14 @@ void Topology::advance_link(std::size_t l, double now) {
       node.busy_s += dt;
       node.service_kbit += offered * inv_flows;
       double rate_sum_kbps = 0.0;
-      for (const std::size_t q : node.paths) {
-        const PathChannel& path = *paths_[q];
+      for (std::size_t i = 0; i < rider_count; ++i) {
+        const PathChannel& path = paths_[riders[i]];
         if (path.active_flows_ <= 0) continue;
+        const std::uint32_t* const hops = hops_of(riders[i]);
+        const std::size_t hop_count = hop_count_of(riders[i]);
         double share = std::numeric_limits<double>::infinity();
-        for (const std::size_t hop : path.hops_) {
-          const LinkNode& h = links_[hop];
+        for (std::size_t j = 0; j < hop_count; ++j) {
+          const LinkNode& h = links_[hops[j]];
           share = std::min(share, h.trace.rate_kbps(at) /
                                       static_cast<double>(std::max(1, h.active_flows)));
         }
@@ -481,10 +579,15 @@ std::vector<LinkStats> Topology::link_stats() const {
     s.delivered_kbit = node.delivered_kbit;
     s.peak_flows = node.peak_flows;
     s.residual_flows = node.active_flows;
-    for (const std::size_t q : node.paths) {
-      const PathChannel& path = *paths_[q];
-      for (std::size_t i = 0; i < path.hops_.size(); ++i) {
-        if (path.hops_[i] == l) s.binding_s += path.binding_s_[i];
+    const std::uint32_t* const riders = link_paths_csr_.data() + link_paths_offsets_[l];
+    const std::size_t rider_count = link_paths_offsets_[l + 1] - link_paths_offsets_[l];
+    for (std::size_t r = 0; r < rider_count; ++r) {
+      const std::size_t q = riders[r];
+      const std::uint32_t* const hops = hops_of(q);
+      const std::size_t hop_count = hop_count_of(q);
+      const double* const binding = binding_csr_.data() + hop_offsets_[q];
+      for (std::size_t i = 0; i < hop_count; ++i) {
+        if (hops[i] == l) s.binding_s += binding[i];
       }
     }
     stats.push_back(std::move(s));
@@ -496,14 +599,19 @@ std::vector<PathSummary> Topology::path_stats() const {
   std::vector<PathSummary> stats;
   stats.reserve(spec_path_count_);
   for (std::size_t p = 0; p < spec_path_count_; ++p) {
-    const std::unique_ptr<PathChannel>& path = paths_[p];
+    const PathChannel& path = paths_[p];
     PathSummary s;
-    s.name = path->name_;
-    for (const std::size_t hop : path->hops_) s.hop_names.push_back(links_[hop].name);
-    s.binding_s = path->binding_s_;
-    s.peak_flows = path->peak_flows_;
-    s.residual_flows = path->active_flows_;
-    s.service_kbit = path->service_kbit_;
+    s.name = path.name_;
+    const std::uint32_t* const hops = hops_of(p);
+    const std::size_t hop_count = hop_count_of(p);
+    const double* const binding = binding_csr_.data() + hop_offsets_[p];
+    for (std::size_t i = 0; i < hop_count; ++i) {
+      s.hop_names.push_back(links_[hops[i]].name);
+    }
+    s.binding_s.assign(binding, binding + hop_count);
+    s.peak_flows = path.peak_flows_;
+    s.residual_flows = path.active_flows_;
+    s.service_kbit = path.service_kbit_;
     stats.push_back(std::move(s));
   }
   return stats;
@@ -518,10 +626,11 @@ void Topology::name_trace_tracks() const {
 }
 
 double Topology::path_rate_at(std::size_t p, double t) const {
-  const PathChannel& path = *paths_[p];
+  const std::uint32_t* const hops = hops_of(p);
+  const std::size_t hop_count = hop_count_of(p);
   double rate = std::numeric_limits<double>::infinity();
-  for (const std::size_t hop : path.hops_) {
-    rate = std::min(rate, link_fair_share_at(hop, t));
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    rate = std::min(rate, link_fair_share_at(hops[i], t));
   }
   return rate;
 }

@@ -18,6 +18,14 @@
 // per path; a binding-constraint move re-keys them lazily through the
 // path's epoch bump (fleet/event_heap.h).
 //
+// Hot-path layout (DESIGN.md §12): every per-path hop list, per-link rider
+// set, and affected set is flattened at construction into contiguous
+// CSR-style uint32 index arrays, so the advancement walks touch dense spans
+// instead of chasing vector-of-vector indirections; the PathChannels
+// themselves live in one contiguous vector. Iteration order and arithmetic
+// are unchanged expression-for-expression, so results stay byte-identical
+// to the nested layout.
+//
 // A 1-hop path degenerates to net/link.h arithmetic expression-for-
 // expression, so a single-link topology reproduces the plain fleet
 // byte-for-byte (tests/test_fleet_topology.cpp pins this).
@@ -34,6 +42,7 @@
 #include "net/bandwidth_trace.h"
 #include "net/channel.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/indexed_min_heap.h"
 
 namespace demuxabr::fleet {
@@ -142,7 +151,9 @@ struct PathCacheRoute {
 /// The Channel a session rides in a topology fleet: one route of links.
 /// All state mutates only at flow-population changes of the affected set,
 /// so every derived quantity is a pure function of identical state in both
-/// fleet engines (same bit-identity argument as net/link.h).
+/// fleet engines (same bit-identity argument as net/link.h). Hop lists and
+/// per-hop binding-time accumulators live in the owning Topology's CSR
+/// arrays; the channel itself carries only scalar hot state.
 class PathChannel final : public Channel {
  public:
   double add_flow(double now) override;
@@ -173,14 +184,15 @@ class PathChannel final : public Channel {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] int peak_flows() const { return peak_flows_; }
 
+  PathChannel(PathChannel&&) = default;
+  PathChannel& operator=(PathChannel&&) = default;
+
  private:
   friend class Topology;
   PathChannel() = default;
 
   Topology* topo_ = nullptr;
-  std::size_t index_ = 0;
-  std::string name_;
-  std::vector<std::size_t> hops_;
+  std::uint32_t index_ = 0;
 
   int active_flows_ = 0;
   int peak_flows_ = 0;
@@ -188,9 +200,11 @@ class PathChannel final : public Channel {
 
   double clock_s_ = 0.0;       ///< time up to which V_P is advanced
   double service_kbit_ = 0.0;  ///< V_P(clock_s_): per-flow min-share integral
-  std::vector<double> binding_s_;  ///< per-hop binding-constraint time
 
-  IndexedMinHeap completions_;  ///< v_target [kbit] per in-flight flow token
+  std::string name_;
+  /// v_target [kbit] per in-flight flow token; backed by the owning
+  /// Topology's arena when one was supplied.
+  BasicIndexedMinHeap<ArenaAllocator<HeapEntry>> completions_;
 };
 
 /// Runtime topology: owns the link nodes and path channels, performs the
@@ -200,8 +214,11 @@ class PathChannel final : public Channel {
 /// outlive every session, which FleetScheduler guarantees).
 class Topology {
  public:
-  /// `spec` must validate() clean (asserted).
-  explicit Topology(TopologySpec spec);
+  /// `spec` must validate() clean (asserted). `arena` (optional, must
+  /// outlive the topology) backs every channel's completion registry —
+  /// FleetScheduler passes its per-shard arena so drain-loop registry
+  /// growth never hits the heap.
+  explicit Topology(TopologySpec spec, MonotonicArena* arena = nullptr);
 
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
   /// Spec paths only — the routes clients are assigned to. Derived hit
@@ -247,6 +264,24 @@ class Topology {
   /// Name one obs trace track per link (obs::kLinkTrackBase + index).
   void name_trace_tracks() const;
 
+  // --- Engine dirty-channel tracking (fleet/scheduler.cpp). ---
+  //
+  // Every population change bumps the epoch of each affected channel and
+  // records its index here (deduplicated) — so the event-heap engine can
+  // re-sync exactly the channels whose completion keys may have moved,
+  // instead of sweeping every channel after every event.
+
+  /// Channels whose epochs moved since the last clear_dirty(), in
+  /// first-dirtied order. Order is irrelevant to consumers: syncing writes
+  /// absolute keys, so any re-sync order yields the same heap state.
+  [[nodiscard]] const std::vector<std::uint32_t>& dirty_channels() const {
+    return dirty_channels_;
+  }
+  void clear_dirty() {
+    for (const std::uint32_t p : dirty_channels_) channel_dirty_[p] = 0;
+    dirty_channels_.clear();
+  }
+
   // --- Invariant-test hooks (tests/test_fleet_topology.cpp). ---
 
   /// Per-link virtual service V_l = ∫ cap_l / N_l while busy. Any path
@@ -256,7 +291,7 @@ class Topology {
     return links_[l].service_kbit;
   }
   [[nodiscard]] double path_service_kbit(std::size_t p) const {
-    return paths_[p]->service_kbit_;
+    return paths_[p].service_kbit_;
   }
   /// Current min-share rate of path `p` at `t` >= the last mutation time.
   [[nodiscard]] double path_rate_at(std::size_t p, double t) const;
@@ -287,8 +322,6 @@ class Topology {
     /// so delivered == offered while busy, exactly as net/link.h accounts
     /// it (keeps the degenerate topology bit-identical to a plain Link).
     bool saturating = false;
-    std::vector<std::size_t> paths;      ///< paths traversing this link
-    std::vector<std::size_t> rel_links;  ///< hops of those paths (incl. self)
   };
 
   /// The one mutation point: path `p` gains (+1) or loses (-1) a flow at
@@ -302,19 +335,53 @@ class Topology {
   void advance_path(std::size_t p, double now);
   void advance_link(std::size_t l, double now);
 
+  // CSR span accessors (index arrays built once at construction).
+  [[nodiscard]] const std::uint32_t* hops_of(std::size_t p) const {
+    return hop_csr_.data() + hop_offsets_[p];
+  }
+  [[nodiscard]] std::size_t hop_count_of(std::size_t p) const {
+    return hop_offsets_[p + 1] - hop_offsets_[p];
+  }
+
   std::vector<std::size_t> video_assignment_;
   std::vector<std::size_t> audio_assignment_;
   std::vector<LinkNode> links_;
-  /// Spec paths [0, spec_path_count_), then derived hit channels.
-  std::vector<std::unique_ptr<PathChannel>> paths_;
+  /// Spec paths [0, spec_path_count_), then derived hit channels. Sized
+  /// once at construction (sessions hold raw Channel pointers into it).
+  std::vector<PathChannel> paths_;
   std::size_t spec_path_count_ = 0;
   bool has_caches_ = false;
   /// Per spec path: its cached hop + hit channel, if any.
   std::vector<std::optional<PathCacheRoute>> cache_routes_;
-  /// Precomputed affected sets per path (sorted): paths sharing a link
-  /// with p, and the union of those paths' hops.
-  std::vector<std::vector<std::size_t>> affected_paths_;
-  std::vector<std::vector<std::size_t>> affected_links_;
+
+  // --- Flat CSR index arrays (DESIGN.md §12). All spans are stored in the
+  // same order the nested vectors historically held, so every walk visits
+  // entities in the identical sequence. ---
+
+  /// Channel p's hop link indices: hop_csr_[hop_offsets_[p] ..
+  /// hop_offsets_[p+1]).
+  std::vector<std::uint32_t> hop_csr_;
+  std::vector<std::uint32_t> hop_offsets_;
+  /// Per (channel, hop) binding-constraint time, same offsets as hop_csr_.
+  std::vector<double> binding_csr_;
+  /// Link l's traversing channels: link_paths_csr_[link_paths_offsets_[l]..).
+  std::vector<std::uint32_t> link_paths_csr_;
+  std::vector<std::uint32_t> link_paths_offsets_;
+  /// Link l's related links (hops of its traversing channels, incl. self,
+  /// sorted): rel_csr_[rel_offsets_[l]..).
+  std::vector<std::uint32_t> rel_csr_;
+  std::vector<std::uint32_t> rel_offsets_;
+  /// Channel p's affected channels (sorted): aff_paths_csr_[...p].
+  std::vector<std::uint32_t> aff_paths_csr_;
+  std::vector<std::uint32_t> aff_paths_offsets_;
+  /// Channel p's affected links (sorted): aff_links_csr_[...p].
+  std::vector<std::uint32_t> aff_links_csr_;
+  std::vector<std::uint32_t> aff_links_offsets_;
+
+  /// Dirty-channel accumulator: indices appended at epoch bump, flag array
+  /// dedupes.
+  std::vector<std::uint32_t> dirty_channels_;
+  std::vector<std::uint8_t> channel_dirty_;
 };
 
 }  // namespace demuxabr::fleet

@@ -127,7 +127,7 @@ Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text) {
   return BandwidthTrace(std::move(segments), 0.0);
 }
 
-double BandwidthTrace::rate_kbps(double t) const {
+double BandwidthTrace::rate_kbps_slow(double t) const {
   assert(!segments_.empty());
   if (t < 0.0) t = 0.0;
   double local = t;
@@ -150,10 +150,7 @@ double BandwidthTrace::rate_kbps(double t) const {
   return std::prev(it)->kbps;
 }
 
-double BandwidthTrace::next_change_after(double t) const {
-  if (segments_.size() == 1 && period_s_ == 0.0) {
-    return std::numeric_limits<double>::infinity();
-  }
+double BandwidthTrace::next_change_after_slow(double t) const {
   if (t < 0.0) t = 0.0;
   double base = 0.0;
   double local = t;

@@ -65,12 +65,24 @@ class BandwidthTrace {
   /// Load from CSV with header "t,kbps" (times ascending from 0).
   static Result<BandwidthTrace> from_csv(const std::string& csv_text);
 
-  /// Rate at absolute time t (wraps when periodic).
-  [[nodiscard]] double rate_kbps(double t) const;
+  /// Rate at absolute time t (wraps when periodic). The single-segment
+  /// aperiodic case (constant traces — the bulk of fleet-bench hot loops)
+  /// resolves inline to the one rate every query returns anyway; anything
+  /// else takes the full boundary-slack lookup.
+  [[nodiscard]] double rate_kbps(double t) const {
+    if (segments_.size() == 1 && period_s_ == 0.0) return segments_.front().kbps;
+    return rate_kbps_slow(t);
+  }
 
   /// The next absolute time > t at which the rate changes;
-  /// +infinity when the rate never changes again.
-  [[nodiscard]] double next_change_after(double t) const;
+  /// +infinity when the rate never changes again. Same inline fast path as
+  /// rate_kbps: a constant trace never changes again.
+  [[nodiscard]] double next_change_after(double t) const {
+    if (segments_.size() == 1 && period_s_ == 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return next_change_after_slow(t);
+  }
 
   /// Mean rate over [t0, t1].
   [[nodiscard]] double average_kbps(double t0, double t1) const;
@@ -83,6 +95,9 @@ class BandwidthTrace {
 
  private:
   BandwidthTrace(std::vector<Segment> segments, double period_s);
+
+  [[nodiscard]] double rate_kbps_slow(double t) const;
+  [[nodiscard]] double next_change_after_slow(double t) const;
 
   std::vector<Segment> segments_;  ///< ascending start times, first at 0
   double period_s_ = 0.0;

@@ -28,6 +28,7 @@
 #include "net/bandwidth_trace.h"
 #include "net/channel.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/indexed_min_heap.h"
 
 namespace demuxabr {
@@ -40,7 +41,13 @@ namespace demuxabr {
 /// composes several Links into a multi-hop carrier.
 class Link final : public Channel {
  public:
-  explicit Link(BandwidthTrace trace) : trace_(std::move(trace)) {}
+  /// `arena` (optional, must outlive the link) backs the completion
+  /// registry's storage: fleet schedulers pass their per-shard arena so
+  /// registry growth in the drain loop bump-allocates instead of hitting
+  /// the heap. Null (the default, all solo uses) falls back to the heap.
+  explicit Link(BandwidthTrace trace, MonotonicArena* arena = nullptr)
+      : trace_(std::move(trace)),
+        completions_(ArenaAllocator<HeapEntry>(arena)) {}
 
   /// Register one flow at time `now` (>= every earlier mutation time).
   /// Returns the service integral at `now` — the joining flow's v_start.
@@ -156,7 +163,8 @@ class Link final : public Channel {
   double offered_kbit_ = 0.0;
   double delivered_kbit_ = 0.0;
 
-  IndexedMinHeap completions_;  ///< v_target [kbit] per in-flight flow token
+  /// v_target [kbit] per in-flight flow token; arena-backed in fleets.
+  BasicIndexedMinHeap<ArenaAllocator<HeapEntry>> completions_;
 };
 
 /// The network between client and server(s): one carrier per media type.

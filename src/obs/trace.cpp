@@ -10,7 +10,13 @@ namespace demuxabr::obs {
 namespace {
 
 std::atomic<Tracer*> g_tracer{nullptr};
-std::atomic<unsigned> g_categories{0};
+}  // namespace
+
+namespace detail {
+std::atomic<unsigned> g_trace_categories{0};
+}  // namespace detail
+
+namespace {
 std::atomic<std::uint64_t> g_next_serial{1};
 
 /// Per-thread shard cache: re-registers (cheaply) whenever the thread first
@@ -162,14 +168,9 @@ Tracer* tracer() { return g_tracer.load(std::memory_order_acquire); }
 void install_tracer(Tracer* t) {
   // Categories gate the fast path: publish them only while installed, so a
   // single relaxed load answers "is anything listening for cat?".
-  g_categories.store(t != nullptr ? t->categories() : 0u,
-                     std::memory_order_release);
+  detail::g_trace_categories.store(t != nullptr ? t->categories() : 0u,
+                                   std::memory_order_release);
   g_tracer.store(t, std::memory_order_release);
-}
-
-Tracer* tracer_if(Category cat) {
-  if ((g_categories.load(std::memory_order_relaxed) & cat) == 0) return nullptr;
-  return g_tracer.load(std::memory_order_acquire);
 }
 
 // --- NdjsonSink ----------------------------------------------------------

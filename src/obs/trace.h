@@ -22,6 +22,7 @@
 // after the traced work has quiesced (joined its threads).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -192,9 +193,20 @@ class Tracer {
 Tracer* tracer();
 void install_tracer(Tracer* tracer);
 
+namespace detail {
+/// Published category mask of the installed tracer (0 when none) — the
+/// macro gate's disabled path is one inline relaxed load.
+extern std::atomic<unsigned> g_trace_categories;
+}  // namespace detail
+
 /// The macro gate: non-null iff a tracer is installed *and* records `cat`.
 /// One relaxed atomic load on the disabled path.
-Tracer* tracer_if(Category cat);
+inline Tracer* tracer_if(Category cat) {
+  if ((detail::g_trace_categories.load(std::memory_order_relaxed) & cat) == 0) {
+    return nullptr;
+  }
+  return tracer();
+}
 
 /// RAII install/uninstall around a traced run.
 class ScopedTracer {

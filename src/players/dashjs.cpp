@@ -66,7 +66,10 @@ std::optional<DownloadRequest> DashJsPlayerModel::next_request(const PlayerConte
     MediaType type;
     double buffer;
   };
-  std::vector<Candidate> candidates;
+  // Fixed array, one slot per media type: this per-poll decision must stay
+  // off the heap (it runs inside the fleet engines' drain loop).
+  Candidate candidates[2];
+  int candidate_count = 0;
   for (MediaType type : {MediaType::kAudio, MediaType::kVideo}) {
     if (ctx.downloading(type)) continue;
     if (ctx.next_chunk(type) >= ctx.total_chunks) continue;
@@ -74,14 +77,15 @@ std::optional<DownloadRequest> DashJsPlayerModel::next_request(const PlayerConte
     const bool at_top = p.current + 1 == p.track_ids.size();
     const double target = at_top ? config_.top_quality_buffer_s : config_.stable_buffer_s;
     if (ctx.buffer_s(type) >= target) continue;
-    candidates.push_back({type, ctx.buffer_s(type)});
+    candidates[candidate_count++] = {type, ctx.buffer_s(type)};
   }
-  if (candidates.empty()) return std::nullopt;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     return a.buffer < b.buffer;
-                   });
-  const MediaType type = candidates.front().type;
+  if (candidate_count == 0) return std::nullopt;
+  // Historical stable_sort on buffer: video (second slot) wins only when
+  // strictly lower.
+  const MediaType type =
+      candidate_count == 2 && candidates[1].buffer < candidates[0].buffer
+          ? candidates[1].type
+          : candidates[0].type;
   Pipeline& p = pipeline(type);
   const std::size_t index = adapt(p, ctx.buffer_s(type));
 

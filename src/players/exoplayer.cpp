@@ -85,20 +85,25 @@ std::optional<DownloadRequest> ExoPlayerModel::next_request(const PlayerContext&
     int next_chunk;
     double buffer;
   };
-  std::vector<Candidate> candidates;
+  // At most one candidate per media type: a fixed array keeps this per-event
+  // decision off the heap (it runs once per drain poll across the fleet).
+  Candidate candidates[2];
+  int candidate_count = 0;
   for (MediaType type : {MediaType::kVideo, MediaType::kAudio}) {
     if (ctx.downloading(type)) continue;
     if (ctx.next_chunk(type) >= ctx.total_chunks) continue;
     if (ctx.buffer_s(type) >= config_.max_buffer_s) continue;
-    candidates.push_back({type, ctx.next_chunk(type), ctx.buffer_s(type)});
+    candidates[candidate_count++] = {type, ctx.next_chunk(type), ctx.buffer_s(type)};
   }
-  if (candidates.empty()) return std::nullopt;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     if (a.next_chunk != b.next_chunk) return a.next_chunk < b.next_chunk;
-                     return a.buffer < b.buffer;
-                   });
-  const Candidate& chosen = candidates.front();
+  if (candidate_count == 0) return std::nullopt;
+  // The historical stable_sort over {video, audio}: audio wins only when
+  // strictly behind (earlier chunk, or same chunk with less buffer).
+  const Candidate& chosen =
+      candidate_count == 2 && (candidates[1].next_chunk < candidates[0].next_chunk ||
+                               (candidates[1].next_chunk == candidates[0].next_chunk &&
+                                candidates[1].buffer < candidates[0].buffer))
+          ? candidates[1]
+          : candidates[0];
 
   update_selection(ctx);
   const ComboView& combo = combos_[current_];

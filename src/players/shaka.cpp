@@ -59,19 +59,23 @@ std::optional<DownloadRequest> ShakaPlayerModel::next_request(const PlayerContex
     MediaType type;
     double buffer;
   };
-  std::vector<Candidate> candidates;
+  // Fixed array, one slot per media type: this per-poll decision must stay
+  // off the heap (it runs inside the fleet engines' drain loop).
+  Candidate candidates[2];
+  int candidate_count = 0;
   for (MediaType type : {MediaType::kAudio, MediaType::kVideo}) {
     if (ctx.downloading(type)) continue;
     if (ctx.next_chunk(type) >= ctx.total_chunks) continue;
     if (ctx.buffer_s(type) >= config_.buffering_goal_s) continue;
-    candidates.push_back({type, ctx.buffer_s(type)});
+    candidates[candidate_count++] = {type, ctx.buffer_s(type)};
   }
-  if (candidates.empty()) return std::nullopt;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     return a.buffer < b.buffer;
-                   });
-  const MediaType type = candidates.front().type;
+  if (candidate_count == 0) return std::nullopt;
+  // Historical stable_sort on buffer: video (second slot) wins only when
+  // strictly lower.
+  const MediaType type =
+      candidate_count == 2 && candidates[1].buffer < candidates[0].buffer
+          ? candidates[1].type
+          : candidates[0].type;
 
   const ComboView& combo = combos_[select_for_estimate(estimator_.estimate_kbps())];
   DownloadRequest request;

@@ -4,26 +4,29 @@
 
 namespace demuxabr {
 
-void MediaBuffer::push(int chunk_index, double duration_s, std::string track_id) {
-  assert(duration_s > 0.0);
-  assert(chunks_.empty() ? chunk_index >= end_index_ - 1 : true);
-  assert(chunk_index == end_index_ || end_index_ == 0);
-  chunks_.push_back({chunk_index, duration_s, std::move(track_id)});
-  pushed_s_ += duration_s;
-  end_index_ = chunk_index + 1;
+void MediaBuffer::push_back(const BufferedChunk& chunk) {
+  if (count_ == ring_.size()) {
+    // Grow and linearize: the old ring's live span moves to the front of the
+    // doubled storage, so indexing stays a single mask.
+    const std::size_t old_capacity = ring_.size();
+    std::vector<BufferedChunk> grown(std::max<std::size_t>(8, old_capacity * 2));
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = ring_[(head_ + i) & (old_capacity - 1)];
+    }
+    ring_.swap(grown);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) & (ring_.size() - 1)] = chunk;
+  ++count_;
 }
 
-void MediaBuffer::drain_to(double consumed_s) {
-  if (consumed_s <= consumed_s_) return;
-  consumed_s_ = std::min(consumed_s, pushed_s_);
-  // Retire chunks the playhead has fully passed. The retirement threshold
-  // is a cumulative total, so which chunks are retired depends only on the
-  // consumed amount, not on the drain call pattern.
-  while (!chunks_.empty() &&
-         consumed_s_ >= popped_s_ + chunks_.front().duration_s - 1e-12) {
-    popped_s_ += chunks_.front().duration_s;
-    chunks_.pop_front();
-  }
+void MediaBuffer::push(int chunk_index, double duration_s) {
+  assert(duration_s > 0.0);
+  assert(count_ == 0 ? chunk_index >= end_index_ - 1 : true);
+  assert(chunk_index == end_index_ || end_index_ == 0);
+  push_back({chunk_index, duration_s});
+  pushed_s_ += duration_s;
+  end_index_ = chunk_index + 1;
 }
 
 double MediaBuffer::consume(double dt) {
@@ -34,7 +37,8 @@ double MediaBuffer::consume(double dt) {
 }
 
 void MediaBuffer::clear() {
-  chunks_.clear();
+  head_ = 0;
+  count_ = 0;
   popped_s_ = 0.0;
   pushed_s_ = 0.0;
   consumed_s_ = 0.0;

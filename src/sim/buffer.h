@@ -10,11 +10,16 @@
 // drains were issued — the path-independence the fleet engines rely on to
 // produce bit-identical sessions whether a session is advanced at every
 // global barrier or only at its own events.
+//
+// Chunk storage is a power-of-two ring buffer over a plain vector: the
+// steady push/pop cycle of a draining session reuses the same slots with no
+// allocation (a deque would churn block allocations), and the per-chunk
+// record is two scalars.
 #pragma once
 
 #include <cassert>
-#include <deque>
-#include <string>
+#include <cstddef>
+#include <vector>
 
 namespace demuxabr {
 
@@ -23,18 +28,28 @@ class MediaBuffer {
   struct BufferedChunk {
     int chunk_index;
     double duration_s;
-    std::string track_id;
   };
 
   /// Append a fully-downloaded chunk. Indices must arrive in order.
-  void push(int chunk_index, double duration_s, std::string track_id);
+  void push(int chunk_index, double duration_s);
 
   /// Set cumulative consumed playback seconds (since construction or the
   /// last clear()) to `consumed_s`. Monotone: asking for less than already
   /// consumed is a no-op. Consumption past the buffered amount clamps (the
   /// media may simply be fully downloaded and drained while the other type
-  /// still plays).
-  void drain_to(double consumed_s);
+  /// still plays). Inline: called twice per integrate_to, usually with no
+  /// chunk crossing the retirement threshold.
+  void drain_to(double consumed_s) {
+    if (consumed_s <= consumed_s_) return;
+    consumed_s_ = consumed_s < pushed_s_ ? consumed_s : pushed_s_;
+    // Retire chunks the playhead has fully passed. The retirement threshold
+    // is a cumulative total, so which chunks are retired depends only on
+    // the consumed amount, not on the drain call pattern.
+    while (count_ > 0 && consumed_s_ >= popped_s_ + front().duration_s - 1e-12) {
+      popped_s_ += front().duration_s;
+      pop_front();
+    }
+  }
 
   /// Consume up to dt seconds of playback; returns the amount actually
   /// consumed (less than dt only when the buffer runs dry). Convenience
@@ -46,7 +61,7 @@ class MediaBuffer {
     return level > 0.0 ? level : 0.0;
   }
   [[nodiscard]] bool empty() const { return level_s() <= 1e-9; }
-  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t chunk_count() const { return count_; }
   /// Highest buffered chunk index + 1; 0 when never filled.
   [[nodiscard]] int end_index() const { return end_index_; }
   /// Cumulative seconds pushed since construction / the last clear().
@@ -57,7 +72,21 @@ class MediaBuffer {
   void clear();
 
  private:
-  std::deque<BufferedChunk> chunks_;
+  [[nodiscard]] const BufferedChunk& front() const {
+    assert(count_ > 0);
+    return ring_[head_];
+  }
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+  }
+  void push_back(const BufferedChunk& chunk);
+
+  /// Power-of-two ring: head_ indexes the oldest chunk, count_ live slots.
+  std::vector<BufferedChunk> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   double popped_s_ = 0.0;    ///< cumulative duration of fully-played chunks
   double pushed_s_ = 0.0;    ///< cumulative duration pushed
   double consumed_s_ = 0.0;  ///< cumulative duration played

@@ -65,8 +65,6 @@ struct SessionTotals {
   double switch_cost_kbps = 0.0;
   double last_video_kbps = 0.0;
   double last_audio_kbps = 0.0;
-  std::string last_video_track;
-  std::string last_audio_track;
 
   /// Time-weighted |audio − video| buffer-level integral over the series
   /// sampling instants (left-endpoint rule — the exact arithmetic the fleet

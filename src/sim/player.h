@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "manifest/view.h"
 #include "media/track.h"
@@ -33,9 +34,11 @@ struct ProgressSample {
 
 /// Emitted when a chunk finishes downloading. `start_t` includes the request
 /// RTT, so throughput computed from it matches what a real player measures.
+/// `track_id` views the originating request's id and is valid only for the
+/// duration of the on_chunk_complete callback — copy it to retain it.
 struct ChunkCompletion {
   MediaType type = MediaType::kVideo;
-  std::string track_id;
+  std::string_view track_id;
   int chunk_index = 0;
   std::int64_t bytes = 0;
   double start_t = 0.0;

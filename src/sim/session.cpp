@@ -30,7 +30,8 @@ StreamingSession::StreamingSession(const Content& content, ManifestView view,
       view_(std::move(view)),
       network_(std::move(network)),
       player_(player),
-      config_(config) {
+      config_(config),
+      pending_deliveries_(ArenaAllocator<PendingDelivery>(config.arena)) {
   // A player must know the timeline before adapting; when the manifest view
   // lacks it (HLS top-level only), model the mandatory fetch of the first
   // media playlist by filling it in here.
@@ -229,8 +230,7 @@ void StreamingSession::complete_flow(Flow& f) {
 
   for (int i = 0; i < component_count; ++i) {
     const Component& component = components[i];
-    buffer(component.type)
-        .push(chunk_index, component.chunk->duration_s, *component.track_id);
+    buffer(component.type).push(chunk_index, component.chunk->duration_s);
     next_chunk(component.type) = chunk_index + 1;
 
     // Selection aggregates (SessionTotals): the same walk compute_qoe runs
@@ -241,22 +241,22 @@ void StreamingSession::complete_flow(Flow& f) {
     ++totals.download_records;
     const double kbps = component.track->avg_kbps;
     if (component.type == MediaType::kVideo) {
-      if (totals.video_chunks > 0 && *component.track_id != totals.last_video_track) {
+      if (totals.video_chunks > 0 && component.track != last_video_track_) {
         ++totals.video_switches;
         totals.switch_cost_kbps += std::abs(kbps - totals.last_video_kbps);
       }
       totals.video_kbps_sum += kbps;
       ++totals.video_chunks;
-      totals.last_video_track = *component.track_id;
+      last_video_track_ = component.track;
       totals.last_video_kbps = kbps;
     } else {
-      if (totals.audio_chunks > 0 && *component.track_id != totals.last_audio_track) {
+      if (totals.audio_chunks > 0 && component.track != last_audio_track_) {
         ++totals.audio_switches;
         totals.switch_cost_kbps += std::abs(kbps - totals.last_audio_kbps);
       }
       totals.audio_kbps_sum += kbps;
       ++totals.audio_chunks;
-      totals.last_audio_track = *component.track_id;
+      last_audio_track_ = component.track;
       totals.last_audio_kbps = kbps;
     }
 
@@ -593,11 +593,21 @@ void StreamingSession::process_events() {
   // keeps player-visible actions (polling, transitions) pinned to the same
   // instants the event-heap engine visits, which is what makes the two
   // engines bit-identical.
+  // Per-flow due flags, computed once and reused by the firing loop below.
+  // Safe to cache: completing one flow at t cannot flip the other's status —
+  // V(t) is already fixed, and a target above V(t) completes strictly after
+  // t no matter how the population changes at t.
   bool completion_due = false;
-  for (const Flow* f : {&audio_flow_, &video_flow_}) {
-    if (f->active && f->on_link &&
-        link_of(*f).time_when_service_reaches(f->v_target_kbit) <= now_) {
-      completion_due = true;
+  bool flow_due[2] = {false, false};
+  {
+    int i = 0;
+    for (const Flow* f : {&audio_flow_, &video_flow_}) {
+      if (f->active && f->on_link &&
+          link_of(*f).time_when_service_reaches(f->v_target_kbit) <= now_) {
+        flow_due[i] = true;
+        completion_due = true;
+      }
+      ++i;
     }
   }
   const bool tick_due = now_ >= next_tick_;
@@ -618,12 +628,13 @@ void StreamingSession::process_events() {
   if (!completion_due && !tick_due && !seek_due && !deadline_due) return;
 
   if (completion_due) {
+    int i = 0;
     for (Flow* f : {&audio_flow_, &video_flow_}) {
-      if (f->active && f->on_link &&
-          link_of(*f).time_when_service_reaches(f->v_target_kbit) <= now_) {
+      if (flow_due[i] && f->active && f->on_link) {
         f->bytes_done = static_cast<double>(f->total_bytes);
         complete_flow(*f);
       }
+      ++i;
     }
   }
   if (tick_due) {

@@ -40,6 +40,7 @@
 #include "sim/buffer.h"
 #include "sim/metrics.h"
 #include "sim/player.h"
+#include "util/arena.h"
 
 namespace demuxabr {
 
@@ -87,6 +88,10 @@ struct SessionConfig {
   /// downloads, flushes both buffers and rebuffers at the target position
   /// (counted as a stall while playback is paused).
   std::vector<SeekEvent> seeks;
+  /// Optional arena (must outlive the session) backing the pending-delivery
+  /// queue: fleet schedulers pass their per-shard arena so queue growth in
+  /// the drain loop never calls malloc. Null (solo sessions) = heap.
+  MonotonicArena* arena = nullptr;
 };
 
 class StreamingSession {
@@ -294,6 +299,12 @@ class StreamingSession {
 
   MediaBuffer audio_buffer_;
   MediaBuffer video_buffer_;
+  /// Last-completed track identity per type, for switch detection. Track
+  /// ids are unique per type and every completion carries a stable manifest
+  /// TrackInfo pointer, so pointer inequality IS id inequality — no string
+  /// compare (or stored string) on the per-chunk path.
+  const TrackInfo* last_video_track_ = nullptr;
+  const TrackInfo* last_audio_track_ = nullptr;
   int next_audio_chunk_ = 0;
   int next_video_chunk_ = 0;
   Flow audio_flow_;
@@ -308,7 +319,11 @@ class StreamingSession {
     DownloadRequest request;
     std::uint64_t ticket = 0;
   };
-  std::vector<PendingDelivery> pending_deliveries_;
+  /// At most two entries ever (one in-flight flow per media type between
+  /// consecutive begin_steps); arena-backed in fleets, so even its one-off
+  /// growth is a pointer bump. Lazily grown: cache-less fleets never queue
+  /// a delivery, so the arena pays nothing per churned client there.
+  std::vector<PendingDelivery, ArenaAllocator<PendingDelivery>> pending_deliveries_;
 
   SessionLog log_;
 };

@@ -1,0 +1,166 @@
+// MonotonicArena: a chunked bump allocator for engine state whose lifetime
+// is one fleet run (DESIGN.md §12). allocate() is a pointer bump; nothing
+// is freed individually — the arena releases everything at destruction (or
+// rewinds wholesale via reset()). The fleet scheduler owns one arena per
+// shard and backs the drain loop's long-lived structures with it: the
+// per-channel completion registries, the event heap, the drain scratch
+// buffers and each session's pending-delivery queue. Those structures grow
+// to a high-water capacity early and then only recycle their slots, so
+// steady-state drain work performs zero heap allocations — any residual
+// growth (a new peak in concurrent flows, a first cache delivery) is an
+// arena bump, not a malloc.
+//
+// Deliberately NOT used for per-client blocks (sessions, players, logs):
+// clients churn through a long fleet by the thousand and their memory must
+// return to the heap at retirement; a monotonic arena would turn that churn
+// into unbounded growth at million-client scale.
+//
+// Single-threaded by design, like the engine it serves: each shard's arena
+// is touched only by the thread running that shard (fleet/shard.h hands one
+// scheduler — and thus one arena — to each worker).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace demuxabr {
+
+class MonotonicArena {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk; later chunks double (and
+  /// stretch further to fit any single oversized request).
+  explicit MonotonicArena(std::size_t first_chunk_bytes = 4096)
+      : next_chunk_bytes_(first_chunk_bytes > 0 ? first_chunk_bytes : 4096) {}
+
+  // Containers hold raw pointers to the arena: pinning it (no copies or
+  // moves) makes dangling-by-relocation impossible.
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Never
+  /// returns nullptr: an oversized request simply grows the next chunk.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    assert(align > 0 && (align & (align - 1)) == 0 && "align: power of two");
+    // Chunk bases come from new[] (max_align-aligned), so offset arithmetic
+    // is valid for any supported alignment.
+    assert(align <= alignof(std::max_align_t));
+    if (bytes == 0) bytes = 1;
+    const std::size_t aligned = align_up(offset_, align);
+    if (active_ < chunks_.size() && aligned + bytes <= chunks_[active_].size) {
+      offset_ = aligned + bytes;
+      allocated_ += bytes;
+      return chunks_[active_].data.get() + aligned;
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Rewind to empty without releasing chunks: the next run reuses the same
+  /// memory. Everything previously allocated becomes invalid.
+  void reset() {
+    active_ = 0;
+    offset_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Payload bytes handed out since construction / the last reset()
+  /// (alignment padding excluded).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  /// Total chunk bytes owned (the arena's own footprint).
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] static std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Advance through retained chunks (after a reset) before growing. A
+    // fresh chunk is aligned to max_align by operator new[], so offset 0
+    // satisfies any supported alignment.
+    while (active_ + 1 < chunks_.size()) {
+      ++active_;
+      offset_ = 0;
+      const std::size_t aligned = align_up(offset_, align);
+      if (aligned + bytes <= chunks_[active_].size) {
+        offset_ = aligned + bytes;
+        allocated_ += bytes;
+        return chunks_[active_].data.get() + aligned;
+      }
+    }
+    std::size_t chunk_bytes = next_chunk_bytes_;
+    if (chunk_bytes < bytes) chunk_bytes = bytes;
+    next_chunk_bytes_ = chunk_bytes * 2;
+    chunks_.push_back({std::make_unique<std::byte[]>(chunk_bytes), chunk_bytes});
+    reserved_ += chunk_bytes;
+    active_ = chunks_.size() - 1;
+    offset_ = bytes;
+    allocated_ += bytes;
+    return chunks_[active_].data.get();
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunk currently being bumped
+  std::size_t offset_ = 0;  ///< bump offset within the active chunk
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+/// std-compatible allocator over a MonotonicArena. A null arena falls back
+/// to the global heap, so a default-constructed container works everywhere
+/// (solo sessions, tests) and only fleet-owned instances bind to an arena.
+/// deallocate() is a no-op when arena-backed — the container's discarded
+/// growth buffers stay parked in the arena until reset()/destruction, the
+/// monotonic trade: a bounded amount of dead capacity for malloc-free
+/// steady state.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // All three propagate so container copy/move/swap carry the arena along
+  // instead of hitting the unequal-allocator slow paths.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(MonotonicArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t /*n*/) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  [[nodiscard]] MonotonicArena* arena() const noexcept { return arena_; }
+
+ private:
+  MonotonicArena* arena_ = nullptr;
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) noexcept {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) noexcept {
+  return !(a == b);
+}
+
+}  // namespace demuxabr

@@ -51,82 +51,147 @@ void HalfLifeEwma::add(double weight, double x) {
   const double adjusted_alpha = std::pow(0.5, weight / half_life_);
   estimate_ = x * (1.0 - adjusted_alpha) + adjusted_alpha * estimate_;
   total_weight_ += weight;
+  estimate_stale_ = true;
 }
 
 void HalfLifeEwma::reset() {
   estimate_ = 0.0;
   total_weight_ = 0.0;
+  estimate_stale_ = true;
 }
 
 double HalfLifeEwma::estimate() const {
   if (total_weight_ <= 0.0) return 0.0;
-  const double zero_factor = 1.0 - std::pow(0.5, total_weight_ / half_life_);
-  return estimate_ / zero_factor;
+  if (estimate_stale_) {
+    const double zero_factor = 1.0 - std::pow(0.5, total_weight_ / half_life_);
+    cached_estimate_ = estimate_ / zero_factor;
+    estimate_stale_ = false;
+  }
+  return cached_estimate_;
 }
 
 SlidingPercentile::SlidingPercentile(double max_weight) : max_weight_(max_weight) {
   assert(max_weight > 0.0);
 }
 
+void SlidingPercentile::push_back(const Sample& sample) {
+  if (count_ == ring_.size()) {
+    const std::size_t old_capacity = ring_.size();
+    std::vector<Sample> grown(std::max<std::size_t>(8, old_capacity * 2));
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = ring_[(head_ + i) & (old_capacity - 1)];
+    }
+    ring_.swap(grown);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) & (ring_.size() - 1)] = sample;
+  ++count_;
+}
+
+void SlidingPercentile::pop_front() {
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --count_;
+}
+
 void SlidingPercentile::add(double weight, double value) {
   if (weight <= 0.0) return;
-  samples_.push_back({weight, value});
+  push_back({weight, value});
   total_weight_ += weight;
-  while (total_weight_ > max_weight_ && samples_.size() > 1) {
-    total_weight_ -= samples_.front().weight;
-    samples_.pop_front();
+  while (total_weight_ > max_weight_ && count_ > 1) {
+    total_weight_ -= ring_[head_].weight;
+    pop_front();
   }
+  sorted_stale_ = true;
+  result_stale_ = true;
 }
 
 double SlidingPercentile::percentile(double fraction, double fallback) const {
-  if (samples_.empty()) return fallback;
-  std::vector<Sample> sorted(samples_.begin(), samples_.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Sample& a, const Sample& b) { return a.value < b.value; });
+  if (count_ == 0) return fallback;
+  if (!result_stale_ && fraction == cached_fraction_) return cached_result_;
+  if (sorted_stale_) {
+    // Materialize in insertion order before sorting — the exact input
+    // sequence the historical per-query copy sorted, so the (unstable) sort
+    // produces the identical permutation.
+    sorted_.clear();
+    for (std::size_t i = 0; i < count_; ++i) {
+      sorted_.push_back(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const Sample& a, const Sample& b) { return a.value < b.value; });
+    sorted_stale_ = false;
+  }
   const double target = std::clamp(fraction, 0.0, 1.0) * total_weight_;
   double acc = 0.0;
-  for (const Sample& s : sorted) {
+  double result = sorted_.back().value;
+  for (const Sample& s : sorted_) {
     acc += s.weight;
     // Epsilon guards the acc == target case against accumulation error.
-    if (acc + 1e-9 * total_weight_ >= target) return s.value;
+    if (acc + 1e-9 * total_weight_ >= target) {
+      result = s.value;
+      break;
+    }
   }
-  return sorted.back().value;
+  cached_fraction_ = fraction;
+  cached_result_ = result;
+  result_stale_ = false;
+  return result;
 }
 
 void SlidingPercentile::clear() {
-  samples_.clear();
+  head_ = 0;
+  count_ = 0;
   total_weight_ = 0.0;
+  sorted_stale_ = true;
+  result_stale_ = true;
 }
 
-SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
   assert(capacity > 0);
 }
 
 void SlidingWindow::add(double x) {
-  window_.push_back(x);
-  if (window_.size() > capacity_) window_.pop_front();
+  if (count_ == capacity_) {
+    ring_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    ring_[(head_ + count_) % capacity_] = x;
+    ++count_;
+  }
+  mean_stale_ = true;
 }
 
-void SlidingWindow::clear() { window_.clear(); }
+void SlidingWindow::clear() {
+  head_ = 0;
+  count_ = 0;
+  mean_stale_ = true;
+}
 
 double SlidingWindow::mean() const {
-  if (window_.empty()) return 0.0;
-  double sum = 0.0;
-  for (double x : window_) sum += x;
-  return sum / static_cast<double>(window_.size());
+  if (count_ == 0) return 0.0;
+  if (mean_stale_) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count_; ++i) sum += ring_[(head_ + i) % capacity_];
+    cached_mean_ = sum / static_cast<double>(count_);
+    mean_stale_ = false;
+  }
+  return cached_mean_;
 }
 
 double SlidingWindow::harmonic_mean() const {
-  if (window_.empty()) return 0.0;
+  if (count_ == 0) return 0.0;
   double denom = 0.0;
-  for (double x : window_) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    const double x = ring_[(head_ + i) % capacity_];
     if (x <= 0.0) return 0.0;
     denom += 1.0 / x;
   }
-  return static_cast<double>(window_.size()) / denom;
+  return static_cast<double>(count_) / denom;
 }
 
-double SlidingWindow::last() const { return window_.empty() ? 0.0 : window_.back(); }
+double SlidingWindow::last() const {
+  return count_ == 0 ? 0.0 : ring_[(head_ + count_ - 1) % capacity_];
+}
 
 double percentile_of(std::vector<double> values, double fraction) {
   if (values.empty()) return 0.0;

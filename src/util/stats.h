@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 namespace demuxabr {
@@ -59,6 +58,9 @@ class HalfLifeEwma {
   void add(double weight, double x);
   void reset();
 
+  /// Bias-corrected estimate. Memoized between mutations: the correction is
+  /// a pow() per call, and the session samples the estimate every tick while
+  /// new samples only arrive on transfer progress.
   [[nodiscard]] double estimate() const;
   [[nodiscard]] double total_weight() const { return total_weight_; }
 
@@ -66,6 +68,8 @@ class HalfLifeEwma {
   double half_life_;
   double estimate_ = 0.0;
   double total_weight_ = 0.0;
+  mutable double cached_estimate_ = 0.0;
+  mutable bool estimate_stale_ = true;
 };
 
 /// Sliding percentile with sample weights, modelled after ExoPlayer's
@@ -77,9 +81,13 @@ class SlidingPercentile {
   explicit SlidingPercentile(double max_weight);
 
   void add(double weight, double value);
-  /// Weighted percentile in [0,1]; returns fallback when empty.
+  /// Weighted percentile in [0,1]; returns fallback when empty. Both the
+  /// sorted view and the final answer are cached between queries and
+  /// invalidated only when the window changes, so repeated readouts of the
+  /// same fraction (every ExoPlayer estimate sample) cost two loads — no
+  /// allocation, sort, or prefix walk.
   [[nodiscard]] double percentile(double fraction, double fallback) const;
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
   void clear();
 
  private:
@@ -87,9 +95,25 @@ class SlidingPercentile {
     double weight;
     double value;
   };
+  void push_back(const Sample& sample);
+  void pop_front();
+
   double max_weight_;
   double total_weight_ = 0.0;
-  std::deque<Sample> samples_;  // insertion order for eviction
+  /// Power-of-two ring in insertion order (eviction pops the head).
+  std::vector<Sample> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  /// Sorted scratch: the window's samples, materialized in insertion order
+  /// and sorted by value. Rebuilt lazily — same input sequence as sorting
+  /// fresh per query, so results are identical.
+  mutable std::vector<Sample> sorted_;
+  mutable bool sorted_stale_ = true;
+  /// Memoized answer for the last queried fraction (players query a single
+  /// configured fraction, so this hits on every read between adds).
+  mutable double cached_fraction_ = -1.0;
+  mutable double cached_result_ = 0.0;
+  mutable bool result_stale_ = true;
 };
 
 /// Fixed-size window over the last N samples with arithmetic and harmonic
@@ -101,15 +125,24 @@ class SlidingWindow {
   void add(double x);
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return window_.size(); }
-  [[nodiscard]] bool full() const { return window_.size() == capacity_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool full() const { return count_ == capacity_; }
+  /// Arithmetic mean, memoized between adds (dash.js samples it every tick
+  /// via the session's bandwidth-estimate series).
   [[nodiscard]] double mean() const;
   [[nodiscard]] double harmonic_mean() const;
   [[nodiscard]] double last() const;
 
  private:
   std::size_t capacity_;
-  std::deque<double> window_;
+  /// Fixed ring, capacity known at construction: one allocation ever. The
+  /// folds walk oldest→newest so floating-point sum order matches the
+  /// historical deque iteration.
+  std::vector<double> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  mutable double cached_mean_ = 0.0;
+  mutable bool mean_stale_ = true;
 };
 
 /// Percentile of an unsorted vector (copies + sorts). fraction in [0,1].

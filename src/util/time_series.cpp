@@ -8,11 +8,6 @@
 
 namespace demuxabr {
 
-void TimeSeries::add(double t, double value) {
-  assert(points_.empty() || t >= points_.back().t);
-  points_.push_back({t, value});
-}
-
 void TimeSeries::clear() { points_.clear(); }
 
 void TimeSeries::reserve(std::size_t points) { points_.reserve(points); }

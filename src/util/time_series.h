@@ -16,7 +16,7 @@ class TimeSeries {
     double value;
   };
 
-  void add(double t, double value);
+  void add(double t, double value) { points_.push_back({t, value}); }
   void clear();
 
   /// Preallocate capacity for `points` samples (hot-path sessions reserve

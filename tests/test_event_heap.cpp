@@ -143,5 +143,53 @@ TEST(EventHeap, LazyLinkSyncTracksEpoch) {
   EXPECT_TRUE(heap.empty());
 }
 
+TEST(EventHeapStats, PopsCountEveryPop) {
+  fleet::EventHeap heap(4, 0);
+  heap.schedule_session(0, 1.0);
+  heap.schedule_session(1, 2.0);
+  heap.schedule_session(2, 3.0);
+  EXPECT_EQ(heap.stats().pops, 0u);
+  heap.pop();
+  heap.pop();
+  EXPECT_EQ(heap.stats().pops, 2u);
+  // Re-keys and erases are not pops.
+  heap.schedule_session(2, 4.0);
+  heap.erase_session(2);
+  EXPECT_EQ(heap.stats().pops, 2u);
+}
+
+TEST(EventHeapStats, SyncChecksCountEveryCallRefreshesOnlyEpochMoves) {
+  fleet::EventHeap heap(2, 1);
+  Link link(BandwidthTrace::constant(1000.0));
+  link.add_flow(0.0);
+  link.register_completion(0, 1000.0);
+
+  // First sync always refreshes (the epoch cache starts at a sentinel).
+  heap.sync_link(0, link);
+  EXPECT_EQ(heap.stats().sync_checks, 1u);
+  EXPECT_EQ(heap.stats().sync_refreshes, 1u);
+
+  // Clean epoch: checks advance, refreshes don't — the lazy hit.
+  heap.sync_link(0, link);
+  heap.sync_link(0, link);
+  EXPECT_EQ(heap.stats().sync_checks, 3u);
+  EXPECT_EQ(heap.stats().sync_refreshes, 1u);
+
+  // Population change bumps the epoch: the next check refreshes once.
+  link.add_flow(0.25);
+  heap.sync_link(0, link);
+  heap.sync_link(0, link);
+  EXPECT_EQ(heap.stats().sync_checks, 5u);
+  EXPECT_EQ(heap.stats().sync_refreshes, 2u);
+
+  // Forced sync refreshes even on a clean epoch.
+  heap.sync_link(0, link, /*force=*/true);
+  EXPECT_EQ(heap.stats().sync_checks, 6u);
+  EXPECT_EQ(heap.stats().sync_refreshes, 3u);
+
+  // Invariant the profile's hit rate relies on.
+  EXPECT_LE(heap.stats().sync_refreshes, heap.stats().sync_checks);
+}
+
 }  // namespace
 }  // namespace demuxabr

@@ -15,8 +15,8 @@ TEST(MediaBuffer, StartsEmpty) {
 
 TEST(MediaBuffer, PushAccumulatesLevel) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
-  buffer.push(1, 4.0, "V2");
+  buffer.push(0, 4.0);
+  buffer.push(1, 4.0);
   EXPECT_DOUBLE_EQ(buffer.level_s(), 8.0);
   EXPECT_EQ(buffer.chunk_count(), 2u);
   EXPECT_EQ(buffer.end_index(), 2);
@@ -25,7 +25,7 @@ TEST(MediaBuffer, PushAccumulatesLevel) {
 
 TEST(MediaBuffer, ConsumeWithinFrontChunk) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
+  buffer.push(0, 4.0);
   EXPECT_DOUBLE_EQ(buffer.consume(1.5), 1.5);
   EXPECT_DOUBLE_EQ(buffer.level_s(), 2.5);
   EXPECT_EQ(buffer.chunk_count(), 1u);
@@ -33,8 +33,8 @@ TEST(MediaBuffer, ConsumeWithinFrontChunk) {
 
 TEST(MediaBuffer, ConsumeAcrossChunkBoundary) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
-  buffer.push(1, 4.0, "V1");
+  buffer.push(0, 4.0);
+  buffer.push(1, 4.0);
   EXPECT_DOUBLE_EQ(buffer.consume(5.0), 5.0);
   EXPECT_DOUBLE_EQ(buffer.level_s(), 3.0);
   EXPECT_EQ(buffer.chunk_count(), 1u);
@@ -42,7 +42,7 @@ TEST(MediaBuffer, ConsumeAcrossChunkBoundary) {
 
 TEST(MediaBuffer, ConsumeMoreThanAvailable) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
+  buffer.push(0, 4.0);
   EXPECT_DOUBLE_EQ(buffer.consume(10.0), 4.0);
   EXPECT_TRUE(buffer.empty());
   EXPECT_DOUBLE_EQ(buffer.consume(1.0), 0.0);
@@ -50,17 +50,17 @@ TEST(MediaBuffer, ConsumeMoreThanAvailable) {
 
 TEST(MediaBuffer, ExactDrainLeavesCleanState) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
+  buffer.push(0, 4.0);
   EXPECT_DOUBLE_EQ(buffer.consume(4.0), 4.0);
   EXPECT_TRUE(buffer.empty());
   EXPECT_EQ(buffer.chunk_count(), 0u);
-  buffer.push(1, 4.0, "V2");  // can refill after drain
+  buffer.push(1, 4.0);  // can refill after drain
   EXPECT_DOUBLE_EQ(buffer.level_s(), 4.0);
 }
 
 TEST(MediaBuffer, ManySmallConsumesSumExactly) {
   MediaBuffer buffer;
-  for (int i = 0; i < 10; ++i) buffer.push(i, 4.0, "A1");
+  for (int i = 0; i < 10; ++i) buffer.push(i, 4.0);
   double consumed = 0.0;
   while (!buffer.empty()) consumed += buffer.consume(0.125);
   EXPECT_NEAR(consumed, 40.0, 1e-9);
@@ -68,14 +68,14 @@ TEST(MediaBuffer, ManySmallConsumesSumExactly) {
 
 TEST(MediaBuffer, ZeroConsumeIsNoop) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
+  buffer.push(0, 4.0);
   EXPECT_DOUBLE_EQ(buffer.consume(0.0), 0.0);
   EXPECT_DOUBLE_EQ(buffer.level_s(), 4.0);
 }
 
 TEST(MediaBuffer, ClearResetsEverything) {
   MediaBuffer buffer;
-  buffer.push(0, 4.0, "V1");
+  buffer.push(0, 4.0);
   buffer.consume(1.0);
   buffer.clear();
   EXPECT_TRUE(buffer.empty());
@@ -84,8 +84,8 @@ TEST(MediaBuffer, ClearResetsEverything) {
 
 TEST(MediaBuffer, MixedDurations) {
   MediaBuffer buffer;
-  buffer.push(0, 2.0, "V1");
-  buffer.push(1, 6.0, "V1");
+  buffer.push(0, 2.0);
+  buffer.push(1, 6.0);
   EXPECT_DOUBLE_EQ(buffer.level_s(), 8.0);
   buffer.consume(3.0);  // consumes chunk 0 entirely + 1s of chunk 1
   EXPECT_DOUBLE_EQ(buffer.level_s(), 5.0);

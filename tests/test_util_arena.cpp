@@ -1,0 +1,119 @@
+// MonotonicArena / ArenaAllocator unit tests: bump allocation and alignment,
+// chunk growth, reset-and-reuse, and the allocator's container contract
+// (null-arena heap fallback, rebinding, equality semantics).
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace demuxabr {
+namespace {
+
+TEST(MonotonicArena, BumpsWithinFirstChunk) {
+  MonotonicArena arena(256);
+  void* a = arena.allocate(16, 8);
+  void* b = arena.allocate(16, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(static_cast<std::byte*>(b) - static_cast<std::byte*>(a), 16);
+  EXPECT_EQ(arena.bytes_allocated(), 32u);
+  EXPECT_GE(arena.bytes_reserved(), 256u);
+}
+
+TEST(MonotonicArena, RespectsAlignment) {
+  MonotonicArena arena(256);
+  for (const std::size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    arena.allocate(1, 1);  // skew the offset
+    void* p = arena.allocate(align, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(MonotonicArena, GrowsNewChunksAndServesOversizeRequests) {
+  MonotonicArena arena(64);
+  // Overflow the first chunk: a fresh chunk is appended and reserved bytes
+  // grow; already-handed-out memory is never moved or reused.
+  void* first = arena.allocate(48, 8);
+  *static_cast<std::uint64_t*>(first) = 0xDEADBEEFu;
+  const std::size_t reserved_before = arena.bytes_reserved();
+  void* second = arena.allocate(48, 8);
+  EXPECT_NE(second, nullptr);
+  EXPECT_GT(arena.bytes_reserved(), reserved_before);
+  // A request larger than the next planned chunk gets a chunk of its own.
+  void* big = arena.allocate(4096, 8);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(*static_cast<std::uint64_t*>(first), 0xDEADBEEFu);
+}
+
+TEST(MonotonicArena, ResetRewindsButKeepsReservation) {
+  MonotonicArena arena(64);
+  for (int i = 0; i < 8; ++i) arena.allocate(64, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  // Post-reset allocation reuses the retained chunks: reservation is stable.
+  for (int i = 0; i < 8; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  // Default-constructed allocator (the state every default-constructed
+  // container gets) must work standalone — solo sessions and tests never
+  // see an arena.
+  std::vector<int, ArenaAllocator<int>> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[999], 999);
+}
+
+TEST(ArenaAllocator, ArenaBackedVectorDrawsFromArena) {
+  MonotonicArena arena(1024);
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  const std::size_t before = arena.bytes_allocated();
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_allocated(), before);
+  EXPECT_EQ(v[99], 99);
+}
+
+TEST(ArenaAllocator, EqualityComparesArenaPointers) {
+  MonotonicArena a(64);
+  MonotonicArena b(64);
+  EXPECT_EQ(ArenaAllocator<int>(&a), ArenaAllocator<int>(&a));
+  EXPECT_NE(ArenaAllocator<int>(&a), ArenaAllocator<int>(&b));
+  EXPECT_NE(ArenaAllocator<int>(&a), ArenaAllocator<int>());
+  // Rebound allocators keep the arena: a container's internal rebinds stay
+  // on the same memory source.
+  const ArenaAllocator<double> rebound{ArenaAllocator<int>(&a)};
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+TEST(ArenaAllocator, ContainerCopyAndMovePropagateTheArena) {
+  MonotonicArena arena(1024);
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  v.assign({1, 2, 3});
+  std::vector<int, ArenaAllocator<int>> copy;  // heap-backed until assigned
+  copy = v;                                    // POCCA: adopts the arena
+  EXPECT_EQ(copy.get_allocator().arena(), &arena);
+  std::vector<int, ArenaAllocator<int>> moved;
+  moved = std::move(v);  // POCMA: steals buffer + allocator, no element copy
+  EXPECT_EQ(moved.get_allocator().arena(), &arena);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ArenaAllocator, NodeContainersWork) {
+  // deque exercises rebind + many small node allocations.
+  MonotonicArena arena(256);
+  std::deque<int, ArenaAllocator<int>> d{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 500; ++i) d.push_back(i);
+  EXPECT_EQ(d.front(), 0);
+  EXPECT_EQ(d.back(), 499);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace demuxabr
