@@ -61,6 +61,7 @@
 #include "fleet/cdn_fleet.h"
 #include "fleet/scheduler.h"
 #include "fleet/topology.h"
+#include "obs/incidents.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -257,6 +258,10 @@ struct FleetRunRecord {
   double link_utilization = 0.0;
   int peak_flows = 0;
   obs::EngineProfile profile;
+  /// Telemetry-enabled rows: bins emitted (0 = telemetry off) plus the
+  /// timeline itself for the CLI exporters.
+  std::size_t telemetry_bins = 0;
+  std::optional<obs::FleetTimeline> timeline;
 
   [[nodiscard]] double steps_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(steps) / wall_s : 0.0;
@@ -318,14 +323,19 @@ FleetRunRecord run_configured(const ex::ExperimentSetup& setup,
     record.cdn_origin_mb = static_cast<double>(origin_bytes) / (1024.0 * 1024.0);
     record.storage = storage_mode_name(config.cdn.storage);
   }
+  if (result.timeline.has_value()) {
+    record.telemetry_bins = result.timeline->bin_count();
+    record.timeline = result.timeline;
+  }
   return record;
 }
 
 FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
                         int clients, fleet::Engine engine,
-                        bool profile = false) {
+                        bool profile = false, bool telemetry = false) {
   fleet::FleetConfig config = fleet_config(clients, engine);
   config.profile = profile;
+  config.telemetry.enabled = telemetry;
   return run_configured(setup, tc, config);
 }
 
@@ -336,11 +346,13 @@ FleetRunRecord run_case(const ex::ExperimentSetup& setup, const TraceCase& tc,
 FleetRunRecord run_topology_case(const ex::ExperimentSetup& setup, int edges,
                                  int clients_per_edge, fleet::Engine engine,
                                  bool profile = false, int threads = 1,
-                                 bool streaming = false, bool disjoint = false) {
+                                 bool streaming = false, bool disjoint = false,
+                                 bool telemetry = false) {
   const int clients = edges * clients_per_edge;
   fleet::FleetConfig config = fleet_config(clients, engine);
   config.profile = profile;
   config.threads = threads;
+  config.telemetry.enabled = telemetry;
   if (streaming) config.streaming.client_threshold = 0;
   config.topology = disjoint ? disjoint_spec(edges, clients_per_edge)
                              : sharded_spec(edges, clients_per_edge);
@@ -442,6 +454,7 @@ void print_record(const FleetRunRecord& r) {
 
 std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
                               const std::string& profile_json,
+                              const std::string& telemetry_json,
                               const std::vector<std::string>& notes) {
   std::string out;
   out += "{\n  \"bench\": \"fleet\",\n  \"content\": \"drama-300s\",\n  \"runs\": [\n";
@@ -458,7 +471,7 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
         "\"peak_flows\": %d, \"rss_mib\": %.1f, \"peak_rss_mib\": %.1f, "
         "\"cdn_requests\": %lld, \"cdn_hit_ratio\": %.4f, "
         "\"cdn_byte_hit_ratio\": %.4f, \"cdn_origin_mb\": %.1f, "
-        "\"cdn_evictions\": %zu}%s\n",
+        "\"cdn_evictions\": %zu, \"telemetry_bins\": %zu}%s\n",
         r.trace.c_str(), r.engine.c_str(), r.topology.c_str(),
         r.storage.c_str(), r.clients, r.threads,
         r.streaming ? "true" : "false", r.wall_s, r.steps, r.steps_per_s(),
@@ -467,11 +480,14 @@ std::string fleet_report_json(const std::vector<FleetRunRecord>& records,
         r.metrics.video_kbps.p50, r.link_utilization, r.peak_flows,
         r.rss_mib, r.peak_rss_mib, static_cast<long long>(r.cdn_requests),
         r.cdn_hit_ratio, r.cdn_byte_hit_ratio, r.cdn_origin_mb,
-        r.cdn_evictions, i + 1 < records.size() ? "," : "");
+        r.cdn_evictions, r.telemetry_bins, i + 1 < records.size() ? "," : "");
   }
   out += "  ],\n";
   if (!profile_json.empty()) {
     out += "  \"engine_profile\": " + profile_json + ",\n";
+  }
+  if (!telemetry_json.empty()) {
+    out += "  \"telemetry\": " + telemetry_json + ",\n";
   }
   out += "  \"notes\": [\n";
   for (std::size_t i = 0; i < notes.size(); ++i) {
@@ -612,8 +628,36 @@ void emit_report_once() {
   notes.push_back(
       "engine_profile.data schema documented in EXPERIMENTS.md "
       "(Engine profile)");
-  const Status written =
-      write_file(kReportPath, fleet_report_json(records, profile_json, notes));
+  // Telemetry overhead on the same 200-client operating point: the fleet
+  // with the timeline accumulator on vs off; the overhead_ratio column is
+  // the per-hook cost (1.0 = free, telemetry is a handful of integer adds
+  // behind one null-check per hook).
+  std::printf("=== fleet: telemetry overhead, 200 clients, event_heap ===\n");
+  const FleetRunRecord tele_off = run_median(g_repeat, [&] {
+    return run_case(setup, trace_cases(200)[0], 200, fleet::Engine::kEventHeap);
+  });
+  print_record(tele_off);
+  records.push_back(tele_off);
+  const FleetRunRecord tele_on = run_median(g_repeat, [&] {
+    return run_case(setup, trace_cases(200)[0], 200, fleet::Engine::kEventHeap,
+                    /*profile=*/false, /*telemetry=*/true);
+  });
+  print_record(tele_on);
+  records.push_back(tele_on);
+  const std::string telemetry_json = format(
+      "{\"clients\": 200, \"engine\": \"event_heap\", \"bins\": %zu, "
+      "\"steps_per_s_disabled\": %.0f, \"steps_per_s_enabled\": %.0f, "
+      "\"overhead_ratio\": %.4f}",
+      tele_on.telemetry_bins, tele_off.steps_per_s(), tele_on.steps_per_s(),
+      tele_off.steps_per_s() > 0.0
+          ? tele_on.steps_per_s() / tele_off.steps_per_s()
+          : 0.0);
+  notes.push_back(
+      "telemetry.overhead_ratio = steps_per_s with the 1s-bin timeline "
+      "accumulator enabled / disabled, both medians on the 200-client "
+      "fixed-trace event_heap row; telemetry_bins > 0 marks the enabled row");
+  const Status written = write_file(
+      kReportPath, fleet_report_json(records, profile_json, telemetry_json, notes));
   if (written.ok()) {
     std::printf("  report written to %s\n\n", kReportPath);
   } else {
@@ -689,6 +733,8 @@ struct CliOptions {
   double min_cdn_hit = 0.0;           ///< demuxed hit-ratio floor (0 = off)
   int repeat = 3;                     ///< runs per row; median steps/s kept
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
+  std::string telemetry_out;          ///< timeline NDJSON path ("" = off)
+  std::string report_out;             ///< telemetry HTML report path ("" = off)
 };
 
 [[noreturn]] void cli_usage_and_exit() {
@@ -698,6 +744,7 @@ struct CliOptions {
                "                   [--max-rss-mib F] [--threads N] [--streaming]\n"
                "                   [--topology | --disjoint | --cdn] [--profile]\n"
                "                   [--min-cdn-hit F] [--repeat N] [--trace-out trace.json]\n"
+               "                   [--telemetry-out timeline.ndjson] [--report-out report.html]\n"
                "       bench_fleet [google-benchmark flags]\n");
   std::exit(2);
 }
@@ -759,6 +806,12 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (const char* v9 = value_of("--repeat", i)) {
       cli.repeat = std::atoi(v9);
       if (cli.repeat < 1) cli_usage_and_exit();
+      cli.cli_mode = true;
+    } else if (const char* v10 = value_of("--telemetry-out", i)) {
+      cli.telemetry_out = v10;
+      cli.cli_mode = true;
+    } else if (const char* v11 = value_of("--report-out", i)) {
+      cli.report_out = v11;
       cli.cli_mode = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       cli_usage_and_exit();
@@ -858,15 +911,21 @@ int run_cli(const CliOptions& cli) {
   // A traced run stays single-shot: the tracer is process-global, so
   // repeats would interleave their events in one trace file.
   const int repeat = cli.trace_out.empty() ? cli.repeat : 1;
+  // Telemetry exporters capture the first requested engine's run (the
+  // timeline is byte-identical across engines, so the choice is cosmetic).
+  bool telemetry_pending = !cli.telemetry_out.empty() || !cli.report_out.empty();
   for (const fleet::Engine engine : engines) {
+    const bool telemetry = telemetry_pending;
     const FleetRunRecord r = run_median(repeat, [&] {
       if (multi_link) {
         return run_topology_case(setup, edges, per_edge, engine, cli.profile,
-                                 cli.threads, cli.streaming, cli.disjoint);
+                                 cli.threads, cli.streaming, cli.disjoint,
+                                 telemetry);
       }
       fleet::FleetConfig config = fleet_config(cli.clients, engine);
       config.profile = cli.profile;
       config.threads = cli.threads;
+      config.telemetry.enabled = telemetry;
       if (cli.streaming) config.streaming.client_threshold = 0;
       return run_configured(setup, tc, config);
     });
@@ -891,6 +950,40 @@ int run_cli(const CliOptions& cli) {
       std::fprintf(stderr, "FAIL: %s peak RSS %.1f MiB above ceiling %.1f MiB\n",
                    r.engine.c_str(), r.peak_rss_mib, cli.max_rss_mib);
       floor_met = false;
+    }
+    if (telemetry_pending && r.timeline.has_value()) {
+      // detect_incidents also emits one engine-lane trace instant per
+      // incident begin/end when a tracer is installed, so the episodes are
+      // visible inside the Chrome trace written below.
+      const std::vector<obs::Incident> incidents =
+          obs::detect_incidents(*r.timeline);
+      if (!cli.telemetry_out.empty()) {
+        const Status st = write_file(cli.telemetry_out, r.timeline->to_ndjson());
+        if (!st.ok()) {
+          std::fprintf(stderr, "FAIL: cannot write %s: %s\n",
+                       cli.telemetry_out.c_str(), st.error().c_str());
+          return 1;
+        }
+      }
+      if (!cli.report_out.empty()) {
+        const Status st = write_file(
+            cli.report_out,
+            obs::telemetry_report(*r.timeline, incidents,
+                                  format("bench_fleet: %d clients, %s",
+                                         r.clients, r.trace.c_str())));
+        if (!st.ok()) {
+          std::fprintf(stderr, "FAIL: cannot write %s: %s\n",
+                       cli.report_out.c_str(), st.error().c_str());
+          return 1;
+        }
+      }
+      std::printf("telemetry: %zu bins, %zu incidents%s%s%s%s\n",
+                  r.timeline->bin_count(), incidents.size(),
+                  cli.telemetry_out.empty() ? "" : ", ndjson ",
+                  cli.telemetry_out.c_str(),
+                  cli.report_out.empty() ? "" : ", report ",
+                  cli.report_out.c_str());
+      telemetry_pending = false;  // only the first engine's run is exported
     }
     if (scoped_tracer != nullptr) {
       std::ofstream out(cli.trace_out);

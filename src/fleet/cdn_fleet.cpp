@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace demuxabr::fleet {
 
 CdnState::Node::Node(std::size_t link_index, const CacheSpec& cache)
@@ -41,7 +43,7 @@ std::string CdnState::key_of(const DownloadRequest& request) const {
 }
 
 FlowRoute CdnState::admit(const DownloadRequest& request, Channel& origin_route,
-                          double /*now*/) {
+                          double now) {
   const auto it = routes_.find(&origin_route);
   if (it == routes_.end()) return {};  // no cache on this path
   Node& node = nodes_[it->second.first];
@@ -58,9 +60,11 @@ FlowRoute CdnState::admit(const DownloadRequest& request, Channel& origin_route,
   if (node.edge.get(key)) {
     ++s.edge_hits;
     s.edge_hit_bytes += size;
+    if (telemetry_ != nullptr) telemetry_->cdn_request(node.link, now, true);
     // Resident at the edge: the flow only spans the client→edge prefix.
     return {it->second.second, 0};
   }
+  if (telemetry_ != nullptr) telemetry_->cdn_request(node.link, now, false);
   if (node.regional != nullptr && node.regional->get(key)) {
     // Regional tier sits by the origin: saves origin egress, not hops.
     ++s.regional_hits;

@@ -90,6 +90,11 @@ class CdnState final : public FlowRouter {
   /// residency counters from the LRU tiers).
   [[nodiscard]] std::vector<CdnStats> stats() const;
 
+  /// Wire the time-binned telemetry sink (obs/telemetry.h): every cacheable
+  /// admission is reported as a per-bin hit/miss on the node's link. Null
+  /// (default) costs one branch per admission.
+  void set_telemetry(obs::TimelineShard* telemetry) { telemetry_ = telemetry; }
+
  private:
   /// delivered() action encoded in the admit() ticket.
   enum Action : std::uint64_t { kNone = 0, kFillEdge = 1, kFillBoth = 2 };
@@ -109,6 +114,7 @@ class CdnState final : public FlowRouter {
   [[nodiscard]] std::string key_of(const DownloadRequest& request) const;
 
   std::shared_ptr<const ObjectCatalog> catalog_;
+  obs::TimelineShard* telemetry_ = nullptr;
   std::vector<Node> nodes_;  ///< ascending link index
   /// Default carrier (spec-path channel) → (node index, hit channel).
   /// Pointer-keyed lookup only — never iterated, so determinism holds.

@@ -300,6 +300,7 @@ std::string fleet_fingerprint(const FleetResult& result) {
       if (result.split_audio) fingerprint_link(out, result.audio_link);
     }
     fingerprint_cdns(out, result);
+    if (result.timeline.has_value()) out << result.timeline->fingerprint();
     return out.str();
   }
   out << "clients:" << result.clients.size()
@@ -333,6 +334,7 @@ std::string fleet_fingerprint(const FleetResult& result) {
     if (result.split_audio) fingerprint_link(out, result.audio_link);
   }
   fingerprint_cdns(out, result);
+  if (result.timeline.has_value()) out << result.timeline->fingerprint();
   return out.str();
 }
 

@@ -15,6 +15,7 @@
 #include "fleet/topology.h"
 #include "media/track.h"
 #include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "sim/metrics.h"
 #include "util/sketch.h"
 #include "util/stats.h"
@@ -119,6 +120,11 @@ struct FleetResult {
   /// wall-clock when FleetConfig::profile. Diagnostic only — excluded from
   /// fleet_fingerprint.
   obs::EngineProfile profile;
+  /// Time-binned fleet health series (obs/telemetry.h), populated when
+  /// FleetConfig::telemetry.enabled. Part of the fingerprint: the
+  /// all-integer timeline block is byte-identical across engines, thread
+  /// counts and metrics modes.
+  std::optional<obs::FleetTimeline> timeline;
 };
 
 /// Cross-client aggregates of one fleet run.

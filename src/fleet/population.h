@@ -14,6 +14,7 @@
 
 #include "fleet/topology.h"
 #include "httpsim/catalog.h"
+#include "obs/telemetry.h"
 #include "sim/player.h"
 #include "sim/session.h"
 
@@ -143,6 +144,14 @@ struct FleetConfig {
   /// are bit-identical with it on or off; leave off for perf baselines
   /// (clock reads per phase are not free).
   bool profile = false;
+
+  /// Time-binned fleet telemetry (obs/telemetry.h): when enabled, the run
+  /// accumulates per-bin fleet/link/CDN health series into
+  /// FleetResult::timeline with O(shards × bins) memory. Purely
+  /// observational — simulation results are bit-identical with it on or
+  /// off, and the timeline itself is byte-identical across engines and
+  /// thread counts.
+  obs::TelemetryConfig telemetry;
 };
 
 /// One planned client, fully determined before the simulation starts.

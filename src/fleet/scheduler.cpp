@@ -40,6 +40,37 @@ FleetScheduler::FleetScheduler(const Content& content, ManifestView view,
   } else if (audio_trace.has_value()) {
     audio_link_.emplace(std::move(*audio_trace), "audio-bottleneck", &arena_);
   }
+  if (config_.telemetry.enabled) {
+    // Build the shard-local timeline accumulator. Link slot order matches
+    // the topology's link-declaration order (or video then audio for plain
+    // fleets), so the shard runner's link_ids map applies directly.
+    std::vector<std::string> link_names;
+    if (config_.topology.has_value()) {
+      link_names.reserve(config_.topology->links.size());
+      for (const LinkSpec& link : config_.topology->links) {
+        link_names.push_back(link.name);
+      }
+    } else {
+      link_names.push_back(video_link_.name());
+      if (audio_link_.has_value()) link_names.push_back(audio_link_->name());
+    }
+    std::vector<double> ladder;
+    ladder.reserve(content_.ladder().video().size());
+    for (const TrackInfo& track : content_.ladder().video()) {
+      ladder.push_back(track.avg_kbps);
+    }
+    telemetry_ = std::make_unique<obs::TimelineShard>(
+        config_.telemetry, std::move(ladder), std::move(link_names));
+    if (topology_.has_value()) {
+      topology_->set_telemetry(telemetry_.get());
+    } else {
+      video_link_.link()->set_telemetry(telemetry_.get(), 0);
+      if (audio_link_.has_value()) {
+        audio_link_->link()->set_telemetry(telemetry_.get(), 1);
+      }
+    }
+    if (cdn_ != nullptr) cdn_->set_telemetry(telemetry_.get());
+  }
 }
 
 FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
@@ -82,6 +113,8 @@ FleetScheduler::Client& FleetScheduler::admit(const ClientPlan& plan) {
   session_config.trace_track = static_cast<std::uint32_t>(plan.id);
   // Pending-delivery queues (cache-aware fleets) draw from the shard arena.
   session_config.arena = &arena_;
+  session_config.telemetry = telemetry_.get();
+  if (telemetry_ != nullptr) telemetry_->session_started(plan.arrival_s);
   if (obs::Tracer* tr = obs::tracer()) {
     tr->name_track(session_config.trace_track,
                    format("c%d %s", plan.id, plan.player_label.c_str()));
@@ -108,6 +141,10 @@ void FleetScheduler::finalize_client(Client& client, double now) {
       !client.session->log().completed && client.plan.leave_at_s <= now;
   outcome.log = client.session->finish();
   outcome.qoe = compute_qoe(outcome.log, content_.ladder());
+  if (telemetry_ != nullptr) {
+    // Session-clock departure time: digest-covered, so engine-identical.
+    telemetry_->session_departed(outcome.log.end_time_s);
+  }
   // Wrapping uint64 sum of per-client hashes: retirement order (which
   // differs between engines and shard decompositions) cannot leak.
   result_.client_digest += client_outcome_digest(outcome);
@@ -200,6 +237,11 @@ void FleetScheduler::close_links(FleetResult& result, double end_time) {
     result.video_link = video_link_.stats();
     result.audio_link =
         audio_link_.has_value() ? audio_link_->stats() : result.video_link;
+  }
+  if (telemetry_ != nullptr) {
+    // After link finalization: the finalize walks emit the idle-tail
+    // segments, so the binned link series cover [0, end_time].
+    result.timeline = telemetry_->take();
   }
 }
 

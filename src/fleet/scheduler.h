@@ -109,6 +109,10 @@ class FleetScheduler {
   /// across shards) and this run's cache plane / flow router.
   std::shared_ptr<const ObjectCatalog> catalog_;
   std::unique_ptr<CdnState> cdn_;
+  /// Time-binned telemetry accumulator (obs/telemetry.h), built only when
+  /// config_.telemetry.enabled. Declared before slots_ so the sessions that
+  /// hold raw pointers into it are destroyed first.
+  std::unique_ptr<obs::TimelineShard> telemetry_;
   std::vector<std::unique_ptr<Client>> slots_;  ///< by client id
   FleetResult result_;
   bool streaming_ = false;  ///< streaming-metrics mode active for this run

@@ -253,6 +253,17 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
   } else {
     merged.clients.reserve(plans.size());
   }
+  if (config.telemetry.enabled) {
+    // Pre-seed the global link series (declaration order, names from the
+    // spec) so per-shard merges land on the right global slots via
+    // shard.link_ids even when a shard saw no traffic.
+    merged.timeline.emplace();
+    merged.timeline->bin_s = config.telemetry.bin_s > 0.0 ? config.telemetry.bin_s : 1.0;
+    merged.timeline->links.resize(config.topology->links.size());
+    for (std::size_t l = 0; l < config.topology->links.size(); ++l) {
+      merged.timeline->links[l].name = config.topology->links[l].name;
+    }
+  }
   for (std::size_t s = 0; s < results.size(); ++s) {
     const FleetShard& shard = partition.shards[s];
     FleetResult& result = results[s];
@@ -269,6 +280,11 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
       // Rewrite the shard-local link index to the global topology's.
       cdn.link = shard.link_ids[cdn.link];
       merged.cdns.push_back(std::move(cdn));
+    }
+    if (merged.timeline.has_value() && result.timeline.has_value()) {
+      // Integer-accumulator merge in shard-id order; link_ids maps the
+      // shard's local link series onto the global slots seeded above.
+      merged.timeline->merge(*result.timeline, &shard.link_ids);
     }
     if (streaming) {
       merged.streaming->merge(*result.streaming, &shard.path_ids);
@@ -296,6 +312,9 @@ FleetResult run_fleet_sharded(const Content& content, const ManifestView& view,
   // and hence the fingerprint — matches the serial run's ascending order.
   std::sort(merged.cdns.begin(), merged.cdns.end(),
             [](const CdnStats& a, const CdnStats& b) { return a.link < b.link; });
+  // Pad every merged series to the common bin count and restore the serial
+  // run's cdn ordering (ascending link index).
+  if (merged.timeline.has_value()) merged.timeline->normalize();
   merged.video_link = merged.links.front();
   merged.audio_link = merged.video_link;
   return merged;

@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -510,6 +511,10 @@ void Topology::advance_link(std::size_t l, double now) {
         node.delivered_kbit += offered;
         node.service_kbit += offered * inv_flows;
       }
+      if (telemetry_ != nullptr) {
+        telemetry_->link_segment(l, at, seg_end, node.active_flows, kbps,
+                                 node.active_flows > 0 ? kbps : 0.0);
+      }
       at = seg_end;
     }
     node.clock_s = now;
@@ -536,6 +541,7 @@ void Topology::advance_link(std::size_t l, double now) {
     const double offered = kbps * dt;
     node.offered_kbit += offered;
     node.flow_seconds += static_cast<double>(node.active_flows) * dt;
+    double delivered_kbps = 0.0;
     if (node.active_flows > 0) {
       node.busy_s += dt;
       node.service_kbit += offered * inv_flows;
@@ -554,6 +560,11 @@ void Topology::advance_link(std::size_t l, double now) {
         rate_sum_kbps += static_cast<double>(path.active_flows_) * share;
       }
       node.delivered_kbit += rate_sum_kbps * dt;
+      delivered_kbps = rate_sum_kbps;
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->link_segment(l, at, seg_end, node.active_flows, kbps,
+                               delivered_kbps);
     }
     at = seg_end;
   }

@@ -45,6 +45,10 @@
 #include "util/arena.h"
 #include "util/indexed_min_heap.h"
 
+namespace demuxabr::obs {
+class TimelineShard;  // obs/telemetry.h
+}
+
 namespace demuxabr::fleet {
 
 /// A CDN cache co-located with a topology link (fleet/cdn_fleet.h). A
@@ -301,6 +305,12 @@ class Topology {
     return links_[l].active_flows;
   }
 
+  /// Wire the time-binned telemetry sink (obs/telemetry.h): every lazily
+  /// advanced link-accounting segment is also reported as that link's
+  /// series, indexed by spec link order. Null (default) costs one branch
+  /// per segment.
+  void set_telemetry(obs::TimelineShard* telemetry) { telemetry_ = telemetry; }
+
  private:
   friend class PathChannel;
 
@@ -345,6 +355,7 @@ class Topology {
 
   std::vector<std::size_t> video_assignment_;
   std::vector<std::size_t> audio_assignment_;
+  obs::TimelineShard* telemetry_ = nullptr;
   std::vector<LinkNode> links_;
   /// Spec paths [0, spec_path_count_), then derived hit channels. Sized
   /// once at construction (sessions hold raw Channel pointers into it).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace demuxabr {
@@ -31,6 +32,12 @@ void Link::advance_to(double t) {
       busy_s_ += dt;
       delivered_kbit_ += offered;
       service_kbit_ += offered * inv_flows;
+    }
+    if (telemetry_ != nullptr) {
+      // Same segment partition as the integrals above, so the binned series
+      // is engine-identical whenever the flow schedule is.
+      telemetry_->link_segment(telemetry_slot_, at, seg_end, active_flows_,
+                               kbps, active_flows_ > 0 ? kbps : 0.0);
     }
     at = seg_end;
   }

@@ -33,6 +33,10 @@
 
 namespace demuxabr {
 
+namespace obs {
+class TimelineShard;  // obs/telemetry.h
+}
+
 /// A link carrying 0..N concurrent flows. Capacity follows a BandwidthTrace;
 /// active flows share it equally (TCP-fair approximation). The simulation
 /// engine registers/unregisters flows (with the current time, so the service
@@ -143,6 +147,14 @@ class Link final : public Channel {
   void set_trace_track(std::uint32_t track) { trace_track_ = track; }
   [[nodiscard]] std::uint32_t trace_track() const { return trace_track_; }
 
+  /// Wire the time-binned telemetry sink (obs/telemetry.h): every lazily
+  /// advanced accounting segment is also reported as slot `slot`'s series.
+  /// Null (default) costs one branch per segment.
+  void set_telemetry(obs::TimelineShard* telemetry, std::size_t slot) {
+    telemetry_ = telemetry;
+    telemetry_slot_ = slot;
+  }
+
  private:
   /// Advance the service + accounting integrals from clock_s_ to t with the
   /// current population, walking capacity segments so time-varying traces
@@ -154,6 +166,8 @@ class Link final : public Channel {
   int peak_flows_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint32_t trace_track_ = obs::kLinkTrackBase;
+  obs::TimelineShard* telemetry_ = nullptr;
+  std::size_t telemetry_slot_ = 0;
 
   double clock_s_ = 0.0;    ///< time up to which all integrals are advanced
   double service_kbit_ = 0.0;  ///< V(clock_s_): per-flow service integral

@@ -244,6 +244,10 @@ std::string MetricsRegistry::to_json() const {
          ",\"histograms\":" + object(histograms) + "}";
 }
 
+std::string MetricsRegistry::scrape_json() const {
+  return "{\"schema\":\"demuxabr.metrics.v1\",\"metrics\":" + to_json() + "}";
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& c : counters_.items) c->reset();

@@ -155,6 +155,11 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_text() const;
   /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;
+  /// Archival scrape: to_json() wrapped in a versioned envelope,
+  /// {"schema":"demuxabr.metrics.v1","metrics":{...}}. Key order is stable
+  /// (sorted by instrument name) so scrapes diff cleanly across runs;
+  /// tests/test_obs_metrics.cpp pins the schema.
+  [[nodiscard]] std::string scrape_json() const;
 
   /// Zero every instrument (references stay valid).
   void reset();

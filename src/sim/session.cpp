@@ -241,6 +241,9 @@ void StreamingSession::complete_flow(Flow& f) {
     ++totals.download_records;
     const double kbps = component.track->avg_kbps;
     if (component.type == MediaType::kVideo) {
+      if (config_.telemetry != nullptr) {
+        config_.telemetry->video_chunk(now_, kbps);
+      }
       if (totals.video_chunks > 0 && component.track != last_video_track_) {
         ++totals.video_switches;
         totals.switch_cost_kbps += std::abs(kbps - totals.last_video_kbps);
@@ -439,6 +442,14 @@ void StreamingSession::handle_playback_transitions() {
 }
 
 void StreamingSession::sample_series() {
+  if (config_.telemetry != nullptr) {
+    // Tick instants are engine-identical, so the binned counts inherit the
+    // determinism contract. stalled = started but not currently playing.
+    config_.telemetry->sample_session(telemetry_cursor_, now_,
+                                      audio_buffer_.level_s(),
+                                      video_buffer_.level_s(),
+                                      started_ && !playing_);
+  }
   DMX_TRACE_COUNTER(obs::kCatBuffer, config_.trace_track, "buffer_s", now_,
                     obs::TraceArgs()
                         .kv("audio", audio_buffer_.level_s())

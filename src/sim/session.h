@@ -37,6 +37,7 @@
 #include "manifest/view.h"
 #include "media/content.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 #include "sim/buffer.h"
 #include "sim/metrics.h"
 #include "sim/player.h"
@@ -92,6 +93,11 @@ struct SessionConfig {
   /// queue: fleet schedulers pass their per-shard arena so queue growth in
   /// the drain loop never calls malloc. Null (solo sessions) = heap.
   MonotonicArena* arena = nullptr;
+  /// Time-binned fleet telemetry sink (obs/telemetry.h), owned by the fleet
+  /// scheduler; the session reports buffer samples and completed video
+  /// chunks into it. Null (the default) costs one predictable branch per
+  /// hook site — the zero-overhead-when-disabled contract.
+  obs::TimelineShard* telemetry = nullptr;
 };
 
 class StreamingSession {
@@ -310,6 +316,8 @@ class StreamingSession {
   Flow audio_flow_;
   Flow video_flow_;
   std::size_t next_seek_ = 0;  ///< index into config_.seeks
+  /// Per-bin dedup state for config_.telemetry (unused when null).
+  obs::TimelineCursor telemetry_cursor_;
 
   /// Completed downloads owed to the router (cache fills). Queued by
   /// complete_flow, flushed at the next begin_step — deferring the mutation

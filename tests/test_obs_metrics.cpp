@@ -142,6 +142,32 @@ TEST(Registry, SnapshotsContainInstrumentNames) {
   registry.reset();
 }
 
+TEST(Registry, ScrapeJsonSchemaIsStable) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.scrape_b").add(1);
+  registry.counter("test.scrape_a").add(2);
+  registry.gauge("test.scrape_gauge").set(4.0);
+
+  const std::string scrape = registry.scrape_json();
+  // Versioned envelope wrapping the plain snapshot.
+  EXPECT_EQ(scrape.rfind("{\"schema\":\"demuxabr.metrics.v1\",\"metrics\":", 0),
+            0u);
+  EXPECT_EQ(scrape.back(), '}');
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"test.scrape_a\"",
+        "\"test.scrape_b\"", "\"test.scrape_gauge\""}) {
+    EXPECT_NE(scrape.find(key), std::string::npos) << key;
+  }
+  // Key order is sorted (std::map) — stable across runs and platforms.
+  EXPECT_LT(scrape.find("\"test.scrape_a\""), scrape.find("\"test.scrape_b\""));
+  // The envelope adds nothing else: stripping it yields to_json() verbatim.
+  const std::string prefix = "{\"schema\":\"demuxabr.metrics.v1\",\"metrics\":";
+  EXPECT_EQ(scrape.substr(prefix.size(), scrape.size() - prefix.size() - 1),
+            registry.to_json());
+  registry.reset();
+}
+
 TEST(Macros, DisabledMacrosRecordNothing) {
   MetricsRegistry& registry = MetricsRegistry::global();
   registry.reset();
