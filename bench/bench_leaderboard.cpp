@@ -1,0 +1,127 @@
+// Robustness leaderboard driver: every comparison player × every corpus
+// trace class × seed replications, scored per metric with 95% bootstrap
+// CIs (experiments/leaderboard.h), emitted to BENCH_leaderboard.json plus
+// CSV and markdown tables — the fleet-scale generalization of the paper's
+// Tables 2/3.
+//
+// Own main (no google-benchmark): the leaderboard is a deterministic
+// artifact generator, not a timing harness. Wall time goes to stdout only;
+// the JSON bytes are a pure function of the grid, which is what the
+// determinism tests and CI's schema check rely on.
+//
+// CLI:
+//   bench_leaderboard [--classes=a,b] [--players=a,b] [--replications=N]
+//     [--duration=S] [--threads=N] [--fleet-clients=N] [--fleet-reps=N]
+//     [--out=PATH] [--csv=PATH] [--md=PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/leaderboard.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace demuxabr;
+namespace ex = demuxabr::experiments;
+
+struct Cli {
+  ex::LeaderboardConfig config;
+  std::string out = "BENCH_leaderboard.json";
+  std::string csv = "BENCH_leaderboard.csv";
+  std::string md = "BENCH_leaderboard.md";
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--classes=a,b] [--players=a,b] [--replications=N] "
+               "[--duration=S] [--threads=N] [--fleet-clients=N] "
+               "[--fleet-reps=N] [--seed=N] [--out=PATH] [--csv=PATH] "
+               "[--md=PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) usage_and_exit(argv[0]);
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "--classes") {
+      cli.config.classes = split(value, ',');
+    } else if (key == "--players") {
+      cli.config.players = split(value, ',');
+    } else if (key == "--replications") {
+      cli.config.replications = std::atoi(value.c_str());
+    } else if (key == "--duration") {
+      cli.config.trace_duration_s = std::atof(value.c_str());
+    } else if (key == "--threads") {
+      cli.config.threads = std::atoi(value.c_str());
+    } else if (key == "--fleet-clients") {
+      cli.config.fleet_clients = std::atoi(value.c_str());
+    } else if (key == "--fleet-reps") {
+      cli.config.fleet_replications = std::atoi(value.c_str());
+    } else if (key == "--seed") {
+      cli.config.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--out") {
+      cli.out = value;
+    } else if (key == "--csv") {
+      cli.csv = value;
+    } else if (key == "--md") {
+      cli.md = value;
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return cli;
+}
+
+void write_or_die(const std::string& path, const std::string& content) {
+  const Status written = write_file(path, content);
+  if (!written.ok()) {
+    std::fprintf(stderr, "could not write %s: %s\n", path.c_str(),
+                 written.error().c_str());
+    std::exit(1);
+  }
+  std::printf("  wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  ex::Leaderboard board;
+  try {
+    board = ex::run_leaderboard(cli.config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "leaderboard failed: %s\n", e.what());
+    return 1;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("=== leaderboard: %zu classes x %zu players, %d session reps, "
+              "%d fleet reps x %d clients (%.2fs wall, threads=%d) ===\n",
+              board.classes.size(), board.players.size(),
+              board.config.replications, board.config.fleet_replications,
+              board.config.fleet_clients, wall_s, board.config.threads);
+  for (const ex::LeaderboardRanking& r : board.rankings) {
+    if (r.metric != "qoe") continue;
+    std::printf("  %-12s best-by-qoe:", r.trace_class.c_str());
+    for (std::size_t j = 0; j < r.players.size() && j < 3; ++j) {
+      std::printf(" %s%s", r.players[j].c_str(),
+                  j + 1 < r.players.size() && j + 1 < 3 ? " >" : "");
+    }
+    std::printf("\n");
+  }
+  write_or_die(cli.out, ex::leaderboard_json(board));
+  write_or_die(cli.csv, ex::leaderboard_csv(board));
+  write_or_die(cli.md, ex::leaderboard_markdown(board));
+  return 0;
+}

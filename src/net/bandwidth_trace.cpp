@@ -107,7 +107,9 @@ BandwidthTrace BandwidthTrace::cellular(double total_duration_s, std::uint64_t s
   return markov(states, transitions, total_duration_s, /*jitter_fraction=*/0.15, seed);
 }
 
-Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text) {
+Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text,
+                                                double period_s) {
+  if (period_s < 0.0) return Error{"trace csv period must be >= 0"};
   auto doc = parse_csv(csv_text);
   if (!doc.ok()) return Error{doc.error()};
   if (doc->header.size() < 2) return Error{"trace csv needs columns t,kbps"};
@@ -124,7 +126,10 @@ Result<BandwidthTrace> BandwidthTrace::from_csv(const std::string& csv_text) {
   }
   if (segments.empty()) return Error{"trace csv has no rows"};
   if (segments.front().start_s != 0.0) return Error{"trace csv must start at t=0"};
-  return BandwidthTrace(std::move(segments), 0.0);
+  if (period_s > 0.0 && period_s <= segments.back().start_s) {
+    return Error{"trace csv period must exceed the last segment start"};
+  }
+  return BandwidthTrace(std::move(segments), period_s);
 }
 
 double BandwidthTrace::rate_kbps_slow(double t) const {
@@ -193,8 +198,11 @@ double BandwidthTrace::average_kbps(double t0, double t1) const {
 std::string BandwidthTrace::to_csv() const {
   std::ostringstream out;
   out << "t,kbps\n";
+  // %.17g is round-trip exact for doubles: from_csv(to_csv()) reconstructs
+  // every boundary and rate bit-for-bit (the corpus round-trip tests rely
+  // on it; %.3f silently quantized sampled boundary times).
   for (const Segment& s : segments_) {
-    out << format("%.3f,%.3f\n", s.start_s, s.kbps);
+    out << format("%.17g,%.17g\n", s.start_s, s.kbps);
   }
   return out.str();
 }

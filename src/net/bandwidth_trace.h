@@ -63,7 +63,10 @@ class BandwidthTrace {
   static BandwidthTrace cellular(double total_duration_s, std::uint64_t seed);
 
   /// Load from CSV with header "t,kbps" (times ascending from 0).
-  static Result<BandwidthTrace> from_csv(const std::string& csv_text);
+  /// `period_s` > 0 makes the loaded trace periodic (it must exceed the last
+  /// segment's start time); 0 keeps the historical aperiodic behavior.
+  static Result<BandwidthTrace> from_csv(const std::string& csv_text,
+                                         double period_s = 0.0);
 
   /// Rate at absolute time t (wraps when periodic). The single-segment
   /// aperiodic case (constant traces — the bulk of fleet-bench hot loops)

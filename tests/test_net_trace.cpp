@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/trace_corpus.h"
+
 namespace demuxabr {
 namespace {
 
@@ -184,6 +186,49 @@ TEST_P(AverageWindowSweep, WholePeriodAverageIsInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Offsets, AverageWindowSweep,
                          ::testing::Values(0.0, 3.0, 8.0, 12.5, 100.0));
+
+// --- Periodic-wrap regressions for the corpus generators
+// --- (net/trace_corpus.h). The corpus samples *irrational-looking*
+// --- boundary times (exponential/uniform dwells), so its traces probe the
+// --- renormalized-reduction slack far harder than the hand-built shapes
+// --- above; these walks pin the PR-5 invariants on that input family.
+
+TEST(CorpusWrap, NextChangeAfterIsStrictlyIncreasingOnSampledBoundaries) {
+  for (const TraceClass& tc : trace_class_registry()) {
+    // 247.3: an awkward non-integer period, like the original regression.
+    const BandwidthTrace trace = tc.generate(247.3, 13);
+    double t = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+      const double next = trace.next_change_after(t);
+      ASSERT_GT(next, t) << tc.name << " stalled at t=" << t;
+      t = next;
+    }
+    EXPECT_GT(t, 3.0 * 247.3) << tc.name;  // genuine multi-period progress
+  }
+}
+
+TEST(CorpusWrap, RateAtExactWrapMultiplesReturnsFirstSegment) {
+  for (const TraceClass& tc : trace_class_registry()) {
+    const BandwidthTrace trace = tc.generate(301.7, 4);
+    const double first = trace.segments().front().kbps;
+    for (const double k : {1.0, 2.0, 5.0, 113.0}) {
+      EXPECT_EQ(trace.rate_kbps(k * trace.period_s()), first)
+          << tc.name << " k=" << k;
+    }
+  }
+}
+
+TEST(CorpusWrap, WholePeriodAverageIsOffsetInvariant) {
+  for (const TraceClass& tc : trace_class_registry()) {
+    const BandwidthTrace trace = tc.generate(240.0, 6);
+    const double period = trace.period_s();
+    const double base = trace.average_kbps(0.0, period);
+    for (const double t0 : {17.3, 120.0, 239.9, 1000.25}) {
+      EXPECT_NEAR(trace.average_kbps(t0, t0 + period), base, 1e-6 * base)
+          << tc.name << " t0=" << t0;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace demuxabr
